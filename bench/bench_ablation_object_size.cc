@@ -1,0 +1,65 @@
+// Ablation: atomic object size (paper Section 4.1 fixes Sobj to one disk
+// sector = 512 B and argues smaller objects add overhead). Sweeps Sobj and
+// reports the per-tick overhead, checkpoint time, and recovery time of
+// Copy-on-Update: smaller objects mean more distinct dirty objects, more
+// lock/copy events, and more bookkeeping; larger objects amplify copy bytes
+// per touch (write amplification).
+#include "bench/bench_util.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ablation_object_size",
+                          "Ablation: atomic object size sweep "
+                          "(Copy-on-Update)");
+  const uint64_t ticks = ctx.flags().GetInt64("ticks", 150);
+  const uint64_t rate = ctx.flags().GetInt64("rate", 64000);
+  char params[96];
+  std::snprintf(params, sizeof(params), "10M cells, %llu updates/tick, "
+                "%llu ticks", static_cast<unsigned long long>(rate),
+                static_cast<unsigned long long>(ticks));
+  ctx.PrintHeader(params);
+
+  const std::vector<uint64_t> sizes = {64, 128, 256, 512, 1024, 2048, 4096};
+
+  TablePrinter table({"object size", "objects", "avg overhead",
+                      "cou copies/ckpt", "avg checkpoint", "est recovery"});
+  for (uint64_t size : sizes) {
+    StateLayout layout = StateLayout::Paper();
+    layout.object_size = size;
+    ZipfTraceConfig trace;
+    trace.layout = layout;
+    trace.num_ticks = ticks;
+    trace.updates_per_tick = rate;
+    trace.theta = 0.8;
+    ZipfUpdateSource source(trace);
+    auto results = RunSimulation(SimulationOptions{},
+                                 {AlgorithmKind::kCopyOnUpdate}, &source);
+    const auto& result = results[0];
+    const double copies_per_ckpt =
+        result.metrics.checkpoints.empty()
+            ? 0.0
+            : static_cast<double>(result.metrics.cou_copies) /
+                  static_cast<double>(result.metrics.checkpoints.size());
+    table.AddRow({std::to_string(size),
+                  std::to_string(layout.num_objects()),
+                  bench::Sec(result.avg_overhead_seconds),
+                  TablePrinter::Num(copies_per_ckpt, 0),
+                  bench::Sec(result.avg_checkpoint_seconds),
+                  bench::Sec(result.recovery_seconds)});
+    std::fprintf(stderr, "  Sobj %llu done\n",
+                 static_cast<unsigned long long>(size));
+  }
+  std::printf("\n");
+  bench::Emit(table, ctx.csv());
+
+  std::printf(
+      "\n# expectation: checkpoint/recovery stay flat (full-rotation model "
+      "depends on state bytes, not object count); overhead rises for small "
+      "objects (more distinct objects -> more Olock/Omem charges per "
+      "checkpoint) -- and sub-sector objects would additionally force "
+      "read-modify-write on real disks, which is why the paper pins Sobj "
+      "to one sector\n");
+  ctx.Finish();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: the sorted-I/O optimization for double-backup checkpoints
+// (paper Section 3.2 calls it "crucial"). Runs Copy-on-Update with the
+// sorted pattern, then prices the SAME dirty sets under naive per-object
+// random writes (seek + half rotation each), and reports the crossover
+// point below which random writes would actually win.
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ablation_sorted_io",
+                          "Ablation: sorted vs unsorted double-backup I/O");
+  const uint64_t ticks = ctx.flags().GetInt64("ticks", 150);
+  char params[96];
+  std::snprintf(params, sizeof(params), "10M cells, skew 0.8, %llu ticks",
+                static_cast<unsigned long long>(ticks));
+  ctx.PrintHeader(params);
+
+  const HardwareParams hw = HardwareParams::Paper();
+  const CostModel cost(hw);
+  const StateLayout layout = StateLayout::Paper();
+
+  // The break-even dirty count: unsorted k*(seek + rot/2 + xfer) vs the
+  // sorted full rotation n*Sobj/Bdisk.
+  const double full_rotation =
+      cost.DoubleBackupWriteSeconds(layout.num_objects());
+  const double per_random_write = cost.UnsortedWriteSeconds(1);
+  const double crossover = full_rotation / per_random_write;
+
+  TablePrinter table({"updates/tick", "dirty objects/ckpt",
+                      "write time (sorted)", "write time (unsorted)",
+                      "unsorted / sorted"});
+  for (uint64_t rate : {10u, 100u, 1000u, 10000u, 64000u}) {
+    ZipfTraceConfig trace;
+    trace.layout = layout;
+    trace.num_ticks = ticks;
+    trace.updates_per_tick = rate;
+    trace.theta = 0.8;
+    ZipfUpdateSource source(trace);
+    auto results = RunSimulation(SimulationOptions{},
+                                 {AlgorithmKind::kCopyOnUpdate}, &source);
+    // Average dirty objects per non-bootstrap checkpoint.
+    const double k = results[0].metrics.AvgObjectsPerCheckpoint(false);
+    double incremental_k = 0.0;
+    uint64_t incremental_count = 0;
+    for (const auto& record : results[0].metrics.checkpoints) {
+      if (record.all_objects) continue;
+      incremental_k += static_cast<double>(record.objects_written);
+      ++incremental_count;
+    }
+    const double dirty =
+        incremental_count > 0 ? incremental_k / incremental_count : k;
+    const double unsorted_seconds = cost.UnsortedWriteSeconds(
+        static_cast<uint64_t>(dirty + 0.5));
+    table.AddRow({std::to_string(rate), TablePrinter::Num(dirty, 0),
+                  bench::Sec(full_rotation), bench::Sec(unsorted_seconds),
+                  TablePrinter::Num(unsorted_seconds / full_rotation, 2) +
+                      "x"});
+    std::fprintf(stderr, "  rate %llu done\n",
+                 static_cast<unsigned long long>(rate));
+  }
+  std::printf("\n");
+  bench::Emit(table, ctx.csv());
+
+  std::printf(
+      "\nbreak-even dirty count on this disk model: %.0f objects "
+      "(full rotation %s vs %s per random write)\n",
+      crossover, bench::Sec(full_rotation).c_str(),
+      bench::Sec(per_random_write).c_str());
+  std::printf(
+      "\n# expectation: at MMO rates the dirty set is 4-6 orders of "
+      "magnitude past break-even; a checkpoint written with random "
+      "single-object I/O would take minutes instead of 0.67 s -- the "
+      "sorted pattern is what makes the double-backup family viable\n");
+  ctx.Finish();
+  return 0;
+}

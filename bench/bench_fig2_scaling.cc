@@ -1,0 +1,76 @@
+// Figure 2: overhead time (a), time to checkpoint (b), and recovery time
+// (c) as the number of updates per tick scales from 1,000 to 256,000.
+// Workload: Zipf traces over the 10M-cell table, skew 0.8 (Table 4 bold
+// defaults).
+#include "bench/bench_util.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig2_scaling",
+                          "Paper Figure 2(a-c): scaling on updates per tick");
+  const uint64_t ticks = ctx.flags().GetInt64("ticks", 200);
+  const double skew = ctx.flags().GetDouble("skew", 0.8);
+  const uint64_t seed = ctx.flags().GetInt64("seed", 42);
+  char params[128];
+  std::snprintf(params, sizeof(params),
+                "10M cells, skew %.2f, %llu ticks (paper: 1000)", skew,
+                static_cast<unsigned long long>(ticks));
+  ctx.PrintHeader(params);
+
+  const std::vector<uint64_t> rates = {1000,  2000,  4000,   8000,  16000,
+                                       32000, 64000, 128000, 256000};
+
+  std::vector<std::vector<AlgorithmRunResult>> all_results;
+  for (uint64_t rate : rates) {
+    ZipfTraceConfig trace;
+    trace.layout = StateLayout::Paper();
+    trace.num_ticks = ticks;
+    trace.updates_per_tick = rate;
+    trace.theta = skew;
+    trace.seed = seed;
+    all_results.push_back(bench::RunZipf(trace, SimulationOptions{}));
+    std::fprintf(stderr, "  rate %llu done\n",
+                 static_cast<unsigned long long>(rate));
+  }
+
+  auto print_metric = [&](const char* title,
+                          double (*metric)(const AlgorithmRunResult&)) {
+    std::vector<std::string> headers = {"updates/tick"};
+    for (AlgorithmKind kind : AllAlgorithms()) {
+      headers.push_back(GetTraits(kind).short_name);
+    }
+    TablePrinter table(headers);
+    for (size_t r = 0; r < rates.size(); ++r) {
+      std::vector<std::string> row = {std::to_string(rates[r])};
+      for (const auto& result : all_results[r]) {
+        row.push_back(bench::Sec(metric(result)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("\n%s\n", title);
+    bench::Emit(table, ctx.csv());
+  };
+
+  print_metric("Figure 2(a): average overhead time per tick",
+               [](const AlgorithmRunResult& r) {
+                 return r.avg_overhead_seconds;
+               });
+  print_metric("Figure 2(b): average time to checkpoint",
+               [](const AlgorithmRunResult& r) {
+                 return r.avg_checkpoint_seconds;
+               });
+  print_metric("Figure 2(c): estimated recovery time",
+               [](const AlgorithmRunResult& r) { return r.recovery_seconds; });
+
+  std::printf(
+      "\n# paper 2(a): naive flat ~0.85 ms; cou-family up to 5x lower below "
+      "8K updates/tick, up to 2.7x higher above; eager-dirty worse than "
+      "naive above ~10K\n"
+      "# paper 2(b): full-state methods constant ~0.68 s; partial-redo "
+      "~0.1 s at 1K updates/tick (6.8x gain), converging to ~0.68 s at 256K\n"
+      "# paper 2(c): non-partial-redo ~1.4 s at all rates; partial-redo "
+      "worse than naive above 4K, reaching 7.2 s (5.4x) at 256K\n");
+  ctx.Finish();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3: per-tick latency timeline (ticks 55-110) at 64,000 updates per
+// tick, 10M cells. Shows how eager methods concentrate overhead into
+// half-tick pauses while copy-on-update methods spread it, and compares
+// every tick against the half-tick latency limit.
+#include "bench/bench_util.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig3_latency",
+                          "Paper Figure 3: latency analysis, 10M objects, "
+                          "64K updates per tick");
+  const uint64_t first_tick = ctx.flags().GetInt64("first-tick", 55);
+  const uint64_t last_tick = ctx.flags().GetInt64("last-tick", 110);
+  const uint64_t rate = ctx.flags().GetInt64("rate", 64000);
+  char params[160];
+  std::snprintf(params, sizeof(params),
+                "ticks %llu..%llu, %llu updates/tick, skew 0.8",
+                static_cast<unsigned long long>(first_tick),
+                static_cast<unsigned long long>(last_tick),
+                static_cast<unsigned long long>(rate));
+  ctx.PrintHeader(params);
+
+  ZipfTraceConfig trace;
+  trace.layout = StateLayout::Paper();
+  trace.num_ticks = last_tick + 1;
+  trace.updates_per_tick = rate;
+  trace.theta = 0.8;
+  auto results = bench::RunZipf(trace, SimulationOptions{});
+
+  const HardwareParams hw;
+  const double base = hw.TickSeconds();
+  const double limit = base + hw.LatencyLimitSeconds();
+
+  std::vector<std::string> headers = {"tick", "latency limit"};
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    headers.push_back(GetTraits(kind).short_name);
+  }
+  TablePrinter table(headers);
+  for (uint64_t t = first_tick; t <= last_tick; ++t) {
+    std::vector<std::string> row = {std::to_string(t), bench::Sec(limit)};
+    for (const auto& result : results) {
+      // Tick length = base tick + overhead of that tick (paper plots the
+      // stretched tick length).
+      row.push_back(
+          bench::Sec(base + result.metrics.tick_overhead.samples()[t]));
+    }
+    table.AddRow(std::move(row));
+  }
+  bench::Emit(table, ctx.csv());
+
+  // Summary: peak tick length and limit violations over the whole run.
+  TablePrinter summary({"algorithm", "peak tick", "ticks over limit",
+                        "total overhead"});
+  for (const auto& result : results) {
+    const auto& series = result.metrics.tick_overhead;
+    uint64_t violations = 0;
+    for (double o : series.samples()) violations += (base + o > limit);
+    summary.AddRow({AlgorithmName(result.kind),
+                    bench::Sec(base + series.Max()),
+                    std::to_string(violations), bench::Sec(series.Sum())});
+  }
+  std::printf("\nSummary over all %llu ticks\n",
+              static_cast<unsigned long long>(trace.num_ticks));
+  bench::Emit(summary, ctx.csv());
+
+  std::printf(
+      "\n# paper: eager methods lengthen checkpoint-start ticks by ~17 ms "
+      "(over the 16.7 ms half-tick limit); cou methods peak at ~12 ms on "
+      "the first tick after a checkpoint starts, dropping to 7 ms, 4 ms, "
+      "then less on subsequent ticks\n");
+  ctx.Finish();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 4: overhead (a), checkpoint time (b), and recovery time (c) as the
+// Zipf skew parameter varies from 0 to 0.99 at 64,000 updates per tick.
+#include "bench/bench_util.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig4_skew",
+                          "Paper Figure 4(a-c): effect of update skew");
+  const uint64_t ticks = ctx.flags().GetInt64("ticks", 200);
+  const uint64_t rate = ctx.flags().GetInt64("rate", 64000);
+  char params[128];
+  std::snprintf(params, sizeof(params),
+                "10M cells, %llu updates/tick, %llu ticks (paper: 1000)",
+                static_cast<unsigned long long>(rate),
+                static_cast<unsigned long long>(ticks));
+  ctx.PrintHeader(params);
+
+  const std::vector<double> skews = {0.0, 0.2, 0.4, 0.6, 0.8, 0.99};
+  std::vector<std::vector<AlgorithmRunResult>> all_results;
+  for (double skew : skews) {
+    ZipfTraceConfig trace;
+    trace.layout = StateLayout::Paper();
+    trace.num_ticks = ticks;
+    trace.updates_per_tick = rate;
+    trace.theta = skew;
+    all_results.push_back(bench::RunZipf(trace, SimulationOptions{}));
+    std::fprintf(stderr, "  skew %.2f done\n", skew);
+  }
+
+  auto print_metric = [&](const char* title,
+                          double (*metric)(const AlgorithmRunResult&)) {
+    std::vector<std::string> headers = {"skew"};
+    for (AlgorithmKind kind : AllAlgorithms()) {
+      headers.push_back(GetTraits(kind).short_name);
+    }
+    TablePrinter table(headers);
+    for (size_t s = 0; s < skews.size(); ++s) {
+      std::vector<std::string> row = {TablePrinter::Num(skews[s], 2)};
+      for (const auto& result : all_results[s]) {
+        row.push_back(bench::Sec(metric(result)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("\n%s\n", title);
+    bench::Emit(table, ctx.csv());
+  };
+
+  print_metric("Figure 4(a): average overhead time per tick",
+               [](const AlgorithmRunResult& r) {
+                 return r.avg_overhead_seconds;
+               });
+  print_metric("Figure 4(b): average time to checkpoint",
+               [](const AlgorithmRunResult& r) {
+                 return r.avg_checkpoint_seconds;
+               });
+  print_metric("Figure 4(c): estimated recovery time",
+               [](const AlgorithmRunResult& r) { return r.recovery_seconds; });
+
+  std::printf(
+      "\n# paper 4(a): naive unaffected (lowest at this rate); others within "
+      "2.5x; cou-family benefits most from skew (fewer distinct dirty "
+      "objects)\n"
+      "# paper 4(b): most methods ~constant; partial-redo checkpoint time "
+      "falls with skew\n"
+      "# paper 4(c): partial-redo recovery falls 7.3 s -> 6.3 s with skew; "
+      "others flat ~1.4 s\n");
+  ctx.Finish();
+  return 0;
+}

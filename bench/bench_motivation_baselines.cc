@@ -1,0 +1,75 @@
+// The paper's motivating comparison (Sections 1, 2.2 and 7): why not
+// ARIES-style physical logging, and why not K-safety replication? This
+// harness quantifies both against checkpoint recovery on the Table 3
+// hardware across MMO update rates.
+#include "bench/bench_util.h"
+#include "model/baselines.h"
+#include "model/cost_model.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_motivation_baselines",
+                          "Paper Sections 1/2.2/7: physical logging and "
+                          "K-safety vs checkpoint recovery");
+  ctx.PrintHeader("Table 3 hardware (60 MB/s disk, 30 Hz ticks)");
+
+  const HardwareParams hw = HardwareParams::Paper();
+  const CostModel cost(hw);
+  const StateLayout layout = StateLayout::Paper();
+  PhysicalLoggingModel aries;
+  LogicalLoggingModel logical;
+
+  {
+    TablePrinter table({"updates/tick", "updates/sec", "ARIES log bandwidth",
+                        "feasible on 60 MB/s?", "logical log bandwidth"});
+    for (uint64_t rate : {1000, 8000, 64000, 256000, 1000000}) {
+      const double per_second = static_cast<double>(rate) * hw.tick_hz;
+      const double aries_bw = aries.RequiredBandwidth(per_second);
+      const double logical_bw = logical.RequiredBandwidth(per_second);
+      table.AddRow({std::to_string(rate),
+                    TablePrinter::Num(per_second / 1e6, 2) + "M",
+                    TablePrinter::Num(aries_bw / 1e6, 1) + " MB/s",
+                    aries_bw <= hw.disk_bandwidth ? "yes" : "NO",
+                    TablePrinter::Num(logical_bw / 1e6, 2) + " MB/s"});
+    }
+    std::printf("\nLogging bandwidth at MMO update rates\n");
+    bench::Emit(table, ctx.csv());
+    std::printf(
+        "\nmax sustainable with ARIES on this disk: %.0f updates/tick "
+        "(and that leaves zero bandwidth for anything else)\n",
+        aries.MaxUpdatesPerTick(hw));
+  }
+
+  {
+    TablePrinter table({"architecture", "servers/shard", "utilization",
+                        "downtime after failure", "state lost"});
+    table.AddRow({"checkpoint recovery (this paper)", "1", "100%",
+                  bench::Sec(2 * cost.SequentialReadSeconds(
+                                     layout.num_objects())) +
+                      " (restore+replay)",
+                  "none (logical log replays to the crash tick)"});
+    for (uint32_t k : {2u, 3u}) {
+      KSafetyModel ksafety{k};
+      table.AddRow({"K-safety, K=" + std::to_string(k), std::to_string(k),
+                    TablePrinter::Num(ksafety.Utilization() * 100, 0) + "%",
+                    bench::Sec(ksafety.RecoverySeconds()) + " (failover)",
+                    "none (K-1 live copies)"});
+    }
+    table.AddRow({"ARIES DBMS back-end", "1 (+DB server)", "100%",
+                  "minutes (log replay)",
+                  "none, but update rate capped as above"});
+    std::printf("\nArchitecture comparison (paper Sections 2.2 and 7)\n");
+    bench::Emit(table, ctx.csv());
+  }
+
+  std::printf(
+      "\n# paper: character movement alone generates hundreds of thousands "
+      "of updates per second; ARIES-style logging saturates commodity disk "
+      "bandwidth, and MMO operators instead bought $90,000 RAM-SSDs (EVE "
+      "Online) or sharded harder. K-safety keeps availability high but "
+      "wastes (K-1)/K of the fleet; checkpoint recovery trades a few "
+      "seconds of downtime for full utilization on stock hardware.\n");
+  ctx.Finish();
+  return 0;
+}

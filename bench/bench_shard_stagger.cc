@@ -1,0 +1,64 @@
+// Extension (paper Sections 2 and 8 future work): multiple shards per
+// persistence disk. K shards share one recovery disk; if their checkpoints
+// run simultaneously each sees Bdisk/K and every checkpoint stretches K-fold
+// -- staggering the shard checkpoint schedule restores full-bandwidth
+// writes as long as K * Tcheckpoint fits in the checkpoint period.
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_shard_stagger",
+                          "Extension: K shards sharing one persistence disk "
+                          "(synchronized vs staggered checkpoints)");
+  const double state_mb = ctx.flags().GetDouble("state-mb", 40.0);
+  char params[96];
+  std::snprintf(params, sizeof(params),
+                "%.0f MB state per shard, Table 3 disk", state_mb);
+  ctx.PrintHeader(params);
+
+  const HardwareParams hw = HardwareParams::Paper();
+  StateLayout layout = StateLayout::Paper();
+  layout.rows = static_cast<uint64_t>(state_mb * 1e6 /
+                                      (layout.cols * layout.cell_size));
+  const CostModel cost(hw);
+  const double solo_checkpoint =
+      cost.DoubleBackupWriteSeconds(layout.num_objects());
+
+  TablePrinter table({"shards on disk", "ckpt time (synchronized)",
+                      "ckpt period/shard (staggered)",
+                      "ckpt time (staggered)", "recovery (sync'd)",
+                      "recovery (staggered)"});
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    // Synchronized: all K shards write together, each at Bdisk/K.
+    const double sync_ckpt = solo_checkpoint * k;
+    // Staggered: shard i starts at offset i*T; each writes alone at full
+    // bandwidth, at the cost of a K-times longer period between a shard's
+    // own checkpoints (more ticks to replay after a crash).
+    const double staggered_period = solo_checkpoint * k;
+    const double staggered_ckpt = solo_checkpoint;
+    // Recovery = restore (full read at full bandwidth; the disk serves one
+    // recovering shard) + replay of one checkpoint interval.
+    const double restore = cost.SequentialReadSeconds(layout.num_objects());
+    const double recovery_sync = restore + sync_ckpt;
+    const double recovery_staggered = restore + staggered_period;
+    table.AddRow({std::to_string(k), bench::Sec(sync_ckpt),
+                  bench::Sec(staggered_period), bench::Sec(staggered_ckpt),
+                  bench::Sec(recovery_sync),
+                  bench::Sec(recovery_staggered)});
+  }
+  std::printf("\n");
+  bench::Emit(table, ctx.csv());
+
+  std::printf(
+      "\n# reading: with synchronized checkpoints every shard's write "
+      "stretches K-fold AND the replay interval grows K-fold; staggering "
+      "keeps each write short (better for the in-memory copy-on-update "
+      "window: fewer pre-image copies) while recovery time is dominated by "
+      "the shared-period replay either way -- at ~16 shards per 60 MB/s "
+      "disk, per-shard recovery passes the minute mark, matching the "
+      "paper's note that shard counts multiply hardware costs\n");
+  ctx.Finish();
+  return 0;
+}

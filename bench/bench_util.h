@@ -1,0 +1,81 @@
+// Shared plumbing for the benchmark harnesses: flag handling, uniform
+// headers, and formatting of per-algorithm results.
+//
+// Every harness prints (1) a header naming the paper table/figure it
+// regenerates, (2) the parameters in effect, (3) aligned result tables, and
+// (4) `# paper:` reference lines quoting the numbers/shapes the paper
+// reports, so the output is directly comparable.
+#ifndef TICKPOINT_BENCH_BENCH_UTIL_H_
+#define TICKPOINT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "trace/zipf_source.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace tickpoint {
+namespace bench {
+
+/// Parses flags, handles --help, and rejects unknown flags at exit.
+class BenchContext {
+ public:
+  BenchContext(int argc, char** argv, const std::string& name,
+               const std::string& description)
+      : name_(name), description_(description) {
+    TP_CHECK_OK(flags_.Parse(argc, argv));
+  }
+
+  Flags& flags() { return flags_; }
+  bool csv() { return flags_.GetBool("csv", false); }
+
+  /// Prints the harness banner.
+  void PrintHeader(const std::string& parameters) {
+    std::printf("==================================================\n");
+    std::printf("%s\n", name_.c_str());
+    std::printf("%s\n", description_.c_str());
+    std::printf("parameters: %s\n", parameters.c_str());
+    std::printf("==================================================\n");
+  }
+
+  /// Call at exit: warns about typo'd flags.
+  void Finish() {
+    for (const std::string& key : flags_.UnusedKeys()) {
+      std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Flags flags_;
+};
+
+/// Prints a results table in text or CSV form.
+inline void Emit(TablePrinter& table, bool csv) {
+  if (csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+}
+
+/// Runs all six algorithms over a Zipf trace and returns the results.
+inline std::vector<AlgorithmRunResult> RunZipf(const ZipfTraceConfig& trace,
+                                               const SimulationOptions& options) {
+  ZipfUpdateSource source(trace);
+  return RunSimulation(options, AllAlgorithms(), &source);
+}
+
+/// "0.85 ms"-style cell for a seconds value.
+inline std::string Sec(double seconds) {
+  return TablePrinter::Seconds(seconds);
+}
+
+}  // namespace bench
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_BENCH_BENCH_UTIL_H_

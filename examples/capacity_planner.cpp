@@ -1,0 +1,88 @@
+// Capacity planning: calibrate the cost model on THIS machine, then predict
+// checkpoint latency, throughput overhead, and recovery time for a shard
+// configuration you are designing -- the workflow paper Section 4.2's model
+// enables without owning the production hardware.
+//
+//   build/examples/capacity_planner [state_mb] [updates_per_tick]
+#include <cstdio>
+#include <cstdlib>
+
+#include "calib/microbench.h"
+#include "model/cost_model.h"
+#include "sim/simulator.h"
+#include "trace/zipf_source.h"
+#include "util/table_printer.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  const double state_mb = argc > 1 ? std::strtod(argv[1], nullptr) : 80.0;
+  const uint64_t rate =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 24000;
+
+  // 1. Calibrate this host (quick settings; see bench_table3_calibration
+  //    for the full run).
+  std::printf("calibrating host...\n");
+  CalibrationOptions calib;
+  calib.mem_iterations = 3;
+  calib.small_copy_count = 50000;
+  calib.lock_ops = 200000;
+  calib.bit_ops = 2000000;
+  calib.disk_write_bytes = 64ull << 20;
+  auto measured_or = RunCalibration(calib);
+  TP_CHECK_OK(measured_or.status());
+  HardwareParams hw = measured_or->ToHardwareParams();
+  std::printf("  %s\n\n", hw.ToString().c_str());
+
+  // 2. Describe the shard: state size -> table geometry.
+  StateLayout layout = StateLayout::Paper();
+  layout.rows = static_cast<uint64_t>(state_mb * 1e6 /
+                                      (layout.cols * layout.cell_size));
+  std::printf("shard: %.1f MB state (%llu objects), %llu updates/tick at "
+              "%.0f Hz\n\n",
+              layout.state_bytes() / 1e6,
+              static_cast<unsigned long long>(layout.num_objects()),
+              static_cast<unsigned long long>(rate), hw.tick_hz);
+
+  // 3. Closed-form model answers (before any simulation).
+  const CostModel cost(hw);
+  std::printf("closed-form model:\n");
+  std::printf("  full checkpoint write: %s\n",
+              TablePrinter::Seconds(
+                  cost.DoubleBackupWriteSeconds(layout.num_objects()))
+                  .c_str());
+  std::printf("  eager full-state pause: %s (latency limit %s)\n",
+              TablePrinter::Seconds(
+                  cost.SyncCopySeconds(layout.num_objects(), 1))
+                  .c_str(),
+              TablePrinter::Seconds(hw.LatencyLimitSeconds()).c_str());
+  std::printf("  full-state restore: %s\n\n",
+              TablePrinter::Seconds(
+                  cost.SequentialReadSeconds(layout.num_objects()))
+                  .c_str());
+
+  // 4. Simulate the six algorithms on the projected workload.
+  ZipfTraceConfig trace;
+  trace.layout = layout;
+  trace.num_ticks = 200;
+  trace.updates_per_tick = rate;
+  trace.theta = 0.8;
+  ZipfUpdateSource source(trace);
+  SimulationOptions options;
+  options.hw = hw;
+  auto results = RunSimulation(options, AllAlgorithms(), &source);
+
+  TablePrinter table({"algorithm", "avg overhead/tick", "peak pause",
+                      "checkpoint", "recovery", "fits latency budget"});
+  for (const auto& result : results) {
+    const double peak = result.metrics.tick_overhead.Max();
+    table.AddRow({AlgorithmName(result.kind),
+                  TablePrinter::Seconds(result.avg_overhead_seconds),
+                  TablePrinter::Seconds(peak),
+                  TablePrinter::Seconds(result.avg_checkpoint_seconds),
+                  TablePrinter::Seconds(result.recovery_seconds),
+                  peak <= hw.LatencyLimitSeconds() ? "yes" : "NO"});
+  }
+  table.Print();
+  return 0;
+}

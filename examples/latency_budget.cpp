@@ -1,0 +1,81 @@
+// Latency budgeting: drive CheckpointSim tick by tick (the low-level API)
+// to find the highest update rate at which each algorithm still respects
+// the half-tick latency limit -- the go/no-go analysis an MMO team would
+// run before picking a persistence strategy (paper Sections 5.2 and 8).
+//
+//   build/examples/latency_budget
+#include <cstdio>
+
+#include "core/sim_executor.h"
+#include "trace/zipf_source.h"
+#include "util/table_printer.h"
+
+using namespace tickpoint;
+
+namespace {
+
+// Peak tick pause at a given update rate (runs a short simulation).
+double PeakPause(AlgorithmKind kind, uint64_t rate) {
+  const StateLayout layout = StateLayout::Paper();
+  CheckpointSim sim(kind, layout, HardwareParams::Paper());
+  ZipfTraceConfig trace;
+  trace.layout = layout;
+  trace.num_ticks = 90;  // a few checkpoint cycles
+  trace.updates_per_tick = rate;
+  trace.theta = 0.8;
+  ZipfUpdateSource source(trace);
+
+  // The manual driving loop: BeginTick / OnCellUpdate / EndTick. A game
+  // server embedding the simulator for capacity planning would do exactly
+  // this with its own predicted update stream.
+  std::vector<TraceCell> cells;
+  while (source.NextTick(&cells)) {
+    sim.BeginTick();
+    for (TraceCell cell : cells) sim.OnCellUpdate(cell);
+    sim.EndTick();
+  }
+  return sim.metrics().tick_overhead.Max();
+}
+
+}  // namespace
+
+int main() {
+  const HardwareParams hw = HardwareParams::Paper();
+  const double limit = hw.LatencyLimitSeconds();
+  std::printf("half-tick latency limit at %.0f Hz: %s\n", hw.tick_hz,
+              TablePrinter::Seconds(limit).c_str());
+
+  TablePrinter table({"algorithm", "max rate within limit",
+                      "peak pause at that rate", "peak pause at 64K"});
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    // Binary-search the largest updates/tick whose peak pause fits the
+    // half-tick budget.
+    uint64_t lo = 0, hi = 512000;
+    while (lo < hi) {
+      const uint64_t mid = (lo + hi + 1) / 2;
+      if (PeakPause(kind, mid) <= limit) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    std::string max_rate = std::to_string(lo);
+    if (lo == 0 && PeakPause(kind, 0) > limit) {
+      max_rate = "none (pause > limit even when idle)";
+    } else if (lo >= 512000) {
+      max_rate = ">512000";
+    }
+    table.AddRow({AlgorithmName(kind), max_rate,
+                  TablePrinter::Seconds(PeakPause(kind, lo)),
+                  TablePrinter::Seconds(PeakPause(kind, 64000))});
+    std::printf("."); std::fflush(stdout);
+  }
+  std::printf("\n\n");
+  table.Print();
+  std::printf(
+      "\nReading: eager methods blow the budget as soon as the dirty set "
+      "approaches the full state (their pause is one big memcpy); "
+      "copy-on-update methods degrade gradually because their overhead is "
+      "spread across the ticks of a checkpoint (paper Figure 3).\n");
+  return 0;
+}

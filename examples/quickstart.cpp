@@ -1,0 +1,69 @@
+// Quickstart: evaluate the six checkpoint-recovery algorithms on a
+// synthetic MMO workload and print the paper's three decision metrics.
+//
+//   build/examples/quickstart
+//
+// This is the 60-second tour of the library: build a workload (an
+// UpdateSource), pick hardware parameters, run the simulator, read results.
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "trace/zipf_source.h"
+#include "util/table_printer.h"
+
+using namespace tickpoint;
+
+int main() {
+  // 1. A workload: 10M-cell game state, 16K cell updates per tick with
+  //    Zipf(0.8) skew -- a mid-size MMO shard under load.
+  ZipfTraceConfig trace;
+  trace.layout = StateLayout::Paper();  // 1M rows x 10 attrs x 4 B = 40 MB
+  trace.num_ticks = 300;
+  trace.updates_per_tick = 16000;
+  trace.theta = 0.8;
+  ZipfUpdateSource source(trace);
+
+  // 2. Hardware: the paper's Table 3 server (swap in calibrated values from
+  //    bench_table3_calibration to model your own machine).
+  SimulationOptions options;
+  options.hw = HardwareParams::Paper();
+
+  // 3. Run all six algorithms in lockstep over the same trace.
+  auto results = RunSimulation(options, AllAlgorithms(), &source);
+
+  // 4. Read the three metrics that matter for an MMO (paper Section 5).
+  TablePrinter table({"algorithm", "avg overhead/tick", "peak tick pause",
+                      "time to checkpoint", "recovery time"});
+  for (const auto& result : results) {
+    table.AddRow({AlgorithmName(result.kind),
+                  TablePrinter::Seconds(result.avg_overhead_seconds),
+                  TablePrinter::Seconds(result.metrics.tick_overhead.Max()),
+                  TablePrinter::Seconds(result.avg_checkpoint_seconds),
+                  TablePrinter::Seconds(result.recovery_seconds)});
+  }
+  table.Print();
+
+  // 5. The paper's recommendation, recomputed from this run: the method
+  //    with the best latency among those with near-best recovery.
+  const double latency_limit = options.hw.LatencyLimitSeconds();
+  const AlgorithmRunResult* best = nullptr;
+  double best_recovery = 1e300;
+  for (const auto& r : results) best_recovery = std::min(best_recovery, r.recovery_seconds);
+  for (const auto& result : results) {
+    if (result.recovery_seconds > 1.5 * best_recovery) continue;
+    if (best == nullptr ||
+        result.metrics.tick_overhead.Max() <
+            best->metrics.tick_overhead.Max()) {
+      best = &result;
+    }
+  }
+  std::printf("\nRecommended for this workload: %s\n",
+              AlgorithmName(best->kind));
+  std::printf("  peak pause %s vs half-tick latency limit %s\n",
+              TablePrinter::Seconds(best->metrics.tick_overhead.Max()).c_str(),
+              TablePrinter::Seconds(latency_limit).c_str());
+  std::printf(
+      "  (paper Section 8: Copy-on-Update is the best method in terms of "
+      "both latency and recovery time)\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "calib/microbench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "engine/dirty_map.h"
+#include "util/bitvec.h"
+#include "util/io.h"
+#include "util/random.h"
+
+namespace tickpoint {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Prevents the optimizer from discarding a computed value or hoisting the
+// work out of timing loops.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+}  // namespace
+
+HardwareParams CalibrationResult::ToHardwareParams() const {
+  HardwareParams hw = HardwareParams::Paper();
+  hw.mem_bandwidth = mem_bandwidth;
+  hw.mem_latency = mem_latency;
+  hw.lock_overhead = lock_overhead;
+  hw.bit_overhead = bit_overhead;
+  hw.disk_bandwidth = disk_bandwidth;
+  return hw;
+}
+
+double MeasureMemoryBandwidth(uint64_t buffer_bytes, uint64_t iterations) {
+  std::vector<uint8_t> src(buffer_bytes, 0x5A);
+  std::vector<uint8_t> dst(buffer_bytes);
+  // Warm both buffers (page faults out of the timing loop).
+  std::memcpy(dst.data(), src.data(), buffer_bytes);
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    std::memcpy(dst.data(), src.data(), buffer_bytes);
+    DoNotOptimize(dst.data()[i % buffer_bytes]);
+  }
+  const double seconds = SecondsSince(t0);
+  return static_cast<double>(buffer_bytes * iterations) / seconds;
+}
+
+double MeasureMemoryLatency(uint64_t samples, uint64_t copy_bytes,
+                            double mem_bandwidth) {
+  // Small copies with "memory reference patterns mixing sequential and
+  // random access" (paper Section 4.3): the game's copy-on-update touches
+  // both hot (recently updated, cache-resident) and cold objects. The
+  // measured per-call time is startup + amortized miss latency + transfer;
+  // the transfer component (copy_bytes / Bmem) is subtracted out.
+  const uint64_t buffer_bytes = 64ull << 20;  // a game-state-sized buffer
+  std::vector<uint8_t> src(buffer_bytes, 1);
+  std::vector<uint8_t> dst(copy_bytes * 2);
+  Rng rng(7);
+  const uint64_t slots = buffer_bytes / copy_bytes - 1;
+  // Pre-draw offsets so RNG cost stays out of the loop: alternate a random
+  // jump with a sequential neighbor access.
+  std::vector<uint64_t> offsets(samples);
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    if (i % 2 == 0) {
+      offsets[i] = rng.Uniform(slots) * copy_bytes;
+    } else {
+      offsets[i] = (offsets[i - 1] + copy_bytes) % (slots * copy_bytes);
+    }
+  }
+  const auto t0 = Clock::now();
+  for (uint64_t offset : offsets) {
+    std::memcpy(dst.data(), src.data() + offset, copy_bytes);
+    DoNotOptimize(dst.data()[0]);
+  }
+  const double per_call = SecondsSince(t0) / static_cast<double>(samples);
+  const double transfer = static_cast<double>(copy_bytes) / mem_bandwidth;
+  return per_call > transfer ? per_call - transfer : 0.0;
+}
+
+double MeasureLockOverhead(uint64_t ops) {
+  // Uncontested acquire/release over a spread of lock words (mixed access
+  // pattern, as in the paper).
+  ObjectLockTable locks(4096);
+  Rng rng(11);
+  std::vector<uint32_t> indices(ops % 65536 + 65536);
+  for (auto& index : indices) {
+    index = static_cast<uint32_t>(rng.Uniform(4096));
+  }
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint32_t index = indices[i % indices.size()];
+    locks.Lock(index);
+    locks.Unlock(index);
+  }
+  const double seconds = SecondsSince(t0);
+  DoNotOptimize(indices.data()[0]);
+  return seconds / static_cast<double>(ops);
+}
+
+double MeasureBitOverhead(uint64_t ops) {
+  // Incremental cost of the dirty-bit check in the update loop: walk a
+  // value array (the baseline memory traffic of an update phase), then the
+  // same walk plus a bit test on a map with roughly half the bits set.
+  const uint64_t n = 1 << 20;
+  std::vector<uint32_t> values(n, 3);
+  BitVector bits(n);
+  for (uint64_t i = 0; i < n; i += 2) bits.Set(i);
+
+  uint64_t sum = 0;
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    sum += values[i & (n - 1)];
+  }
+  DoNotOptimize(sum);
+  const double baseline = SecondsSince(t0);
+
+  uint64_t dirty = 0;
+  sum = 0;
+  const auto t1 = Clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t index = i & (n - 1);
+    sum += values[index];
+    dirty += bits.Get(index);
+  }
+  DoNotOptimize(sum);
+  DoNotOptimize(dirty);
+  const double with_bits = SecondsSince(t1);
+  const double delta = with_bits - baseline;
+  return delta > 0 ? delta / static_cast<double>(ops) : 0.0;
+}
+
+StatusOr<double> MeasureDiskBandwidth(const std::string& dir,
+                                      uint64_t total_bytes) {
+  const std::string path = dir + "/tickpoint_disk_calibration.tmp";
+  const uint64_t chunk_bytes = 8ull << 20;
+  std::vector<uint8_t> chunk(chunk_bytes, 0xA5);
+  FileWriter writer;
+  TP_RETURN_NOT_OK(writer.Open(path));
+  const auto t0 = Clock::now();
+  uint64_t written = 0;
+  while (written < total_bytes) {
+    const uint64_t this_chunk = std::min(chunk_bytes, total_bytes - written);
+    TP_RETURN_NOT_OK(writer.Append(chunk.data(), this_chunk));
+    written += this_chunk;
+  }
+  TP_RETURN_NOT_OK(writer.Sync());
+  const double seconds = SecondsSince(t0);
+  TP_RETURN_NOT_OK(writer.Close());
+  TP_RETURN_NOT_OK(RemoveFileIfExists(path));
+  return static_cast<double>(total_bytes) / seconds;
+}
+
+StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& options) {
+  CalibrationResult result;
+  result.mem_bandwidth =
+      MeasureMemoryBandwidth(options.mem_buffer_bytes, options.mem_iterations);
+  result.mem_latency = MeasureMemoryLatency(
+      options.small_copy_count, options.small_copy_bytes,
+      result.mem_bandwidth);
+  result.lock_overhead = MeasureLockOverhead(options.lock_ops);
+  result.bit_overhead = MeasureBitOverhead(options.bit_ops);
+  TP_ASSIGN_OR_RETURN(result.disk_bandwidth,
+                      MeasureDiskBandwidth(options.disk_dir,
+                                           options.disk_write_bytes));
+  return result;
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,66 @@
+// Host calibration micro-benchmarks (paper Section 4.3 / Table 3).
+//
+// The paper measured its cost-model parameters "for one particular server
+// in our lab, using a collection of micro-benchmarks written for the
+// purpose". These are those micro-benchmarks:
+//   - Bmem: repeated aligned memcpy, each call an order of magnitude larger
+//     than the L2 cache;
+//   - Omem: small-memcpy startup cost with mixed sequential/random access
+//     (hardware cache-miss latency + memcpy startup);
+//   - Olock: aggregate cost of uncontested spinlock acquire/release with
+//     mixed access patterns;
+//   - Obit: incremental cost of naive dirty-bit counting (roughly half the
+//     bits set) added to a loop modeling the update phase;
+//   - Bdisk: large sequential writes to a file on the target device.
+#ifndef TICKPOINT_CALIB_MICROBENCH_H_
+#define TICKPOINT_CALIB_MICROBENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/hardware.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Calibration tuning. Defaults finish in a few seconds.
+struct CalibrationOptions {
+  uint64_t mem_buffer_bytes = 64ull << 20;   // per memcpy call
+  uint64_t mem_iterations = 8;
+  uint64_t small_copy_count = 200000;        // Omem samples
+  uint64_t small_copy_bytes = 512;           // one atomic object
+  uint64_t lock_ops = 1000000;
+  uint64_t bit_ops = 8000000;
+  uint64_t disk_write_bytes = 256ull << 20;
+  std::string disk_dir = "/tmp";
+};
+
+/// Measured values, in the units of HardwareParams.
+struct CalibrationResult {
+  double mem_bandwidth = 0.0;   // bytes/s
+  double mem_latency = 0.0;     // s per small-copy startup
+  double lock_overhead = 0.0;   // s per uncontested lock/unlock pair
+  double bit_overhead = 0.0;    // s per dirty-bit test
+  double disk_bandwidth = 0.0;  // bytes/s
+
+  /// HardwareParams with the measured values substituted (tick rate and
+  /// object size keep the paper's settings).
+  HardwareParams ToHardwareParams() const;
+};
+
+/// Runs all five micro-benchmarks. The disk benchmark writes (and removes)
+/// a scratch file under options.disk_dir.
+StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& options);
+
+// Individual benchmarks (exposed for tests).
+double MeasureMemoryBandwidth(uint64_t buffer_bytes, uint64_t iterations);
+double MeasureMemoryLatency(uint64_t samples, uint64_t copy_bytes,
+                            double mem_bandwidth);
+double MeasureLockOverhead(uint64_t ops);
+double MeasureBitOverhead(uint64_t ops);
+StatusOr<double> MeasureDiskBandwidth(const std::string& dir,
+                                      uint64_t total_bytes);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_CALIB_MICROBENCH_H_

@@ -1,0 +1,67 @@
+#include "core/algorithm.h"
+
+#include "util/status.h"
+
+namespace tickpoint {
+namespace {
+
+constexpr AlgorithmTraits kTraits[] = {
+    {AlgorithmKind::kNaiveSnapshot, "Naive-Snapshot", "naive",
+     /*eager_copy=*/true, /*dirty_only=*/false, DiskOrganization::kDoubleBackup,
+     /*partial_redo=*/false,
+     "All objects", "All objects, double backup", "No-op", "No-op"},
+    {AlgorithmKind::kDribble, "Dribble-and-Copy-on-Update", "dribble",
+     /*eager_copy=*/false, /*dirty_only=*/false, DiskOrganization::kLog,
+     /*partial_redo=*/false,
+     "No-op", "No-op", "First touched, all", "All objects, log"},
+    {AlgorithmKind::kAtomicCopyDirty, "Atomic-Copy-Dirty-Objects",
+     "atomic-copy",
+     /*eager_copy=*/true, /*dirty_only=*/true, DiskOrganization::kDoubleBackup,
+     /*partial_redo=*/false,
+     "Dirty objects", "Dirty objects, double backup", "No-op", "No-op"},
+    {AlgorithmKind::kPartialRedo, "Partial-Redo", "partial-redo",
+     /*eager_copy=*/true, /*dirty_only=*/true, DiskOrganization::kLog,
+     /*partial_redo=*/true,
+     "Dirty objects", "Dirty objects, log", "No-op", "No-op"},
+    {AlgorithmKind::kCopyOnUpdate, "Copy-on-Update", "cou",
+     /*eager_copy=*/false, /*dirty_only=*/true, DiskOrganization::kDoubleBackup,
+     /*partial_redo=*/false,
+     "No-op", "No-op", "First touched, dirty", "Dirty objects, double backup"},
+    {AlgorithmKind::kCopyOnUpdatePartialRedo, "Copy-on-Update-Partial-Redo",
+     "cou-partial-redo",
+     /*eager_copy=*/false, /*dirty_only=*/true, DiskOrganization::kLog,
+     /*partial_redo=*/true,
+     "No-op", "No-op", "First touched, dirty", "Dirty objects, log"},
+};
+
+}  // namespace
+
+const AlgorithmTraits& GetTraits(AlgorithmKind kind) {
+  const int index = static_cast<int>(kind);
+  TP_CHECK(index >= 0 && index < 6);
+  TP_CHECK(kTraits[index].kind == kind);
+  return kTraits[index];
+}
+
+const std::vector<AlgorithmKind>& AllAlgorithms() {
+  static const std::vector<AlgorithmKind> all = {
+      AlgorithmKind::kNaiveSnapshot,
+      AlgorithmKind::kDribble,
+      AlgorithmKind::kAtomicCopyDirty,
+      AlgorithmKind::kPartialRedo,
+      AlgorithmKind::kCopyOnUpdate,
+      AlgorithmKind::kCopyOnUpdatePartialRedo,
+  };
+  return all;
+}
+
+const char* AlgorithmName(AlgorithmKind kind) { return GetTraits(kind).name; }
+
+std::optional<AlgorithmKind> ParseAlgorithm(const std::string& name) {
+  for (const AlgorithmTraits& traits : kTraits) {
+    if (name == traits.name || name == traits.short_name) return traits.kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tickpoint

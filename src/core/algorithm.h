@@ -1,0 +1,68 @@
+// The checkpoint-recovery algorithm design space (paper Tables 1 and 2).
+//
+// Algorithms differ along three axes:
+//   - in-memory copy timing: eager copy at the end of a tick vs
+//     copy-on-update while an asynchronous flush is running,
+//   - objects copied: all objects vs only dirty objects,
+//   - disk organization: double backup (two alternating in-place images)
+//     vs an append-only log (requiring periodic full flushes and log
+//     read-back at recovery -- the "partial redo" family).
+#ifndef TICKPOINT_CORE_ALGORITHM_H_
+#define TICKPOINT_CORE_ALGORITHM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tickpoint {
+
+/// The six algorithms evaluated by the paper.
+enum class AlgorithmKind {
+  kNaiveSnapshot = 0,
+  kDribble,             // Dribble-and-Copy-on-Update
+  kAtomicCopyDirty,     // Atomic-Copy-Dirty-Objects
+  kPartialRedo,
+  kCopyOnUpdate,
+  kCopyOnUpdatePartialRedo,
+};
+
+/// On-disk checkpoint organization.
+enum class DiskOrganization {
+  kDoubleBackup,
+  kLog,
+};
+
+/// Static classification of an algorithm (paper Table 1) plus its
+/// subroutine instantiations (paper Table 2).
+struct AlgorithmTraits {
+  AlgorithmKind kind;
+  const char* name;        // e.g. "Copy-on-Update"
+  const char* short_name;  // e.g. "cou"
+  bool eager_copy;         // true: copy at tick end; false: copy on update
+  bool dirty_only;         // true: dirty objects; false: all objects
+  DiskOrganization disk;
+  bool partial_redo;       // log-organized dirty writes: needs periodic full
+                           // flush + log read-back at recovery
+
+  // Human-readable Table 2 subroutine descriptions.
+  const char* copy_to_memory;
+  const char* write_copies;
+  const char* handle_update;
+  const char* write_objects;
+};
+
+/// Traits for one algorithm.
+const AlgorithmTraits& GetTraits(AlgorithmKind kind);
+
+/// All six algorithms in paper order.
+const std::vector<AlgorithmKind>& AllAlgorithms();
+
+/// Long name ("Naive-Snapshot", ...).
+const char* AlgorithmName(AlgorithmKind kind);
+
+/// Parses either the long or the short name; nullopt if unrecognized.
+std::optional<AlgorithmKind> ParseAlgorithm(const std::string& name);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_CORE_ALGORITHM_H_

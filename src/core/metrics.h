@@ -1,0 +1,73 @@
+// Metrics collected while simulating (or executing) a checkpoint algorithm.
+#ifndef TICKPOINT_CORE_METRICS_H_
+#define TICKPOINT_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace tickpoint {
+
+/// One completed checkpoint.
+struct CheckpointRecord {
+  uint64_t seq = 0;            // 0-based checkpoint number
+  uint64_t start_tick = 0;     // tick at whose end the checkpoint started
+  double start_time = 0.0;     // simulation seconds (after the sync copy)
+  double sync_seconds = 0.0;   // duration of the eager in-memory copy
+  double async_seconds = 0.0;  // duration of the asynchronous disk write
+  uint64_t objects_written = 0;
+  uint64_t bytes_written = 0;
+  bool all_objects = false;    // wrote the full state
+  bool full_flush = false;     // the periodic full flush of a partial-redo run
+  uint64_t cou_copies = 0;     // copy-on-update copies during this checkpoint
+
+  /// The paper's "time to checkpoint": Tsync + Tasync (Tsync is zero for
+  /// copy-on-update methods).
+  double TotalSeconds() const { return sync_seconds + async_seconds; }
+  double EndTime() const { return start_time + async_seconds; }
+};
+
+/// Full metrics of one simulated run.
+struct SimMetrics {
+  /// Overhead added to each tick, in seconds (index = tick number).
+  SampleSeries tick_overhead;
+  /// Completed checkpoints, in order.
+  std::vector<CheckpointRecord> checkpoints;
+
+  // Operation counters (used by tests and the micro-op accounting).
+  uint64_t updates = 0;
+  uint64_t bit_tests = 0;
+  uint64_t lock_acquisitions = 0;
+  uint64_t cou_copies = 0;
+  uint64_t eager_copied_objects = 0;
+
+  /// Mean per-tick overhead in seconds.
+  double AvgOverheadSeconds() const { return tick_overhead.Mean(); }
+
+  /// Mean time to checkpoint over completed checkpoints (0 if none).
+  double AvgCheckpointSeconds() const {
+    if (checkpoints.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& record : checkpoints) sum += record.TotalSeconds();
+    return sum / static_cast<double>(checkpoints.size());
+  }
+
+  /// Mean objects written per completed checkpoint. When `exclude_full` is
+  /// set, the periodic full flushes of partial-redo runs are skipped (this
+  /// is the `k` of the paper's restore-time formula).
+  double AvgObjectsPerCheckpoint(bool exclude_full) const {
+    double sum = 0.0;
+    uint64_t count = 0;
+    for (const auto& record : checkpoints) {
+      if (exclude_full && record.full_flush) continue;
+      sum += static_cast<double>(record.objects_written);
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_CORE_METRICS_H_

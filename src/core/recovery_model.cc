@@ -1,0 +1,33 @@
+#include "core/recovery_model.h"
+
+#include <algorithm>
+
+namespace tickpoint {
+
+RecoveryEstimate EstimateRecovery(const AlgorithmTraits& traits,
+                                  const SimMetrics& metrics,
+                                  const StateLayout& layout,
+                                  const CostModel& cost,
+                                  const SimParams& params) {
+  RecoveryEstimate estimate;
+  if (traits.partial_redo) {
+    // k = objects appended per incremental checkpoint (the periodic full
+    // flushes are not part of the read-back distance formula).
+    const double k = metrics.AvgObjectsPerCheckpoint(/*exclude_full=*/true);
+    estimate.restore_seconds = cost.PartialRedoRestoreSeconds(
+        k, params.full_flush_period, layout.num_objects());
+  } else {
+    estimate.restore_seconds =
+        cost.SequentialReadSeconds(layout.num_objects());
+  }
+  // Worst-case replay covers one checkpoint interval: with the paper's
+  // back-to-back policy that equals the checkpoint time; with a configured
+  // minimum interval the window can be wider.
+  estimate.replay_seconds =
+      std::max(metrics.AvgCheckpointSeconds(),
+               static_cast<double>(params.checkpoint_interval_ticks) *
+                   cost.hw().TickSeconds());
+  return estimate;
+}
+
+}  // namespace tickpoint

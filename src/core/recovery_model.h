@@ -1,0 +1,36 @@
+// Recovery-time estimation (paper Section 4.2, "Recovery time").
+#ifndef TICKPOINT_CORE_RECOVERY_MODEL_H_
+#define TICKPOINT_CORE_RECOVERY_MODEL_H_
+
+#include "core/algorithm.h"
+#include "core/metrics.h"
+#include "core/sim_executor.h"
+#include "model/cost_model.h"
+#include "model/layout.h"
+
+namespace tickpoint {
+
+/// Trecovery = Trestore + Treplay.
+struct RecoveryEstimate {
+  /// Time to read the newest complete checkpoint back from disk. Sequential
+  /// full-state read for double-backup / full-log schemes; for partial-redo
+  /// schemes the log is read back through up to C incremental checkpoints:
+  /// (k*C + n) * Sobj / Bdisk.
+  double restore_seconds = 0.0;
+  /// Worst-case replay of the logical log: the simulation redoes the work of
+  /// one checkpoint interval, which takes the time of one checkpoint.
+  double replay_seconds = 0.0;
+
+  double total_seconds() const { return restore_seconds + replay_seconds; }
+};
+
+/// Estimates recovery time from a finished simulation's metrics.
+RecoveryEstimate EstimateRecovery(const AlgorithmTraits& traits,
+                                  const SimMetrics& metrics,
+                                  const StateLayout& layout,
+                                  const CostModel& cost,
+                                  const SimParams& params);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_CORE_RECOVERY_MODEL_H_

@@ -1,0 +1,238 @@
+#include "core/sim_executor.h"
+
+namespace tickpoint {
+
+CheckpointSim::CheckpointSim(AlgorithmKind kind, const StateLayout& layout,
+                             const HardwareParams& hw, const SimParams& params)
+    : layout_(layout),
+      traits_(GetTraits(kind)),
+      cost_(hw),
+      params_(params),
+      copied_(layout.num_objects()),
+      write_set_(layout.num_objects()) {
+  TP_CHECK(layout_.Valid());
+  TP_CHECK(params_.full_flush_period >= 1);
+  if (traits_.dirty_only) {
+    last_update_.assign(layout_.num_objects(), 0);
+  }
+  const bool needs_rank =
+      traits_.disk == DiskOrganization::kLog || !params_.sorted_io;
+  if (needs_rank && traits_.dirty_only) {
+    rank_.assign(layout_.num_objects(), 0);
+  }
+}
+
+void CheckpointSim::BeginTick() {
+  TP_CHECK(!in_tick_);
+  in_tick_ = true;
+}
+
+void CheckpointSim::OnObjectUpdate(ObjectId object) {
+  TP_DCHECK(in_tick_);
+  TP_DCHECK(object < layout_.num_objects());
+  ++metrics_.updates;
+
+  // Naive-Snapshot: Handle-Update is a no-op -- no bits, no cost.
+  if (traits_.kind == AlgorithmKind::kNaiveSnapshot) return;
+
+  // All other algorithms maintain per-object bits on every update.
+  if (traits_.dirty_only) last_update_[object] = tick_ + 1;
+  double overhead = cost_.BitTestSeconds();
+  ++metrics_.bit_tests;
+
+  if (active_ && active_->cou_mode) {
+    const bool member = active_->all_objects || write_set_.Get(object);
+    if (member && !copied_.Get(object) && !FlushedAtTickStart(object)) {
+      // First touch of an unflushed member: lock out the writer and save
+      // the pre-image (Obit + Olock + Tsync(1), paper Section 4.2).
+      copied_.Set(object);
+      overhead += cost_.CopyOnUpdateTouchSeconds();
+      ++metrics_.lock_acquisitions;
+      ++metrics_.cou_copies;
+      ++active_->cou_copies;
+    }
+  }
+  tick_overhead_ += overhead;
+}
+
+bool CheckpointSim::FlushedAtTickStart(ObjectId object) const {
+  TP_DCHECK(active_.has_value());
+  // now_ is frozen at the (stretched) end of the previous tick while updates
+  // of the current tick are processed, so `elapsed` is the writer's progress
+  // when this tick started. A checkpoint started at the end of the previous
+  // tick has made no progress yet -- its first tick sees nothing flushed.
+  const double elapsed = now_ - active_->start_time;
+  if (elapsed <= 0.0 || active_->async_seconds <= 0.0) return false;
+  const uint64_t n = layout_.num_objects();
+  if (active_->org == DiskOrganization::kDoubleBackup && params_.sorted_io) {
+    // Sorted sweep: the head passes offsets 0..n over the full duration.
+    const double head = elapsed / active_->async_seconds *
+                        static_cast<double>(n);
+    return static_cast<double>(object) < head;
+  }
+  // Log (or unsorted) writers emit write-set members in offset order.
+  const double flushed = elapsed / active_->async_seconds *
+                         static_cast<double>(active_->objects);
+  const uint64_t rank = active_->all_objects
+                            ? object
+                            : static_cast<uint64_t>(rank_[object]);
+  return static_cast<double>(rank) < flushed;
+}
+
+void CheckpointSim::EndTick() {
+  TP_CHECK(in_tick_);
+  in_tick_ = false;
+
+  // The tick body: game logic fills the base tick length; recovery overhead
+  // stretches it (paper Section 5.1).
+  now_ += cost_.hw().TickSeconds() + tick_overhead_;
+
+  // End-of-tick checkpoint management.
+  if (active_ &&
+      active_->start_time + active_->async_seconds <= now_) {
+    CompleteActive();
+  }
+  const bool interval_elapsed =
+      checkpoint_count_ == 0 ||
+      tick_ >= last_start_tick_ + params_.checkpoint_interval_ticks;
+  if (!active_ && interval_elapsed) {
+    const double sync_pause = StartCheckpoint();
+    tick_overhead_ += sync_pause;
+    now_ += sync_pause;
+    active_->start_time = now_;
+    last_start_tick_ = tick_;
+  }
+
+  metrics_.tick_overhead.Add(tick_overhead_);
+  tick_overhead_ = 0.0;
+  ++tick_;
+}
+
+double CheckpointSim::StartCheckpoint() {
+  TP_CHECK(!active_.has_value());
+  ActiveCheckpoint ckpt;
+  ckpt.seq = checkpoint_count_++;
+  ckpt.start_tick = tick_;
+  ckpt.org = traits_.disk;
+  // The image is consistent as of the end of tick_: updates applied during
+  // tick_ carry stamp tick_ + 1 and are included.
+  const uint64_t boundary = tick_ + 1;
+
+  ckpt.full_flush = traits_.partial_redo &&
+                    (ckpt.seq % params_.full_flush_period == 0);
+
+  int backup = 0;
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    backup = next_backup_;
+    next_backup_ ^= 1;
+  }
+  const bool first_image = traits_.disk == DiskOrganization::kDoubleBackup
+                               ? !backup_written_[backup]
+                               : !log_written_;
+
+  const uint64_t n = layout_.num_objects();
+  uint64_t runs = 0;
+  if (!traits_.dirty_only || ckpt.full_flush || first_image) {
+    // Full-state checkpoint: all algorithms bootstrap with one (each backup
+    // file needs a complete base image before incremental writes).
+    ckpt.all_objects = true;
+    ckpt.objects = n;
+    runs = 1;
+  } else {
+    const uint64_t asof = traits_.disk == DiskOrganization::kDoubleBackup
+                              ? backup_asof_[backup]
+                              : log_asof_;
+    write_set_.Fill(false);
+    bool prev = false;
+    for (uint64_t o = 0; o < n; ++o) {
+      const bool member = last_update_[o] > asof;
+      if (member) {
+        write_set_.Set(o);
+        ++ckpt.objects;
+        if (!prev) ++runs;
+      }
+      prev = member;
+    }
+    ckpt.all_objects = false;
+  }
+
+  // Disk-offset ranks for writers that emit members in sequence.
+  const bool needs_rank =
+      (ckpt.org == DiskOrganization::kLog || !params_.sorted_io) &&
+      !ckpt.all_objects;
+  if (needs_rank) {
+    uint32_t next_rank = 0;
+    for (uint64_t o = 0; o < n; ++o) {
+      if (write_set_.Get(o)) rank_[o] = next_rank++;
+    }
+  }
+
+  // Advance the image boundary of the target organization.
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    backup_asof_[backup] = boundary;
+    backup_written_[backup] = true;
+  } else {
+    log_asof_ = boundary;
+    log_written_ = true;
+  }
+
+  // Asynchronous write duration (paper Section 4.2).
+  ckpt.bytes = ckpt.objects * layout_.object_size;
+  if (ckpt.org == DiskOrganization::kLog) {
+    ckpt.async_seconds = cost_.LogWriteSeconds(ckpt.objects);
+  } else if (params_.sorted_io) {
+    ckpt.async_seconds = cost_.DoubleBackupWriteSeconds(n);
+  } else {
+    ckpt.async_seconds = cost_.UnsortedWriteSeconds(ckpt.objects);
+  }
+
+  // Synchronous in-memory copy for eager algorithms. Partial-redo full
+  // flushes run as Dribble-and-Copy-on-Update: no eager copy.
+  ckpt.cou_mode = !traits_.eager_copy || ckpt.full_flush;
+  double sync_pause = 0.0;
+  if (!ckpt.cou_mode) {
+    sync_pause = cost_.SyncCopySeconds(ckpt.objects,
+                                       ckpt.all_objects ? 1 : runs);
+    metrics_.eager_copied_objects += ckpt.objects;
+  } else {
+    copied_.ClearAll();
+  }
+  ckpt.sync_seconds = sync_pause;
+
+  active_ = ckpt;
+  return sync_pause;
+}
+
+void CheckpointSim::CompleteActive() {
+  TP_CHECK(active_.has_value());
+  CheckpointRecord record;
+  record.seq = active_->seq;
+  record.start_tick = active_->start_tick;
+  record.start_time = active_->start_time;
+  record.sync_seconds = active_->sync_seconds;
+  record.async_seconds = active_->async_seconds;
+  record.objects_written = active_->objects;
+  record.bytes_written = active_->bytes;
+  record.all_objects = active_->all_objects;
+  record.full_flush = active_->full_flush;
+  record.cou_copies = active_->cou_copies;
+  metrics_.checkpoints.push_back(record);
+  active_.reset();
+}
+
+uint64_t CheckpointSim::active_write_count() const {
+  TP_CHECK(active_.has_value());
+  return active_->objects;
+}
+
+bool CheckpointSim::active_all_objects() const {
+  TP_CHECK(active_.has_value());
+  return active_->all_objects;
+}
+
+double CheckpointSim::active_async_seconds() const {
+  TP_CHECK(active_.has_value());
+  return active_->async_seconds;
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,155 @@
+// Simulated execution of the checkpointing algorithmic framework
+// (paper Section 4.1/4.2).
+//
+// CheckpointSim advances a simulation clock tick by tick over an update
+// stream. It maintains the algorithms' *real* bookkeeping (dirty stamps,
+// write sets, copy-on-update bits, async writer head position) but performs
+// no actual copying or I/O: every action is converted to seconds through the
+// CostModel, exactly like the paper's simulator.
+//
+// Lifecycle per tick (mirroring the paper's Checkpointing Algorithmic
+// Framework):
+//
+//   BeginTick();
+//   OnObjectUpdate(o);  // for every update in the tick: Handle-Update
+//   EndTick();          // end of game tick: complete a drained checkpoint,
+//                       // then start the next one (Copy-To-Memory pause +
+//                       // scheduling of the asynchronous writes)
+#ifndef TICKPOINT_CORE_SIM_EXECUTOR_H_
+#define TICKPOINT_CORE_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/metrics.h"
+#include "model/cost_model.h"
+#include "model/layout.h"
+#include "util/bitvec.h"
+
+namespace tickpoint {
+
+/// Tunables shared by all algorithms.
+struct SimParams {
+  /// `C`: a partial-redo run performs a full flush (executed as
+  /// Dribble-and-Copy-on-Update, paper Section 3.2) every C-th checkpoint.
+  uint64_t full_flush_period = 9;
+  /// Paper model: double-backup writes use the sorted full-rotation pattern.
+  /// false switches to per-object random writes (ablation).
+  bool sorted_io = true;
+  /// Minimum ticks between checkpoint starts. 0 reproduces the paper's
+  /// back-to-back policy ("take checkpoints as frequently as possible");
+  /// larger values trade overhead for a longer replay window at recovery.
+  uint64_t checkpoint_interval_ticks = 0;
+};
+
+/// Simulated run of one checkpoint algorithm.
+class CheckpointSim {
+ public:
+  CheckpointSim(AlgorithmKind kind, const StateLayout& layout,
+                const HardwareParams& hw, const SimParams& params = {});
+
+  /// Starts tick `current_tick()`. Must alternate with EndTick().
+  void BeginTick();
+
+  /// Handle-Update for one cell (converted to its atomic object).
+  void OnCellUpdate(CellId cell) {
+    OnObjectUpdate(layout_.ObjectOfCell(cell));
+  }
+
+  /// Handle-Update for one atomic object. May be called only between
+  /// BeginTick() and EndTick(). Repeated updates to an object are allowed
+  /// and each pays the bit-test cost.
+  void OnObjectUpdate(ObjectId object);
+
+  /// Ends the tick: advances the clock by the stretched tick length,
+  /// completes the active checkpoint if its asynchronous write drained, and
+  /// starts a new checkpoint (charging any synchronous copy as a pause on
+  /// the tick that just ended).
+  void EndTick();
+
+  AlgorithmKind kind() const { return traits_.kind; }
+  const AlgorithmTraits& traits() const { return traits_; }
+  const StateLayout& layout() const { return layout_; }
+  const CostModel& cost() const { return cost_; }
+  const SimParams& params() const { return params_; }
+  const SimMetrics& metrics() const { return metrics_; }
+
+  /// Simulation clock, seconds. Between ticks this is the stretched end of
+  /// the last tick.
+  double now() const { return now_; }
+  /// Index of the next tick to run.
+  uint64_t current_tick() const { return tick_; }
+  bool checkpoint_active() const { return active_.has_value(); }
+  /// Objects the active checkpoint will write (valid when active).
+  uint64_t active_write_count() const;
+  /// True if the active checkpoint writes the full state.
+  bool active_all_objects() const;
+  /// Asynchronous write duration of the active checkpoint, seconds.
+  double active_async_seconds() const;
+
+ private:
+  struct ActiveCheckpoint {
+    uint64_t seq = 0;
+    uint64_t start_tick = 0;
+    double start_time = 0.0;  // async write begins here (post sync copy)
+    double sync_seconds = 0.0;
+    double async_seconds = 0.0;
+    uint64_t objects = 0;
+    uint64_t bytes = 0;
+    bool all_objects = false;
+    bool full_flush = false;
+    bool cou_mode = false;  // Handle-Update performs copy on update
+    DiskOrganization org = DiskOrganization::kDoubleBackup;
+    uint64_t cou_copies = 0;
+  };
+
+  /// Starts a checkpoint; returns the synchronous pause in seconds.
+  double StartCheckpoint();
+  void CompleteActive();
+  /// Has the asynchronous writer already flushed `object`, as of the start
+  /// of the current tick?
+  bool FlushedAtTickStart(ObjectId object) const;
+
+  StateLayout layout_;
+  AlgorithmTraits traits_;
+  CostModel cost_;
+  SimParams params_;
+
+  double now_ = 0.0;
+  uint64_t tick_ = 0;
+  bool in_tick_ = false;
+  double tick_overhead_ = 0.0;
+
+  // Dirty tracking: stamp = tick+1 of the last update (dirty-only
+  // algorithms). An object is dirty w.r.t. an image boundary b iff
+  // last_update_[o] > b.
+  std::vector<uint64_t> last_update_;
+  // Copy-on-update "already saved this checkpoint" bits.
+  EpochVector copied_;
+  // Membership of the active checkpoint's write set (dirty-only).
+  BitVector write_set_;
+  // Rank of each member in disk-offset order (log-organized writers and the
+  // unsorted-I/O ablation).
+  std::vector<uint32_t> rank_;
+
+  // Double-backup bookkeeping: image boundary per backup, whether each
+  // backup holds a complete image yet, and which backup is written next.
+  uint64_t backup_asof_[2] = {0, 0};
+  bool backup_written_[2] = {false, false};
+  int next_backup_ = 0;
+  // Log bookkeeping.
+  uint64_t log_asof_ = 0;
+  bool log_written_ = false;
+
+  uint64_t checkpoint_count_ = 0;
+  uint64_t last_start_tick_ = 0;
+  std::optional<ActiveCheckpoint> active_;
+
+  SimMetrics metrics_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_CORE_SIM_EXECUTOR_H_

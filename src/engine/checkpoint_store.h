@@ -1,0 +1,152 @@
+// On-disk checkpoint organizations (paper Section 3.2, "Data organization
+// on disk").
+//
+// BackupStore -- the double-backup organization of Salem & Garcia-Molina:
+// two in-place images; checkpoints alternate between them so one complete,
+// consistent image exists at all times. Each image file is
+// [header][object 0][object 1]...; objects are written at their fixed
+// offsets in increasing order (the sorted-I/O pattern). The write protocol
+// is crash-safe: the header is invalidated (fsync) before any data write
+// and revalidated (fsync) only after all data is durable, so a torn
+// checkpoint is never eligible for recovery while the sibling image stays
+// untouched.
+//
+// LogStore -- the log organization of the partial-redo family: checkpoints
+// are appended as self-validating segments. A full flush starts a new log
+// generation; once it commits, older generations are deleted (this bounds
+// the log read-back at recovery to C incremental segments plus one full
+// flush, the paper's (k*C + n) model).
+#ifndef TICKPOINT_ENGINE_CHECKPOINT_STORE_H_
+#define TICKPOINT_ENGINE_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/state_table.h"
+#include "model/layout.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Metadata describing one complete on-disk image.
+struct ImageInfo {
+  bool valid = false;
+  uint64_t seq = 0;              // checkpoint sequence number
+  uint64_t consistent_tick = 0;  // state is consistent as of this tick's end
+  uint32_t state_crc = 0;        // 0 = not recorded
+};
+
+/// The double-backup store: files backup0.img and backup1.img under `dir`.
+class BackupStore {
+ public:
+  /// Opens (creating if needed) both backup files sized for `layout`.
+  static StatusOr<std::unique_ptr<BackupStore>> Open(const std::string& dir,
+                                                     const StateLayout& layout,
+                                                     bool fsync_enabled);
+
+  /// Invalidates backup `index`'s header; must precede data writes.
+  Status BeginCheckpoint(int index);
+
+  /// Writes `count` consecutive objects starting at `first` from `data`.
+  Status WriteRange(int index, ObjectId first, const void* data,
+                    uint64_t count);
+
+  /// Makes the image durable and valid: fsync data, then write + fsync the
+  /// header. `state_crc` may be 0 (unchecked).
+  Status FinishCheckpoint(int index, uint64_t seq, uint64_t consistent_tick,
+                          uint32_t state_crc);
+
+  /// Reads and validates backup `index`'s header.
+  StatusOr<ImageInfo> Inspect(int index);
+
+  /// Sequentially reads the whole image into `out`. If the header recorded
+  /// a state CRC, verifies it.
+  Status ReadAll(int index, StateTable* out);
+
+  const std::string& path(int index) const;
+
+ private:
+  BackupStore(const StateLayout& layout, bool fsync_enabled);
+  /// Flush always; fsync when enabled.
+  Status MakeDurable(FileWriter* writer);
+
+  StateLayout layout_;
+  bool fsync_enabled_;
+  std::string paths_[2];
+  FileWriter writers_[2];
+};
+
+/// One segment inside a log generation (for inspection/tests).
+struct SegmentInfo {
+  uint64_t seq = 0;
+  uint64_t consistent_tick = 0;
+  uint64_t object_count = 0;
+  bool full_flush = false;
+};
+
+/// The append-only checkpoint log, organized in generations.
+class LogStore {
+ public:
+  static StatusOr<std::unique_ptr<LogStore>> Open(const std::string& dir,
+                                                  const StateLayout& layout,
+                                                  bool fsync_enabled);
+
+  /// Starts generation `gen` (creates/truncates log-<gen>.img). Must be
+  /// followed by a full-flush segment.
+  Status BeginGeneration(uint64_t gen);
+
+  /// Starts appending a segment of exactly `object_count` objects to the
+  /// current generation.
+  Status BeginSegment(uint64_t seq, uint64_t consistent_tick, bool full_flush,
+                      uint64_t object_count);
+  /// Appends one object record to the open segment.
+  Status AppendObject(ObjectId object, const void* data);
+  /// Seals the segment (trailing CRC) and makes it durable. All declared
+  /// objects must have been appended.
+  Status CommitSegment();
+  /// Abandons an open segment (crash injection); the torn bytes remain.
+  void AbortSegment();
+
+  /// Deletes all generation files with gen < `gen`.
+  Status DropGenerationsBefore(uint64_t gen);
+
+  /// Restores the newest recoverable image: picks the highest generation
+  /// whose full flush is intact, applies its valid segments in order, and
+  /// reports the consistent tick reached. `out` must be zero/any state; it
+  /// is fully overwritten by the full flush.
+  StatusOr<ImageInfo> Restore(StateTable* out);
+
+  /// Lists the valid segments of generation `gen` (tests/inspection).
+  StatusOr<std::vector<SegmentInfo>> ListSegments(uint64_t gen);
+
+  uint64_t current_generation() const { return current_gen_; }
+
+ private:
+  LogStore(std::string dir, const StateLayout& layout, bool fsync_enabled);
+  Status MakeDurable(FileWriter* writer);
+
+  std::string GenPath(uint64_t gen) const;
+  /// Scans a generation file; applies records to `out` if non-null.
+  StatusOr<std::vector<SegmentInfo>> ScanGeneration(uint64_t gen,
+                                                    StateTable* out);
+
+  std::string dir_;
+  StateLayout layout_;
+  bool fsync_enabled_;
+  uint64_t current_gen_ = 0;
+  bool gen_open_ = false;
+  FileWriter writer_;
+  uint64_t append_offset_ = 0;
+  // Open-segment accounting.
+  bool segment_open_ = false;
+  uint32_t segment_crc_ = 0;
+  uint64_t segment_objects_declared_ = 0;
+  uint64_t segment_objects_written_ = 0;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_CHECKPOINT_STORE_H_

@@ -1,0 +1,4 @@
+#include "engine/dirty_map.h"
+
+// Header-only components; this TU anchors the library target.
+namespace tickpoint {}  // namespace tickpoint

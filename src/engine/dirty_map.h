@@ -1,0 +1,134 @@
+// Concurrent dirty tracking for the real engine.
+//
+//  - AtomicBitMap: lock-free per-object bit array. The mutator sets bits on
+//    update; the writer snapshots-and-clears a whole map at checkpoint start
+//    (the write set) and tests/sets the per-checkpoint "copied or flushed"
+//    bits.
+//  - ObjectLockTable: per-object spinlocks arbitrating the copy-on-update
+//    race between the mutator (saving a pre-image) and the asynchronous
+//    writer (reading the live object). This is the Olock of the cost model.
+#ifndef TICKPOINT_ENGINE_DIRTY_MAP_H_
+#define TICKPOINT_ENGINE_DIRTY_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "model/layout.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Fixed-size atomic bit array.
+class AtomicBitMap {
+ public:
+  explicit AtomicBitMap(uint64_t size)
+      : size_(size), words_((size + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t size() const { return size_; }
+
+  bool Test(uint64_t i) const {
+    TP_DCHECK(i < size_);
+    return (words_[i >> 6].load(std::memory_order_acquire) >> (i & 63)) & 1;
+  }
+
+  void Set(uint64_t i) {
+    TP_DCHECK(i < size_);
+    words_[i >> 6].fetch_or(uint64_t{1} << (i & 63),
+                            std::memory_order_release);
+  }
+
+  /// Atomically sets bit i; returns its previous value.
+  bool TestAndSet(uint64_t i) {
+    TP_DCHECK(i < size_);
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    const uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  void Clear(uint64_t i) {
+    TP_DCHECK(i < size_);
+    words_[i >> 6].fetch_and(~(uint64_t{1} << (i & 63)),
+                             std::memory_order_release);
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) w.store(0, std::memory_order_release);
+  }
+
+  /// Atomically moves the whole map into `snapshot` (which must have the
+  /// same size), clearing this map: the checkpoint write-set handoff.
+  /// Updates racing with the swap land either in this checkpoint's set or
+  /// in the map for the next one -- both are correct, because the handoff
+  /// happens inside the end-of-tick quiescent point.
+  void ExchangeInto(AtomicBitMap* snapshot) {
+    TP_DCHECK(snapshot->size_ == size_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      snapshot->words_[w].store(
+          words_[w].exchange(0, std::memory_order_acq_rel),
+          std::memory_order_release);
+    }
+  }
+
+  uint64_t CountSet() const {
+    uint64_t count = 0;
+    for (const auto& w : words_) {
+      count += static_cast<uint64_t>(
+          __builtin_popcountll(w.load(std::memory_order_acquire)));
+    }
+    return count;
+  }
+
+ private:
+  uint64_t size_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+/// One spinlock per atomic object (byte-sized test-and-set).
+class ObjectLockTable {
+ public:
+  explicit ObjectLockTable(uint64_t size) : locks_(size) {
+    for (auto& lock : locks_) lock.store(0, std::memory_order_relaxed);
+  }
+
+  void Lock(ObjectId o) {
+    TP_DCHECK(o < locks_.size());
+    while (locks_[o].exchange(1, std::memory_order_acquire) != 0) {
+      // Uncontested in the common case (mutator vs one writer);
+      // spin briefly.
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+
+  void Unlock(ObjectId o) {
+    TP_DCHECK(o < locks_.size());
+    locks_[o].store(0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<uint8_t>> locks_;
+};
+
+/// RAII guard for ObjectLockTable.
+class ObjectLockGuard {
+ public:
+  ObjectLockGuard(ObjectLockTable* locks, ObjectId o) : locks_(locks), o_(o) {
+    locks_->Lock(o_);
+  }
+  ~ObjectLockGuard() { locks_->Unlock(o_); }
+  ObjectLockGuard(const ObjectLockGuard&) = delete;
+  ObjectLockGuard& operator=(const ObjectLockGuard&) = delete;
+
+ private:
+  ObjectLockTable* locks_;
+  ObjectId o_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_DIRTY_MAP_H_

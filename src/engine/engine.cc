@@ -1,0 +1,465 @@
+#include "engine/engine.h"
+
+#include <chrono>
+
+#include "util/crc32.h"
+
+namespace tickpoint {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::string Engine::LogicalLogPath(const std::string& dir) {
+  return dir + "/logical.log";
+}
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config),
+      traits_(GetTraits(config.algorithm)),
+      state_(config.layout),
+      dirty_{AtomicBitMap(config.layout.num_objects()),
+             AtomicBitMap(config.layout.num_objects())},
+      write_set_(config.layout.num_objects()),
+      copied_(config.layout.num_objects()),
+      locks_(config.layout.num_objects()),
+      aux_(state_.buffer_bytes()) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(const EngineConfig& config) {
+  if (!config.layout.Valid()) {
+    return Status::InvalidArgument("invalid state layout");
+  }
+  if (config.dir.empty()) {
+    return Status::InvalidArgument("EngineConfig.dir must be set");
+  }
+  std::unique_ptr<Engine> engine(new Engine(config));
+  TP_RETURN_NOT_OK(engine->Init());
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::OpenResumed(
+    const EngineConfig& config, const StateTable& initial,
+    uint64_t first_tick) {
+  if (initial.layout().num_objects() != config.layout.num_objects()) {
+    return Status::InvalidArgument("initial state layout mismatch");
+  }
+  std::unique_ptr<Engine> engine(new Engine(config));
+  std::memcpy(engine->state_.mutable_data(), initial.data(),
+              initial.buffer_bytes());
+  engine->tick_ = first_tick;
+  TP_RETURN_NOT_OK(engine->Init());
+  TP_RETURN_NOT_OK(engine->WriteBootstrapCheckpoint());
+  return engine;
+}
+
+Status Engine::WriteBootstrapCheckpoint() {
+  // Synchronously persist the resumed state as checkpoint #0 so that a
+  // crash at any later point recovers from (bootstrap image + new logical
+  // log). consistent_ticks = tick_: the image contains everything up to but
+  // not including the first tick this engine will run.
+  const uint64_t n = config_.layout.num_objects();
+  checkpoint_seq_ = 1;
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    TP_RETURN_NOT_OK(backup_->BeginCheckpoint(0));
+    TP_RETURN_NOT_OK(backup_->WriteRange(0, 0, state_.data(), n));
+    const uint32_t crc =
+        config_.checksum_state ? state_.Digest() : 0;
+    TP_RETURN_NOT_OK(backup_->FinishCheckpoint(0, 0, tick_, crc));
+    backup_written_[0] = true;
+    next_backup_ = 1;
+  } else {
+    TP_RETURN_NOT_OK(log_->BeginGeneration(0));
+    TP_RETURN_NOT_OK(log_->BeginSegment(0, tick_, /*full_flush=*/true, n));
+    for (ObjectId o = 0; o < n; ++o) {
+      TP_RETURN_NOT_OK(log_->AppendObject(o, state_.ObjectData(o)));
+    }
+    TP_RETURN_NOT_OK(log_->CommitSegment());
+    next_log_gen_ = 1;
+    log_started_ = true;
+  }
+  return Status::OK();
+}
+
+Status Engine::Init() {
+  TP_RETURN_NOT_OK(EnsureDirectory(config_.dir));
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    TP_ASSIGN_OR_RETURN(backup_, BackupStore::Open(config_.dir,
+                                                   config_.layout,
+                                                   config_.fsync));
+  } else {
+    TP_ASSIGN_OR_RETURN(
+        log_, LogStore::Open(config_.dir, config_.layout, config_.fsync));
+  }
+  TP_ASSIGN_OR_RETURN(logical_,
+                      LogicalLog::Create(LogicalLogPath(config_.dir),
+                                         config_.logical_sync_every));
+  writer_ = std::thread([this] { WriterMain(); });
+  return Status::OK();
+}
+
+Engine::~Engine() {
+  if (!shut_down_) {
+    // Best effort; errors are reported through Shutdown in normal use.
+    (void)Shutdown();
+  }
+}
+
+void Engine::BeginTick() {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  in_tick_ = true;
+}
+
+void Engine::ApplyUpdate(uint32_t cell, int32_t value) {
+  TP_DCHECK(in_tick_);
+  TP_DCHECK(cell < config_.layout.num_cells());
+  HandleUpdate(config_.layout.ObjectOfCell(cell));
+  state_.WriteCell(cell, value);
+  tick_updates_.push_back(CellUpdate{cell, value});
+  ++metrics_.updates;
+}
+
+void Engine::HandleUpdate(ObjectId object) {
+  // Naive-Snapshot: no per-update work at all (Table 2: No-op).
+  if (traits_.kind == AlgorithmKind::kNaiveSnapshot) return;
+
+  if (traits_.dirty_only) {
+    if (traits_.disk == DiskOrganization::kDoubleBackup) {
+      dirty_[0].Set(object);
+      dirty_[1].Set(object);
+    } else {
+      dirty_[0].Set(object);
+    }
+  }
+
+  if (!active_job_ || !active_job_->cou_mode) return;
+  const bool member =
+      active_job_->all_objects || write_set_.Test(object);
+  if (!member || copied_.Test(object)) return;
+
+  // First touch of an unflushed member: save the pre-image before the
+  // update lands. The bit may flip while we wait for the lock (the writer
+  // reached the object first); re-check under the lock.
+  const auto t0 = Clock::now();
+  {
+    ObjectLockGuard guard(&locks_, object);
+    if (!copied_.Test(object)) {
+      state_.CopyObjectTo(object,
+                          aux_.data() + object * config_.layout.object_size);
+      copied_.Set(object);
+      ++metrics_.cou_copies;
+    }
+  }
+  tick_cou_seconds_ += SecondsSince(t0);
+}
+
+Status Engine::EndTick() {
+  TP_CHECK(in_tick_);
+  in_tick_ = false;
+
+  // Group-commit the tick's logical updates.
+  TP_RETURN_NOT_OK(logical_->AppendTick(tick_, tick_updates_));
+  tick_updates_.clear();
+
+  double pause = 0.0;
+  if (!crashed_.load(std::memory_order_acquire)) {
+    if (active_job_ && job_done_.load(std::memory_order_acquire)) {
+      TP_RETURN_NOT_OK(writer_status_);
+      FinalizeJob();
+    }
+    const bool interval_elapsed =
+        checkpoint_seq_ == 0 ||
+        tick_ >= last_start_tick_ + config_.checkpoint_interval_ticks;
+    if (!active_job_ && interval_elapsed) {
+      TP_ASSIGN_OR_RETURN(pause, StartCheckpoint());
+      last_start_tick_ = tick_;
+    }
+  }
+
+  metrics_.tick_overhead.Add(tick_cou_seconds_ + pause);
+  tick_cou_seconds_ = 0.0;
+  ++tick_;
+  return Status::OK();
+}
+
+StatusOr<double> Engine::StartCheckpoint() {
+  TP_CHECK(!active_job_.has_value());
+  Job job;
+  job.seq = checkpoint_seq_++;
+  job.start_tick = tick_;
+  job.consistent_ticks = tick_ + 1;  // effects of ticks [0, tick_] included
+  job.full_flush =
+      traits_.partial_redo && (job.seq % config_.full_flush_period == 0);
+
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    job.backup_index = next_backup_;
+    next_backup_ ^= 1;
+  }
+  const bool first_image = traits_.disk == DiskOrganization::kDoubleBackup
+                               ? !backup_written_[job.backup_index]
+                               : !log_started_;
+  job.all_objects = !traits_.dirty_only || job.full_flush || first_image;
+  job.cou_mode = !traits_.eager_copy || job.full_flush;
+
+  const uint64_t n = config_.layout.num_objects();
+  if (job.all_objects) {
+    job.object_count = n;
+    if (traits_.dirty_only) {
+      // The full write covers every pending dirty object of this target.
+      if (traits_.disk == DiskOrganization::kDoubleBackup) {
+        dirty_[job.backup_index].ClearAll();
+      } else {
+        dirty_[0].ClearAll();
+      }
+    }
+  } else {
+    AtomicBitMap& source = traits_.disk == DiskOrganization::kDoubleBackup
+                               ? dirty_[job.backup_index]
+                               : dirty_[0];
+    source.ExchangeInto(&write_set_);
+    job.object_count = write_set_.CountSet();
+  }
+
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    backup_written_[job.backup_index] = true;
+  } else {
+    if (job.all_objects) {
+      job.log_gen = next_log_gen_++;
+      job.new_generation = true;
+    } else {
+      TP_CHECK(next_log_gen_ > 0);
+      job.log_gen = next_log_gen_ - 1;
+    }
+    log_started_ = true;
+  }
+
+  // Copy-To-Memory: the synchronous pause of eager algorithms.
+  double pause = 0.0;
+  if (!job.cou_mode) {
+    const auto t0 = Clock::now();
+    if (job.all_objects) {
+      std::memcpy(aux_.data(), state_.data(), state_.buffer_bytes());
+    } else {
+      const uint64_t object_size = config_.layout.object_size;
+      for (uint64_t o = 0; o < n; ++o) {
+        if (!write_set_.Test(o)) continue;
+        // Coalesce contiguous dirty runs into single memcpys.
+        uint64_t end = o + 1;
+        while (end < n && write_set_.Test(end)) ++end;
+        std::memcpy(aux_.data() + o * object_size,
+                    state_.ObjectData(o), (end - o) * object_size);
+        o = end - 1;
+      }
+    }
+    pause = SecondsSince(t0);
+  } else {
+    copied_.ClearAll();
+  }
+  job.sync_seconds = pause;
+
+  active_job_ = job;
+  job_done_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_pending_ = true;
+  }
+  cv_.notify_one();
+  return pause;
+}
+
+void Engine::FinalizeJob() {
+  TP_CHECK(active_job_.has_value());
+  EngineCheckpointRecord record;
+  record.seq = active_job_->seq;
+  record.start_tick = active_job_->start_tick;
+  record.consistent_ticks = active_job_->consistent_ticks;
+  record.all_objects = active_job_->all_objects;
+  record.full_flush = active_job_->full_flush;
+  record.objects_written = active_job_->object_count;
+  record.bytes_written =
+      active_job_->object_count * config_.layout.object_size;
+  record.sync_seconds = active_job_->sync_seconds;
+  record.async_seconds = job_async_seconds_;
+  metrics_.checkpoints.push_back(record);
+  active_job_.reset();
+  job_done_.store(false, std::memory_order_release);
+}
+
+void Engine::WriterMain() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return job_pending_ || writer_exit_; });
+      if (!job_pending_) return;  // exit requested, nothing in flight
+      job = *active_job_;
+      job_pending_ = false;
+    }
+    const auto t0 = Clock::now();
+    const Status status = ExecuteJob(job);
+    job_async_seconds_ = SecondsSince(t0);
+    if (writer_status_.ok() && !status.ok() &&
+        !crashed_.load(std::memory_order_acquire)) {
+      writer_status_ = status;
+    }
+    job_done_.store(true, std::memory_order_release);
+  }
+}
+
+const uint8_t* Engine::CouSource(ObjectId object, uint8_t* staging) {
+  const uint64_t object_size = config_.layout.object_size;
+  if (copied_.Test(object)) {
+    // Pre-image saved by the mutator; stable once the bit is visible.
+    return aux_.data() + object * object_size;
+  }
+  ObjectLockGuard guard(&locks_, object);
+  if (copied_.Test(object)) {
+    return aux_.data() + object * object_size;
+  }
+  // Copy the live object under the lock, *then* publish the bit: a mutator
+  // seeing the bit set may write cells freely without tearing this image.
+  state_.CopyObjectTo(object, staging);
+  copied_.Set(object);
+  return staging;
+}
+
+Status Engine::ExecuteJob(const Job& job) {
+  const uint64_t n = config_.layout.num_objects();
+  const uint64_t object_size = config_.layout.object_size;
+  std::vector<uint8_t> staging(object_size);
+
+  auto crashed = [this] {
+    return crashed_.load(std::memory_order_relaxed);
+  };
+
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    TP_RETURN_NOT_OK(backup_->BeginCheckpoint(job.backup_index));
+    if (!job.cou_mode) {
+      // Write-Copies-To-Stable-Storage: from the eager snapshot, in offset
+      // order (the sorted-I/O pattern), coalescing contiguous runs.
+      if (job.all_objects) {
+        if (crashed()) return Status::Internal("crash injected");
+        TP_RETURN_NOT_OK(backup_->WriteRange(job.backup_index, 0, aux_.data(),
+                                             n));
+      } else {
+        for (uint64_t o = 0; o < n; ++o) {
+          if (!write_set_.Test(o)) continue;
+          if (crashed()) return Status::Internal("crash injected");
+          uint64_t end = o + 1;
+          while (end < n && write_set_.Test(end)) ++end;
+          TP_RETURN_NOT_OK(backup_->WriteRange(
+              job.backup_index, o, aux_.data() + o * object_size, end - o));
+          o = end - 1;
+        }
+      }
+    } else {
+      // Write-Objects-To-Stable-Storage: live state via the lock protocol.
+      // Objects are fetched one at a time (each under its own lock) but
+      // flushed to disk in contiguous runs -- one positional write per run,
+      // not per object (the real-I/O analogue of the sorted-write pattern).
+      constexpr uint64_t kRunLimit = 512;
+      std::vector<uint8_t> run_buffer(kRunLimit * object_size);
+      uint64_t run_start = 0;
+      uint64_t run_length = 0;
+      auto flush_run = [&]() -> Status {
+        if (run_length == 0) return Status::OK();
+        Status status = backup_->WriteRange(job.backup_index, run_start,
+                                            run_buffer.data(), run_length);
+        run_length = 0;
+        return status;
+      };
+      for (uint64_t o = 0; o < n; ++o) {
+        if (!job.all_objects && !write_set_.Test(o)) {
+          TP_RETURN_NOT_OK(flush_run());
+          continue;
+        }
+        if (crashed()) return Status::Internal("crash injected");
+        if (run_length == kRunLimit) {
+          TP_RETURN_NOT_OK(flush_run());
+        }
+        if (run_length == 0) run_start = o;
+        const uint8_t* src = CouSource(o, staging.data());
+        std::memcpy(run_buffer.data() + run_length * object_size, src,
+                    object_size);
+        ++run_length;
+      }
+      TP_RETURN_NOT_OK(flush_run());
+    }
+    uint32_t state_crc = 0;
+    if (config_.checksum_state && !job.cou_mode && job.all_objects) {
+      state_crc = Crc32(aux_.data(), state_.buffer_bytes());
+    }
+    if (crashed()) return Status::Internal("crash injected");
+    return backup_->FinishCheckpoint(job.backup_index, job.seq,
+                                     job.consistent_ticks, state_crc);
+  }
+
+  // Log organization.
+  if (job.new_generation) {
+    TP_RETURN_NOT_OK(log_->BeginGeneration(job.log_gen));
+  }
+  TP_RETURN_NOT_OK(log_->BeginSegment(job.seq, job.consistent_ticks,
+                                      job.all_objects, job.object_count));
+  for (uint64_t o = 0; o < n; ++o) {
+    if (!job.all_objects && !write_set_.Test(o)) continue;
+    if (crashed()) {
+      log_->AbortSegment();
+      return Status::Internal("crash injected");
+    }
+    const uint8_t* src = job.cou_mode
+                             ? CouSource(o, staging.data())
+                             : aux_.data() + o * object_size;
+    TP_RETURN_NOT_OK(log_->AppendObject(o, src));
+  }
+  if (crashed()) {
+    log_->AbortSegment();
+    return Status::Internal("crash injected");
+  }
+  TP_RETURN_NOT_OK(log_->CommitSegment());
+  if (job.new_generation) {
+    TP_RETURN_NOT_OK(log_->DropGenerationsBefore(job.log_gen));
+  }
+  return Status::OK();
+}
+
+Status Engine::Shutdown() {
+  if (shut_down_) return Status::OK();
+  shut_down_ = true;
+  // Drain the in-flight checkpoint (unless crashed).
+  while (active_job_ && !crashed_.load(std::memory_order_acquire) &&
+         !job_done_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_exit_ = true;
+  }
+  cv_.notify_one();
+  if (writer_.joinable()) writer_.join();
+  if (active_job_ && job_done_.load(std::memory_order_acquire) &&
+      writer_status_.ok() && !crashed_.load(std::memory_order_acquire)) {
+    FinalizeJob();
+  }
+  TP_RETURN_NOT_OK(logical_->Close());
+  return writer_status_;
+}
+
+Status Engine::SimulateCrash() {
+  TP_CHECK(!shut_down_);
+  crashed_.store(true, std::memory_order_release);
+  shut_down_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_exit_ = true;
+  }
+  cv_.notify_one();
+  if (writer_.joinable()) writer_.join();
+  // The logical log survives to the last durable group commit.
+  return logical_->Close();
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,237 @@
+// The real checkpointing engine (paper Section 6, extended from the paper's
+// two validated algorithms to all six).
+//
+// Threading model: the caller's thread is the *mutator* (the game
+// simulation loop); one background *writer* thread flushes checkpoints.
+// Checkpoints start only at tick boundaries (EndTick), exploiting the
+// natural quiescence point of the discrete-event simulation loop.
+//
+// The paper's four framework subroutines map to real code here:
+//   Copy-To-Memory                 -> eager memcpy into the aux buffer
+//                                     inside StartCheckpoint (the pause)
+//   Handle-Update                  -> HandleUpdate: dirty-bit maintenance +
+//                                     pre-image save under per-object locks
+//   Write-Copies-To-Stable-Storage -> writer path reading the aux snapshot
+//   Write-Objects-To-Stable-Storage-> writer path reading live state under
+//                                     the copy-on-update lock protocol
+#ifndef TICKPOINT_ENGINE_ENGINE_H_
+#define TICKPOINT_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "engine/checkpoint_store.h"
+#include "engine/dirty_map.h"
+#include "engine/logical_log.h"
+#include "engine/state_table.h"
+#include "util/histogram.h"
+
+namespace tickpoint {
+
+/// Engine construction parameters.
+struct EngineConfig {
+  StateLayout layout = StateLayout::Small();
+  AlgorithmKind algorithm = AlgorithmKind::kCopyOnUpdate;
+  /// Directory for checkpoint files and the logical log.
+  std::string dir;
+  /// `C`: full-flush period of the partial-redo family.
+  uint64_t full_flush_period = 9;
+  /// Minimum ticks between checkpoint starts (0 = back-to-back, the
+  /// paper's policy).
+  uint64_t checkpoint_interval_ticks = 0;
+  /// fsync checkpoint data and the logical log (disable only in unit tests
+  /// that do not exercise crashes).
+  bool fsync = true;
+  /// Record a full-state CRC in eager full checkpoints (verified on
+  /// restore).
+  bool checksum_state = false;
+  /// Group-commit granularity of the logical log, in ticks.
+  uint64_t logical_sync_every = 1;
+};
+
+/// One completed real checkpoint.
+struct EngineCheckpointRecord {
+  uint64_t seq = 0;
+  uint64_t start_tick = 0;
+  uint64_t consistent_ticks = 0;  // ticks whose effects are in the image
+  bool all_objects = false;
+  bool full_flush = false;
+  uint64_t objects_written = 0;
+  uint64_t bytes_written = 0;
+  double sync_seconds = 0.0;   // measured eager-copy pause
+  double async_seconds = 0.0;  // measured writer wall time
+
+  double TotalSeconds() const { return sync_seconds + async_seconds; }
+};
+
+/// Measured metrics of a real engine run.
+struct EngineMetrics {
+  /// Measured overhead per tick: eager pause + copy-on-update copy time.
+  SampleSeries tick_overhead;
+  std::vector<EngineCheckpointRecord> checkpoints;
+  uint64_t updates = 0;
+  uint64_t cou_copies = 0;
+
+  double AvgOverheadSeconds() const { return tick_overhead.Mean(); }
+  double AvgCheckpointSeconds() const {
+    if (checkpoints.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& r : checkpoints) sum += r.TotalSeconds();
+    return sum / static_cast<double>(checkpoints.size());
+  }
+  double AvgObjectsPerCheckpoint(bool exclude_full) const {
+    double sum = 0.0;
+    uint64_t count = 0;
+    for (const auto& r : checkpoints) {
+      if (exclude_full && r.full_flush) continue;
+      sum += static_cast<double>(r.objects_written);
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// A durable main-memory state table with tick-consistent checkpointing.
+class Engine {
+ public:
+  /// Creates the engine, its checkpoint store, and a fresh logical log
+  /// under config.dir.
+  static StatusOr<std::unique_ptr<Engine>> Open(const EngineConfig& config);
+
+  /// Re-opens an engine from recovered state: the shard-restart workflow.
+  /// Loads `initial` as the in-memory state, writes a synchronous bootstrap
+  /// checkpoint (so the fresh logical log suffices for any later crash),
+  /// and resumes the tick counter at `first_tick`. Blocks for the duration
+  /// of one full checkpoint write -- this is restart downtime, not gameplay
+  /// latency.
+  static StatusOr<std::unique_ptr<Engine>> OpenResumed(
+      const EngineConfig& config, const StateTable& initial,
+      uint64_t first_tick);
+
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Starts the next tick (the update phase of the simulation loop).
+  void BeginTick();
+
+  /// Applies one logical update: Handle-Update bookkeeping, the actual
+  /// state write, and logical-log buffering.
+  void ApplyUpdate(uint32_t cell, int32_t value);
+
+  /// Ends the tick: appends the tick's logical-log record, completes a
+  /// drained checkpoint, and starts the next one (running any eager copy as
+  /// the end-of-tick pause).
+  Status EndTick();
+
+  /// Graceful stop: waits for the in-flight checkpoint, stops the writer,
+  /// closes the logs.
+  Status Shutdown();
+
+  /// Crash injection: abandons the in-flight checkpoint mid-write (leaving
+  /// a torn image on disk), makes the logical log durable to the last
+  /// EndTick, and stops. The in-memory state stays readable as the "lost"
+  /// reference for recovery tests.
+  Status SimulateCrash();
+
+  const EngineConfig& config() const { return config_; }
+  const AlgorithmTraits& traits() const { return traits_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+  StateTable& state() { return state_; }
+  const StateTable& state() const { return state_; }
+  uint64_t current_tick() const { return tick_; }
+  bool checkpoint_in_flight() const { return active_job_.has_value(); }
+
+  /// Path of the logical log under `dir`.
+  static std::string LogicalLogPath(const std::string& dir);
+
+ private:
+  struct Job {
+    uint64_t seq = 0;
+    uint64_t start_tick = 0;
+    uint64_t consistent_ticks = 0;
+    bool all_objects = false;
+    bool full_flush = false;
+    bool cou_mode = false;
+    int backup_index = 0;
+    uint64_t log_gen = 0;
+    bool new_generation = false;
+    uint64_t object_count = 0;
+    double sync_seconds = 0.0;
+  };
+
+  explicit Engine(const EngineConfig& config);
+  Status Init();
+  /// Writes the current in-memory state as a complete synchronous
+  /// checkpoint (used by OpenResumed before any tick runs).
+  Status WriteBootstrapCheckpoint();
+
+  /// Handle-Update (Table 2): dirty-bit maintenance + copy on update.
+  void HandleUpdate(ObjectId object);
+  /// Copy-To-Memory + checkpoint scheduling; returns the pause seconds.
+  StatusOr<double> StartCheckpoint();
+  void FinalizeJob();
+
+  void WriterMain();
+  Status ExecuteJob(const Job& job);
+  /// Picks the bytes to persist for `object` under the copy-on-update
+  /// protocol: the saved pre-image if one exists, else the live object
+  /// (copied to `staging` under the object lock).
+  const uint8_t* CouSource(ObjectId object, uint8_t* staging);
+
+  EngineConfig config_;
+  AlgorithmTraits traits_;
+  StateTable state_;
+
+  std::unique_ptr<BackupStore> backup_;
+  std::unique_ptr<LogStore> log_;
+  std::unique_ptr<LogicalLog> logical_;
+
+  AtomicBitMap dirty_[2];     // per-backup dirty bits (log family uses [0])
+  AtomicBitMap write_set_;    // snapshot of the active checkpoint's members
+  AtomicBitMap copied_;       // per-checkpoint "pre-image saved or flushed"
+  ObjectLockTable locks_;
+  std::vector<uint8_t> aux_;  // eager snapshot / copy-on-update side buffer
+
+  // Tick state (mutator thread only).
+  uint64_t tick_ = 0;
+  bool in_tick_ = false;
+  std::vector<CellUpdate> tick_updates_;
+  double tick_cou_seconds_ = 0.0;
+
+  // Checkpoint bookkeeping (mutator thread only).
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t last_start_tick_ = 0;
+  int next_backup_ = 0;
+  bool backup_written_[2] = {false, false};
+  uint64_t next_log_gen_ = 0;
+  bool log_started_ = false;
+  std::optional<Job> active_job_;
+
+  // Writer thread plumbing.
+  std::thread writer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool job_pending_ = false;
+  bool writer_exit_ = false;
+  std::atomic<bool> job_done_{false};
+  std::atomic<bool> crashed_{false};
+  double job_async_seconds_ = 0.0;  // written by writer before job_done_
+  Status writer_status_;            // sticky first error
+
+  EngineMetrics metrics_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_ENGINE_H_

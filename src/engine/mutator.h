@@ -1,0 +1,58 @@
+// The validation workload driver (paper Section 6): "the mutator executes
+// each tick in three phases: query, update, and sleep. The query phase ...
+// performs a sequence of random lookups in the game state. After the query
+// phase is over, the update phase processes the updates from the trace for
+// the given tick. Finally, the (short) sleep phase fills the remaining time
+// so that the game ticks at 30Hz."
+#ifndef TICKPOINT_ENGINE_MUTATOR_H_
+#define TICKPOINT_ENGINE_MUTATOR_H_
+
+#include <cstdint>
+
+#include "engine/engine.h"
+#include "trace/source.h"
+
+namespace tickpoint {
+
+/// Driver options.
+struct MutatorOptions {
+  /// 0 = unpaced (run ticks back to back); >0 = sleep-fill to this rate.
+  double tick_hz = 0.0;
+  /// Random state lookups per tick (the query phase).
+  uint64_t query_reads_per_tick = 0;
+  uint64_t query_seed = 4242;
+  /// Skip this many leading trace ticks and start the tick counter there
+  /// (resuming a recovered shard mid-trace).
+  uint64_t skip_ticks = 0;
+  /// Stop at this absolute tick index (or at trace end, whichever first).
+  uint64_t max_ticks = UINT64_MAX;
+  /// Inject a crash after EndTick of this tick index (UINT64_MAX = never).
+  uint64_t crash_after_tick = UINT64_MAX;
+};
+
+/// Run summary.
+struct MutatorReport {
+  uint64_t ticks = 0;
+  double wall_seconds = 0.0;
+  bool crashed = false;
+  /// Defeats dead-code elimination of the query phase; meaningless value.
+  int64_t query_checksum = 0;
+};
+
+/// Deterministic update value for (tick, cell, position-in-tick): the
+/// workload's "user actions". Reference executions and the engine both use
+/// this, so a recovered state can be byte-compared against a reference.
+int32_t WorkloadValue(uint64_t tick, uint32_t cell, uint64_t index);
+
+/// Drives `engine` with the trace. Resets the source first.
+StatusOr<MutatorReport> RunWorkload(Engine* engine, UpdateSource* source,
+                                    const MutatorOptions& options);
+
+/// Applies the same workload directly to a bare table (no checkpointing):
+/// the reference state for recovery verification. Runs ticks [0, max_ticks).
+void ApplyWorkloadToTable(UpdateSource* source, uint64_t max_ticks,
+                          StateTable* table);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_MUTATOR_H_

@@ -1,0 +1,224 @@
+#include "game/ai.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tickpoint {
+namespace game {
+namespace {
+
+void SetStateIfChanged(UnitTable* units, UnitId u, UnitState s) {
+  units->Set(u, kAttrState, static_cast<int32_t>(s));
+}
+
+// Applies `damage` to `victim` from `attacker`; handles morale and kill
+// accounting. Death is finalized by the world (respawn) next tick.
+void DealDamage(UnitTable* units, UnitId attacker, UnitId victim,
+                int32_t damage) {
+  const int32_t before = units->health(victim);
+  const int32_t after = std::max(0, before - damage);
+  units->Set(victim, kAttrHealth, after);
+  if (after < kLowHealth && before >= kLowHealth) {
+    units->Set(victim, kAttrMorale,
+               units->Get(victim, kAttrMorale) - kMoraleDrop);
+  }
+  if (after == 0 && before > 0) {
+    units->Set(attacker, kAttrKills, units->Get(attacker, kAttrKills) + 1);
+    SetStateIfChanged(units, victim, UnitState::kDead);
+  }
+}
+
+bool Ready(const UnitTable& units, UnitId u, int32_t tick) {
+  return units.ready_tick(u) <= tick;
+}
+
+// Re-validates a remembered target: must be alive and within `range` --
+// conflict resolution is game logic, not transactions (paper Section 1).
+bool TargetValid(const UnitTable& units, UnitId u, UnitId target,
+                 int32_t range) {
+  if (target == kNoUnit || target >= units.num_units()) return false;
+  if (units.health(target) <= 0) return false;
+  if (units.team(target) == units.team(u)) return false;
+  return units.Dist2(u, target) <=
+         static_cast<int64_t>(range) * static_cast<int64_t>(range);
+}
+
+void RememberTarget(UnitTable* units, UnitId u, UnitId target) {
+  units->Set(u, kAttrTarget, static_cast<int32_t>(target));
+}
+
+// Neighbor scans are the expensive part of a tick; units that found nothing
+// last time re-scan only every `period` ticks (staggered by unit id), which
+// keeps the rear ranks of a 400K-unit battle cheap without affecting units
+// already in combat.
+bool ScanDue(const AiContext& ctx, UnitId u, uint32_t period) {
+  return ((static_cast<uint32_t>(ctx.tick) + u) & (period - 1)) == 0;
+}
+
+void StepKnight(const AiContext& ctx, UnitId u) {
+  UnitTable* units = ctx.units;
+  UnitId target = units->target(u);
+  if (!TargetValid(*units, u, target, kKnightSightRange)) {
+    target = ScanDue(ctx, u, 4)
+                 ? ctx.grid->NearestEnemy(*units, u, kKnightSightRange)
+                 : kNoUnit;
+    RememberTarget(units, u, target);
+  }
+  if (target != kNoUnit) {
+    const int64_t d2 = units->Dist2(u, target);
+    if (d2 <= static_cast<int64_t>(kKnightAttackRange) * kKnightAttackRange) {
+      if (Ready(*units, u, ctx.tick)) {
+        SetStateIfChanged(units, u, UnitState::kAttacking);
+        DealDamage(units, u, target, kKnightDamage);
+        units->Set(u, kAttrReadyTick, ctx.tick + kKnightCooldownTicks);
+      }
+      return;  // in melee: hold position
+    }
+    SetStateIfChanged(units, u, UnitState::kPursuing);
+    MoveToward(ctx, u, units->x(target), units->y(target));
+    return;
+  }
+  // No enemy in sight: cluster with allies, else advance on the enemy base.
+  if (ScanDue(ctx, u, 4)) {
+    const UnitId ally = ctx.grid->NearestAlly(*units, u, kClusterDistance * 2);
+    if (ally != kNoUnit &&
+        units->Dist2(u, ally) > static_cast<int64_t>(kClusterDistance) *
+                                    kClusterDistance) {
+      SetStateIfChanged(units, u, UnitState::kAdvancing);
+      MoveToward(ctx, u, units->x(ally), units->y(ally));
+      return;
+    }
+  }
+  // March toward the enemy base, resting one tick in four so idle
+  // formations do not thrash position updates every single tick.
+  if (((ctx.tick + u) & 3) != 3) {
+    const int32_t team = units->team(u);
+    SetStateIfChanged(units, u, UnitState::kAdvancing);
+    MoveToward(ctx, u, ctx.enemy_base_x[team], ctx.enemy_base_y[team]);
+  }
+}
+
+void StepArcher(const AiContext& ctx, UnitId u) {
+  UnitTable* units = ctx.units;
+  // Archers keep a remembered threat between scans (they must react to
+  // kiting situations, so they re-scan more often than knights).
+  UnitId threat = units->target(u);
+  if (!TargetValid(*units, u, threat, kArcherSightRange)) {
+    threat = ScanDue(ctx, u, 2)
+                 ? ctx.grid->NearestEnemy(*units, u, kArcherSightRange)
+                 : kNoUnit;
+    RememberTarget(units, u, threat);
+  }
+  if (threat != kNoUnit) {
+    const int64_t d2 = units->Dist2(u, threat);
+    if (d2 <= static_cast<int64_t>(kArcherPanicRange) * kArcherPanicRange) {
+      // Kite: retreat away from the closest threat.
+      SetStateIfChanged(units, u, UnitState::kRetreating);
+      MoveToward(ctx, u, 2 * units->x(u) - units->x(threat),
+                 2 * units->y(u) - units->y(threat));
+      return;
+    }
+    if (d2 <= static_cast<int64_t>(kArcherAttackRange) * kArcherAttackRange) {
+      if (Ready(*units, u, ctx.tick)) {
+        SetStateIfChanged(units, u, UnitState::kAttacking);
+        DealDamage(units, u, threat, kArcherDamage);
+        units->Set(u, kAttrReadyTick, ctx.tick + kArcherCooldownTicks);
+      }
+      return;  // in range, waiting out the cooldown
+    }
+    // Seen but out of range: close the gap.
+    SetStateIfChanged(units, u, UnitState::kPursuing);
+    MoveToward(ctx, u, units->x(threat), units->y(threat));
+    return;
+  }
+  // Stay near allied units for support.
+  if (ScanDue(ctx, u, 4)) {
+    const UnitId ally = ctx.grid->NearestAlly(*units, u, kClusterDistance * 2);
+    if (ally != kNoUnit &&
+        units->Dist2(u, ally) > static_cast<int64_t>(kClusterDistance) *
+                                    kClusterDistance) {
+      SetStateIfChanged(units, u, UnitState::kAdvancing);
+      MoveToward(ctx, u, units->x(ally), units->y(ally));
+      return;
+    }
+  }
+  if (((ctx.tick + u) & 3) != 3) {
+    const int32_t team = units->team(u);
+    SetStateIfChanged(units, u, UnitState::kAdvancing);
+    MoveToward(ctx, u, ctx.enemy_base_x[team], ctx.enemy_base_y[team]);
+  }
+}
+
+void StepHealer(const AiContext& ctx, UnitId u) {
+  UnitTable* units = ctx.units;
+  const UnitId patient = ScanDue(ctx, u, 2)
+                             ? ctx.grid->WeakestAlly(*units, u, kHealerRange)
+                             : kNoUnit;
+  if (patient != kNoUnit) {
+    if (Ready(*units, u, ctx.tick)) {
+      SetStateIfChanged(units, u, UnitState::kHealing);
+      RememberTarget(units, u, patient);
+      units->Set(patient, kAttrHealth,
+                 std::min(kMaxHealth, units->health(patient) + kHealAmount));
+      units->Set(u, kAttrReadyTick, ctx.tick + kHealerCooldownTicks);
+    } else {
+      MoveToward(ctx, u, units->x(patient), units->y(patient));
+    }
+    return;
+  }
+  // Nobody to heal: stay with the squad.
+  if (ScanDue(ctx, u, 4)) {
+    const UnitId ally = ctx.grid->NearestAlly(*units, u, kClusterDistance * 2);
+    if (ally != kNoUnit &&
+        units->Dist2(u, ally) > static_cast<int64_t>(kClusterDistance / 2) *
+                                    (kClusterDistance / 2)) {
+      SetStateIfChanged(units, u, UnitState::kAdvancing);
+      MoveToward(ctx, u, units->x(ally), units->y(ally));
+      return;
+    }
+  }
+  if (((ctx.tick + u) & 3) == 0) {
+    const int32_t team = units->team(u);
+    SetStateIfChanged(units, u, UnitState::kAdvancing);
+    MoveToward(ctx, u, ctx.enemy_base_x[team], ctx.enemy_base_y[team]);
+  }
+}
+
+}  // namespace
+
+void MoveToward(const AiContext& ctx, UnitId unit, int32_t tx, int32_t ty) {
+  UnitTable* units = ctx.units;
+  const int32_t map_max = ctx.grid->map_size() - 1;
+  const int32_t ux = units->x(unit);
+  const int32_t uy = units->y(unit);
+  const int32_t dx = tx - ux;
+  const int32_t dy = ty - uy;
+  if (dx == 0 && dy == 0) return;
+  // Step along the dominant axis only: one position-cell update per move.
+  if (std::abs(dx) >= std::abs(dy)) {
+    const int32_t step = std::clamp(dx, -kMoveStep, kMoveStep);
+    units->Set(unit, kAttrX, std::clamp(ux + step, 0, map_max));
+    units->Set(unit, kAttrDirX, step > 0 ? 1 : -1);
+  } else {
+    const int32_t step = std::clamp(dy, -kMoveStep, kMoveStep);
+    units->Set(unit, kAttrY, std::clamp(uy + step, 0, map_max));
+    units->Set(unit, kAttrDirY, step > 0 ? 1 : -1);
+  }
+}
+
+void StepUnit(const AiContext& ctx, UnitId unit) {
+  switch (ctx.units->type(unit)) {
+    case UnitType::kKnight:
+      StepKnight(ctx, unit);
+      break;
+    case UnitType::kArcher:
+      StepArcher(ctx, unit);
+      break;
+    case UnitType::kHealer:
+      StepHealer(ctx, unit);
+      break;
+  }
+}
+
+}  // namespace game
+}  // namespace tickpoint

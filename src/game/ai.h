@@ -1,0 +1,38 @@
+// Decision-tree AI for the three unit types (paper Section 4.4):
+//   - knights attack and pursue nearby targets,
+//   - archers attack from range while staying near allied units,
+//   - healers heal their weakest nearby ally,
+//   - every unit clusters with allies and otherwise advances on the enemy
+//     base.
+#ifndef TICKPOINT_GAME_AI_H_
+#define TICKPOINT_GAME_AI_H_
+
+#include "game/grid.h"
+#include "game/unit.h"
+
+namespace tickpoint {
+namespace game {
+
+/// Per-tick context handed to the unit AI.
+struct AiContext {
+  UnitTable* units;
+  const SpatialGrid* grid;
+  int32_t tick;
+  // Enemy base position for each team's units (attack direction).
+  int32_t enemy_base_x[2];
+  int32_t enemy_base_y[2];
+};
+
+/// Runs one decision-tree step for `unit`. Precondition: unit is active and
+/// alive (the world handles death/respawn before calling the AI).
+void StepUnit(const AiContext& ctx, UnitId unit);
+
+/// Movement helper (exposed for tests): steps `unit` one kMoveStep toward
+/// (tx, ty) along the axis with the larger remaining distance -- units move
+/// "possibly only in one dimension" per tick (paper Section 5.4).
+void MoveToward(const AiContext& ctx, UnitId unit, int32_t tx, int32_t ty);
+
+}  // namespace game
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_GAME_AI_H_

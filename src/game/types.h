@@ -1,0 +1,87 @@
+// Core types of the "Knights and Archers" prototype game (paper Section
+// 4.4, after White et al., SIGMOD'07).
+//
+// The game state is a table of units x 13 attributes; every attribute write
+// is observable through an UpdateSink, which is how the game server is
+// instrumented to produce checkpointing traces (one trace cell = one unit
+// attribute). All state is int32 and all logic is integer/deterministic, so
+// a re-execution from a checkpoint replays bit-identically.
+#ifndef TICKPOINT_GAME_TYPES_H_
+#define TICKPOINT_GAME_TYPES_H_
+
+#include <cstdint>
+
+namespace tickpoint {
+namespace game {
+
+using UnitId = uint32_t;
+constexpr UnitId kNoUnit = 0xFFFFFFFFu;
+
+/// The 13 per-unit attributes (paper Table 5: "number of attributes per
+/// unit: 13"). Attribute index == column in the state table.
+enum Attribute : uint32_t {
+  kAttrType = 0,       // UnitType (static after spawn)
+  kAttrTeam = 1,       // 0 or 1 (static after spawn)
+  kAttrX = 2,          // map position
+  kAttrY = 3,
+  kAttrHealth = 4,     // 0..kMaxHealth
+  kAttrState = 5,      // UnitState
+  kAttrTarget = 6,     // UnitId being attacked/healed, or kNoUnit
+  kAttrReadyTick = 7,  // absolute tick when the next action is allowed
+  kAttrSquad = 8,      // squad the unit clusters with
+  kAttrMorale = 9,     // drops when badly hurt
+  kAttrDirX = 10,      // last movement direction (for animation)
+  kAttrDirY = 11,
+  kAttrKills = 12,     // defeated enemies (the game's objective counter)
+};
+constexpr uint32_t kNumAttributes = 13;
+
+enum class UnitType : int32_t {
+  kKnight = 0,
+  kArcher = 1,
+  kHealer = 2,
+};
+
+enum class UnitState : int32_t {
+  kIdle = 0,
+  kAdvancing = 1,
+  kPursuing = 2,
+  kAttacking = 3,
+  kHealing = 4,
+  kRetreating = 5,
+  kDead = 6,
+};
+
+// Combat tuning constants (integer distances on the map grid; distances are
+// compared squared).
+constexpr int32_t kMaxHealth = 100;
+constexpr int32_t kKnightDamage = 15;
+constexpr int32_t kArcherDamage = 8;
+constexpr int32_t kHealAmount = 12;
+constexpr int32_t kKnightAttackRange = 24;
+constexpr int32_t kKnightSightRange = 96;
+constexpr int32_t kArcherAttackRange = 120;
+constexpr int32_t kArcherSightRange = 128;
+constexpr int32_t kArcherPanicRange = 48;
+constexpr int32_t kHealerRange = 96;
+constexpr int32_t kClusterDistance = 80;
+constexpr int32_t kMoveStep = 8;
+constexpr int32_t kKnightCooldownTicks = 8;
+constexpr int32_t kArcherCooldownTicks = 10;
+constexpr int32_t kHealerCooldownTicks = 6;
+constexpr int32_t kMoraleDrop = 1;
+constexpr int32_t kLowHealth = 30;
+
+/// Receives every attribute write of the game state; the trace recorder and
+/// the real engine both plug in here.
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+  /// Attribute `attr` of `unit` was set to `value` during the current tick.
+  virtual void OnUpdate(UnitId unit, uint32_t attr, int32_t value) = 0;
+};
+
+}  // namespace game
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_GAME_TYPES_H_

@@ -1,0 +1,13 @@
+#include "game/unit.h"
+
+namespace tickpoint {
+namespace game {
+
+UnitTable::UnitTable(uint32_t num_units)
+    : num_units_(num_units),
+      values_(static_cast<size_t>(num_units) * kNumAttributes, 0) {
+  TP_CHECK(num_units > 0);
+}
+
+}  // namespace game
+}  // namespace tickpoint

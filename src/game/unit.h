@@ -1,0 +1,87 @@
+// Unit storage: the game-state table (units x 13 int32 attributes).
+#ifndef TICKPOINT_GAME_UNIT_H_
+#define TICKPOINT_GAME_UNIT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "game/types.h"
+#include "util/status.h"
+
+namespace tickpoint {
+namespace game {
+
+/// Row-major unit/attribute table with write instrumentation.
+///
+/// Writes go through Set(), which forwards to the installed UpdateSink
+/// (if any) -- that is the instrumentation the paper describes: "We have
+/// instrumented this game to log every update to a trace file."
+/// Writes that do not change the stored value are suppressed (they are not
+/// state updates and would not need checkpointing).
+class UnitTable {
+ public:
+  explicit UnitTable(uint32_t num_units);
+
+  uint32_t num_units() const { return num_units_; }
+
+  int32_t Get(UnitId unit, uint32_t attr) const {
+    TP_DCHECK(unit < num_units_ && attr < kNumAttributes);
+    return values_[Index(unit, attr)];
+  }
+
+  /// Writes and reports to the sink; no-op if the value is unchanged.
+  void Set(UnitId unit, uint32_t attr, int32_t value) {
+    TP_DCHECK(unit < num_units_ && attr < kNumAttributes);
+    int32_t& slot = values_[Index(unit, attr)];
+    if (slot == value) return;
+    slot = value;
+    if (sink_ != nullptr) sink_->OnUpdate(unit, attr, value);
+  }
+
+  /// Writes without instrumentation (initial world setup before tick 0;
+  /// the initial state is part of the first full checkpoint, not an update).
+  void SetRaw(UnitId unit, uint32_t attr, int32_t value) {
+    values_[Index(unit, attr)] = value;
+  }
+
+  /// Installs (or removes, with nullptr) the update sink.
+  void set_sink(UpdateSink* sink) { sink_ = sink; }
+
+  // Typed accessors for readability in the AI code.
+  UnitType type(UnitId u) const {
+    return static_cast<UnitType>(Get(u, kAttrType));
+  }
+  int32_t team(UnitId u) const { return Get(u, kAttrTeam); }
+  int32_t x(UnitId u) const { return Get(u, kAttrX); }
+  int32_t y(UnitId u) const { return Get(u, kAttrY); }
+  int32_t health(UnitId u) const { return Get(u, kAttrHealth); }
+  UnitState state(UnitId u) const {
+    return static_cast<UnitState>(Get(u, kAttrState));
+  }
+  UnitId target(UnitId u) const {
+    return static_cast<UnitId>(Get(u, kAttrTarget));
+  }
+  int32_t ready_tick(UnitId u) const { return Get(u, kAttrReadyTick); }
+
+  /// Squared euclidean distance between two units.
+  int64_t Dist2(UnitId a, UnitId b) const {
+    const int64_t dx = x(a) - x(b);
+    const int64_t dy = y(a) - y(b);
+    return dx * dx + dy * dy;
+  }
+
+ private:
+  size_t Index(UnitId unit, uint32_t attr) const {
+    return static_cast<size_t>(unit) * kNumAttributes + attr;
+  }
+
+  uint32_t num_units_;
+  std::vector<int32_t> values_;
+  UpdateSink* sink_ = nullptr;
+};
+
+}  // namespace game
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_GAME_UNIT_H_

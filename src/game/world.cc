@@ -1,0 +1,175 @@
+#include "game/world.h"
+
+#include <algorithm>
+
+namespace tickpoint {
+namespace game {
+
+World::World(const WorldConfig& config)
+    : config_(config),
+      units_(config.num_units),
+      grid_(config.map_size, config.bucket_shift),
+      rng_(config.seed),
+      is_active_(config.num_units, 0) {
+  TP_CHECK(config_.num_units >= 16);
+  TP_CHECK(config_.active_fraction > 0.0 && config_.active_fraction <= 1.0);
+  // Home bases face each other across the map's midline.
+  base_x_[0] = config_.map_size / 4;
+  base_x_[1] = 3 * config_.map_size / 4;
+  base_y_[0] = base_y_[1] = config_.map_size / 2;
+  SpawnUnits();
+
+  // Initial active set: uniformly sampled without replacement.
+  const uint32_t target = std::max<uint32_t>(
+      1, static_cast<uint32_t>(config_.active_fraction *
+                               static_cast<double>(config_.num_units)));
+  while (active_.size() < target) {
+    const UnitId u =
+        static_cast<UnitId>(rng_.Uniform(config_.num_units));
+    if (!is_active_[u]) {
+      is_active_[u] = 1;
+      active_.push_back(u);
+    }
+  }
+}
+
+void World::SpawnUnits() {
+  for (UnitId u = 0; u < config_.num_units; ++u) {
+    const int32_t team = static_cast<int32_t>(u & 1);
+    // Mix: half knights, a third archers, the rest healers.
+    UnitType type = UnitType::kKnight;
+    const uint32_t role = u % 6;
+    if (role >= 3 && role <= 4) {
+      type = UnitType::kArcher;
+    } else if (role == 5) {
+      type = UnitType::kHealer;
+    }
+    // Deterministic spawn position in a disc around the team base.
+    const int32_t r = static_cast<int32_t>(rng_.Uniform(
+        static_cast<uint64_t>(config_.spawn_radius)));
+    const int32_t ox = static_cast<int32_t>(
+                           rng_.Uniform(static_cast<uint64_t>(2 * r + 1))) -
+                       r;
+    const int32_t remaining = r - std::abs(ox);
+    const int32_t oy = static_cast<int32_t>(rng_.Uniform(
+                           static_cast<uint64_t>(2 * remaining + 1))) -
+                       remaining;
+    const int32_t x =
+        std::clamp(base_x_[team] + ox, 0, config_.map_size - 1);
+    const int32_t y =
+        std::clamp(base_y_[team] + oy, 0, config_.map_size - 1);
+
+    // Initial placement uses SetRaw: the pristine world is the baseline
+    // captured by the first checkpoint, not a stream of updates.
+    units_.SetRaw(u, kAttrType, static_cast<int32_t>(type));
+    units_.SetRaw(u, kAttrTeam, team);
+    units_.SetRaw(u, kAttrX, x);
+    units_.SetRaw(u, kAttrY, y);
+    units_.SetRaw(u, kAttrHealth, kMaxHealth);
+    units_.SetRaw(u, kAttrState, static_cast<int32_t>(UnitState::kIdle));
+    units_.SetRaw(u, kAttrTarget, static_cast<int32_t>(kNoUnit));
+    units_.SetRaw(u, kAttrReadyTick, 0);
+    units_.SetRaw(u, kAttrSquad, static_cast<int32_t>(u / 16));
+    units_.SetRaw(u, kAttrMorale, 10);
+    units_.SetRaw(u, kAttrDirX, team == 0 ? 1 : -1);
+    units_.SetRaw(u, kAttrDirY, 0);
+    units_.SetRaw(u, kAttrKills, 0);
+  }
+}
+
+void World::RotateActiveSet() {
+  // Each active unit leaves with rotation_probability; a fresh inactive unit
+  // takes its slot, keeping the active population constant.
+  for (UnitId& slot : active_) {
+    if (!rng_.Chance(config_.rotation_probability)) continue;
+    const UnitId leaving = slot;
+    UnitId joining;
+    do {
+      joining = static_cast<UnitId>(rng_.Uniform(config_.num_units));
+    } while (is_active_[joining]);
+    is_active_[leaving] = 0;
+    is_active_[joining] = 1;
+    // A unit that logs back in re-enters in a neutral state.
+    units_.Set(joining, kAttrState, static_cast<int32_t>(UnitState::kIdle));
+    units_.Set(joining, kAttrTarget, static_cast<int32_t>(kNoUnit));
+    slot = joining;
+  }
+}
+
+void World::RespawnDead() {
+  for (UnitId u : active_) {
+    if (units_.health(u) > 0) continue;
+    const int32_t team = units_.team(u);
+    units_.Set(u, kAttrHealth, kMaxHealth);
+    units_.Set(u, kAttrX, base_x_[team]);
+    units_.Set(u, kAttrY, base_y_[team]);
+    units_.Set(u, kAttrState, static_cast<int32_t>(UnitState::kIdle));
+    units_.Set(u, kAttrTarget, static_cast<int32_t>(kNoUnit));
+    units_.Set(u, kAttrMorale, 10);
+  }
+}
+
+void World::Tick() {
+  RotateActiveSet();
+  RespawnDead();
+  grid_.Rebuild(units_, active_);
+
+  AiContext ctx;
+  ctx.units = &units_;
+  ctx.grid = &grid_;
+  ctx.tick = tick_;
+  // A team's units attack the *other* team's base.
+  ctx.enemy_base_x[0] = base_x_[1];
+  ctx.enemy_base_y[0] = base_y_[1];
+  ctx.enemy_base_x[1] = base_x_[0];
+  ctx.enemy_base_y[1] = base_y_[0];
+
+  for (UnitId u : active_) {
+    if (units_.health(u) > 0) StepUnit(ctx, u);
+  }
+  ++tick_;
+}
+
+StateLayout World::TraceLayout() const {
+  return StateLayout{.rows = config_.num_units,
+                     .cols = kNumAttributes,
+                     .cell_size = 4,
+                     .object_size = 512};
+}
+
+namespace {
+
+/// Bridges UnitTable writes into trace cells.
+class TraceSink : public UpdateSink {
+ public:
+  void OnUpdate(UnitId unit, uint32_t attr, int32_t value) override {
+    (void)value;
+    cells_.push_back(unit * kNumAttributes + attr);
+  }
+
+  std::vector<TraceCell>* cells() { return &cells_; }
+  void ClearTick() { cells_.clear(); }
+
+ private:
+  std::vector<TraceCell> cells_;
+};
+
+}  // namespace
+
+MaterializedTrace RecordGameTrace(const WorldConfig& config,
+                                  uint64_t num_ticks) {
+  World world(config);
+  MaterializedTrace trace(world.TraceLayout());
+  TraceSink sink;
+  world.set_sink(&sink);
+  for (uint64_t t = 0; t < num_ticks; ++t) {
+    sink.ClearTick();
+    world.Tick();
+    trace.AppendTick(*sink.cells());
+  }
+  world.set_sink(nullptr);
+  return trace;
+}
+
+}  // namespace game
+}  // namespace tickpoint

@@ -1,0 +1,95 @@
+// Baseline durability architectures the paper positions checkpointing
+// against:
+//
+//  - ARIES-style physical logging (paper Section 1: "their update rate is
+//    limited by the logging bandwidth, and they are unable to support the
+//    extremely high rate of game updates"),
+//  - logical action logging (what the checkpointing schemes pair with),
+//  - K-safety active replication (paper Section 7, Lau & Madden /
+//    Stonebraker et al.: no logging, K live copies, utilization 1/K).
+//
+// These are closed-form capacity models used by the motivation bench and by
+// capacity-planning code; they answer "can this durability scheme keep up
+// with an MMO's update rate on given hardware?".
+#ifndef TICKPOINT_MODEL_BASELINES_H_
+#define TICKPOINT_MODEL_BASELINES_H_
+
+#include <cstdint>
+
+#include "model/hardware.h"
+
+namespace tickpoint {
+
+/// ARIES-style write-ahead physical logging.
+struct PhysicalLoggingModel {
+  /// Bytes per physical log record: LSN, transaction id, page id, slot,
+  /// and before/after images of the cell. 40 B is a lean REDO+UNDO record
+  /// for a 4-byte cell (real systems are larger).
+  uint64_t bytes_per_update = 40;
+
+  /// Log bandwidth needed to sustain `updates_per_second`.
+  double RequiredBandwidth(double updates_per_second) const {
+    return updates_per_second * static_cast<double>(bytes_per_update);
+  }
+
+  /// Highest sustainable update rate when the log may use
+  /// `fraction` of the disk (the rest is left for checkpoints/data).
+  double MaxUpdatesPerSecond(const HardwareParams& hw,
+                             double fraction = 1.0) const {
+    return hw.disk_bandwidth * fraction /
+           static_cast<double>(bytes_per_update);
+  }
+
+  double MaxUpdatesPerTick(const HardwareParams& hw,
+                           double fraction = 1.0) const {
+    return MaxUpdatesPerSecond(hw, fraction) / hw.tick_hz;
+  }
+};
+
+/// Logical (action) logging: one logged action expands to many physical
+/// cell updates during execution (a movement command updates position
+/// attributes over several ticks).
+struct LogicalLoggingModel {
+  /// Bytes per logged action (command id + parameters).
+  uint64_t bytes_per_action = 16;
+  /// Average physical cell updates produced per logged action.
+  double updates_per_action = 10.0;
+
+  double RequiredBandwidth(double updates_per_second) const {
+    return updates_per_second / updates_per_action *
+           static_cast<double>(bytes_per_action);
+  }
+
+  double MaxUpdatesPerSecond(const HardwareParams& hw,
+                             double fraction = 1.0) const {
+    return hw.disk_bandwidth * fraction * updates_per_action /
+           static_cast<double>(bytes_per_action);
+  }
+
+  double MaxUpdatesPerTick(const HardwareParams& hw,
+                           double fraction = 1.0) const {
+    return MaxUpdatesPerSecond(hw, fraction) / hw.tick_hz;
+  }
+};
+
+/// K-safety active replication: K servers execute every tick redundantly.
+struct KSafetyModel {
+  uint32_t replicas = 2;  // K
+
+  /// Fraction of aggregate hardware doing non-redundant work (paper
+  /// Section 7: "system utilization is rather low (1/K)").
+  double Utilization() const { return 1.0 / static_cast<double>(replicas); }
+
+  /// Servers needed to host `shards` shards.
+  uint64_t ServersRequired(uint64_t shards) const {
+    return shards * replicas;
+  }
+
+  /// Failover is a view change, not a restore+replay: effectively the
+  /// network reconnection time. Provided for comparison tables.
+  double RecoverySeconds() const { return 1.0; }
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_MODEL_BASELINES_H_

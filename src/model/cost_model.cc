@@ -1,0 +1,5 @@
+#include "model/cost_model.h"
+
+// CostModel is header-only today; this translation unit anchors the library
+// and keeps room for future out-of-line definitions.
+namespace tickpoint {}  // namespace tickpoint

@@ -1,0 +1,18 @@
+#include "model/hardware.h"
+
+#include <cstdio>
+
+namespace tickpoint {
+
+std::string HardwareParams::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "tick_hz=%.0f object_size=%llu B mem_bw=%.2f GB/s "
+                "mem_lat=%.0f ns lock=%.0f ns bit=%.0f ns disk_bw=%.1f MB/s",
+                tick_hz, static_cast<unsigned long long>(object_size),
+                mem_bandwidth / 1e9, mem_latency * 1e9, lock_overhead * 1e9,
+                bit_overhead * 1e9, disk_bandwidth / 1e6);
+  return buf;
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,50 @@
+// Hardware cost parameters (paper Table 3). All times in seconds, all sizes
+// in bytes, all bandwidths in bytes/second.
+#ifndef TICKPOINT_MODEL_HARDWARE_H_
+#define TICKPOINT_MODEL_HARDWARE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tickpoint {
+
+/// Parameters for cost estimation. Defaults reproduce Table 3 of the paper:
+///
+///   Tick Frequency        Ftick  30 Hz
+///   Atomic Object Size    Sobj   512 bytes
+///   Memory Bandwidth      Bmem   2.2 GB/s
+///   Memory Latency        Omem   100 ns
+///   Lock overhead         Olock  145 ns
+///   Bit test/set overhead Obit   2 ns
+///   Disk Bandwidth        Bdisk  60 MB/s
+///
+/// The seek/rotation fields extend the paper's model; they are used only by
+/// the unsorted-I/O ablation (the paper's double-backup model assumes the
+/// sorted full-rotation pattern and needs neither).
+struct HardwareParams {
+  double tick_hz = 30.0;
+  uint64_t object_size = 512;
+  double mem_bandwidth = 2.2e9;
+  double mem_latency = 100e-9;
+  double lock_overhead = 145e-9;
+  double bit_overhead = 2e-9;
+  double disk_bandwidth = 60e6;
+  double disk_seek = 8.0e-3;
+  double disk_rotation = 8.33e-3;  // 7200 rpm
+
+  /// Length of one game tick in seconds (33.3 ms at 30 Hz).
+  double TickSeconds() const { return 1.0 / tick_hz; }
+
+  /// Half a tick: the latency limit the paper argues pauses must respect.
+  double LatencyLimitSeconds() const { return 0.5 * TickSeconds(); }
+
+  /// The paper's Table 3 configuration (same as default construction).
+  static HardwareParams Paper() { return HardwareParams{}; }
+
+  /// Multi-line human-readable dump (bench headers).
+  std::string ToString() const;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_MODEL_HARDWARE_H_

@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+namespace tickpoint {
+
+LockstepSimulator::LockstepSimulator(const SimulationOptions& options,
+                                     const std::vector<AlgorithmKind>& kinds,
+                                     const StateLayout& layout)
+    : options_(options), layout_(layout) {
+  TP_CHECK(!kinds.empty());
+  sims_.reserve(kinds.size());
+  for (AlgorithmKind kind : kinds) {
+    sims_.push_back(std::make_unique<CheckpointSim>(kind, layout, options.hw,
+                                                    options.params));
+  }
+}
+
+void LockstepSimulator::Run(UpdateSource* source) {
+  TP_CHECK(!ran_);
+  ran_ = true;
+  TP_CHECK(source->layout().num_objects() == layout_.num_objects());
+  source->Reset();
+
+  std::vector<TraceCell> cells;
+  std::vector<ObjectId> objects;
+  uint64_t ticks = 0;
+  while (ticks < options_.max_ticks && source->NextTick(&cells)) {
+    ++ticks;
+    objects.resize(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      objects[i] = layout_.ObjectOfCell(cells[i]);
+    }
+    for (auto& sim : sims_) {
+      sim->BeginTick();
+      for (ObjectId object : objects) {
+        sim->OnObjectUpdate(object);
+      }
+      sim->EndTick();
+    }
+  }
+}
+
+std::vector<AlgorithmRunResult> LockstepSimulator::Results() const {
+  std::vector<AlgorithmRunResult> results;
+  results.reserve(sims_.size());
+  for (const auto& sim : sims_) {
+    AlgorithmRunResult result;
+    result.kind = sim->kind();
+    result.metrics = sim->metrics();
+    result.recovery =
+        EstimateRecovery(sim->traits(), result.metrics, layout_, sim->cost(),
+                         options_.params);
+    result.avg_overhead_seconds = result.metrics.AvgOverheadSeconds();
+    result.avg_checkpoint_seconds = result.metrics.AvgCheckpointSeconds();
+    result.recovery_seconds = result.recovery.total_seconds();
+    result.sim_seconds = sim->now();
+    result.ticks = sim->current_tick();
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::vector<AlgorithmRunResult> RunSimulation(
+    const SimulationOptions& options, const std::vector<AlgorithmKind>& kinds,
+    UpdateSource* source) {
+  LockstepSimulator simulator(options, kinds, source->layout());
+  simulator.Run(source);
+  return simulator.Results();
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,75 @@
+// Experiment driver: runs one or more checkpoint algorithms in lockstep over
+// a single update source and reports the paper's three metrics (overhead
+// time, time to checkpoint, recovery time).
+//
+// Lockstep execution matters for performance: trace generation (Zipf draws)
+// is done once per tick and shared by all algorithms, which is what makes
+// the full Figure 2 sweep (3 billion update events across six algorithms)
+// tractable.
+#ifndef TICKPOINT_SIM_SIMULATOR_H_
+#define TICKPOINT_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/recovery_model.h"
+#include "core/sim_executor.h"
+#include "trace/source.h"
+
+namespace tickpoint {
+
+/// Options shared by all algorithms in a run.
+struct SimulationOptions {
+  HardwareParams hw = HardwareParams::Paper();
+  SimParams params;
+  /// Cap on the number of ticks consumed from the source.
+  uint64_t max_ticks = UINT64_MAX;
+};
+
+/// Results of one algorithm's run.
+struct AlgorithmRunResult {
+  AlgorithmKind kind;
+  SimMetrics metrics;
+  RecoveryEstimate recovery;
+
+  double avg_overhead_seconds = 0.0;
+  double avg_checkpoint_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  /// Total simulated wall time of the run.
+  double sim_seconds = 0.0;
+  uint64_t ticks = 0;
+};
+
+/// Runs several CheckpointSim instances over the same trace.
+class LockstepSimulator {
+ public:
+  LockstepSimulator(const SimulationOptions& options,
+                    const std::vector<AlgorithmKind>& kinds,
+                    const StateLayout& layout);
+
+  /// Feeds every tick of `source` (up to max_ticks) to all algorithms.
+  /// Resets the source first. Can be called once per simulator.
+  void Run(UpdateSource* source);
+
+  /// Per-algorithm results (same order as the constructor's `kinds`).
+  std::vector<AlgorithmRunResult> Results() const;
+
+  /// Direct access for tests.
+  CheckpointSim* sim(size_t index) { return sims_[index].get(); }
+  size_t num_sims() const { return sims_.size(); }
+
+ private:
+  SimulationOptions options_;
+  StateLayout layout_;
+  std::vector<std::unique_ptr<CheckpointSim>> sims_;
+  bool ran_ = false;
+};
+
+/// One-shot convenience: construct, run, return results.
+std::vector<AlgorithmRunResult> RunSimulation(
+    const SimulationOptions& options, const std::vector<AlgorithmKind>& kinds,
+    UpdateSource* source);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_SIM_SIMULATOR_H_

@@ -1,0 +1,126 @@
+#include "trace/materialized.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace tickpoint {
+namespace {
+
+constexpr uint64_t kTraceMagic = 0x54504354524143ULL;  // "TPCTRAC"
+constexpr uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t cell_size;
+  uint64_t rows;
+  uint64_t cols;
+  uint64_t object_size;
+  uint64_t num_ticks;
+  uint64_t num_cells;  // total update records
+};
+
+}  // namespace
+
+MaterializedTrace::MaterializedTrace(const StateLayout& layout)
+    : layout_(layout) {
+  TP_CHECK(layout_.Valid());
+  tick_offsets_.push_back(0);
+}
+
+void MaterializedTrace::AppendTick(std::span<const TraceCell> cells) {
+  cells_.insert(cells_.end(), cells.begin(), cells.end());
+  tick_offsets_.push_back(cells_.size());
+}
+
+MaterializedTrace MaterializedTrace::Record(UpdateSource* source) {
+  MaterializedTrace trace(source->layout());
+  source->Reset();
+  std::vector<TraceCell> cells;
+  while (source->NextTick(&cells)) {
+    trace.AppendTick(cells);
+  }
+  return trace;
+}
+
+std::span<const TraceCell> MaterializedTrace::Tick(uint64_t tick) const {
+  TP_CHECK(tick + 1 < tick_offsets_.size());
+  return {cells_.data() + tick_offsets_[tick],
+          cells_.data() + tick_offsets_[tick + 1]};
+}
+
+bool MaterializedTrace::NextTick(std::vector<TraceCell>* cells) {
+  if (cursor_ >= num_ticks()) return false;
+  const auto span = Tick(cursor_++);
+  cells->assign(span.begin(), span.end());
+  return true;
+}
+
+Status MaterializedTrace::WriteTo(const std::string& path) const {
+  FileWriter writer;
+  TP_RETURN_NOT_OK(writer.Open(path));
+  TraceHeader header{kTraceMagic, kTraceVersion, layout_.cell_size,
+                     layout_.rows, layout_.cols, layout_.object_size,
+                     num_ticks(),  cells_.size()};
+  TP_RETURN_NOT_OK(writer.Append(&header, sizeof(header)));
+  TP_RETURN_NOT_OK(writer.Append(tick_offsets_.data(),
+                                 tick_offsets_.size() * sizeof(uint64_t)));
+  TP_RETURN_NOT_OK(
+      writer.Append(cells_.data(), cells_.size() * sizeof(TraceCell)));
+  uint32_t crc = Crc32(tick_offsets_.data(),
+                       tick_offsets_.size() * sizeof(uint64_t));
+  crc = Crc32(cells_.data(), cells_.size() * sizeof(TraceCell), crc);
+  TP_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
+  TP_RETURN_NOT_OK(writer.Sync());
+  return writer.Close();
+}
+
+StatusOr<MaterializedTrace> MaterializedTrace::ReadFrom(
+    const std::string& path) {
+  FileReader reader;
+  TP_RETURN_NOT_OK(reader.Open(path));
+  TraceHeader header;
+  TP_RETURN_NOT_OK(reader.ReadExact(&header, sizeof(header)));
+  if (header.magic != kTraceMagic) {
+    return Status::Corruption("bad trace magic in " + path);
+  }
+  if (header.version != kTraceVersion) {
+    return Status::Corruption("unsupported trace version in " + path);
+  }
+  StateLayout layout{header.rows, header.cols, header.cell_size,
+                     header.object_size};
+  if (!layout.Valid()) {
+    return Status::Corruption("invalid layout in trace " + path);
+  }
+  MaterializedTrace trace(layout);
+  trace.tick_offsets_.resize(header.num_ticks + 1);
+  TP_RETURN_NOT_OK(reader.ReadExact(trace.tick_offsets_.data(),
+                                    trace.tick_offsets_.size() *
+                                        sizeof(uint64_t)));
+  trace.cells_.resize(header.num_cells);
+  TP_RETURN_NOT_OK(reader.ReadExact(trace.cells_.data(),
+                                    trace.cells_.size() * sizeof(TraceCell)));
+  uint32_t stored_crc = 0;
+  TP_RETURN_NOT_OK(reader.ReadExact(&stored_crc, sizeof(stored_crc)));
+  uint32_t crc = Crc32(trace.tick_offsets_.data(),
+                       trace.tick_offsets_.size() * sizeof(uint64_t));
+  crc = Crc32(trace.cells_.data(), trace.cells_.size() * sizeof(TraceCell),
+              crc);
+  if (crc != stored_crc) {
+    return Status::Corruption("trace checksum mismatch in " + path);
+  }
+  if (trace.tick_offsets_.front() != 0 ||
+      trace.tick_offsets_.back() != trace.cells_.size()) {
+    return Status::Corruption("inconsistent tick offsets in " + path);
+  }
+  for (uint64_t cell : trace.cells_) {
+    if (cell >= layout.num_cells()) {
+      return Status::Corruption("cell id out of range in " + path);
+    }
+  }
+  return trace;
+}
+
+}  // namespace tickpoint

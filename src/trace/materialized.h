@@ -1,0 +1,64 @@
+// In-memory (and on-disk) materialized update traces.
+//
+// Materialized traces serve three purposes: (1) the game server records its
+// updates into one (paper Section 4.4), (2) the real engine replays one as
+// its logical workload (Section 6), and (3) tests use tiny hand-built ones.
+// The binary file format is self-describing and checksummed.
+#ifndef TICKPOINT_TRACE_MATERIALIZED_H_
+#define TICKPOINT_TRACE_MATERIALIZED_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/source.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// An update trace held in memory, tick-indexed.
+class MaterializedTrace : public UpdateSource {
+ public:
+  explicit MaterializedTrace(const StateLayout& layout);
+
+  /// Appends one tick's updates.
+  void AppendTick(std::span<const TraceCell> cells);
+
+  /// Drains every tick of `source` into a new materialized trace.
+  static MaterializedTrace Record(UpdateSource* source);
+
+  /// Updates of one tick (tick in [0, num_ticks())).
+  std::span<const TraceCell> Tick(uint64_t tick) const;
+
+  uint64_t total_updates() const { return cells_.size(); }
+
+  // UpdateSource interface (streams the stored ticks).
+  const StateLayout& layout() const override { return layout_; }
+  uint64_t num_ticks() const override { return tick_offsets_.size() - 1; }
+  void Reset() override { cursor_ = 0; }
+  bool NextTick(std::vector<TraceCell>* cells) override;
+
+  /// Serializes to `path` (magic, layout, offsets, cells, CRC32).
+  Status WriteTo(const std::string& path) const;
+  /// Loads a trace written by WriteTo, validating the checksum.
+  static StatusOr<MaterializedTrace> ReadFrom(const std::string& path);
+
+  bool operator==(const MaterializedTrace& other) const {
+    return layout_.rows == other.layout_.rows &&
+           layout_.cols == other.layout_.cols &&
+           layout_.cell_size == other.layout_.cell_size &&
+           layout_.object_size == other.layout_.object_size &&
+           tick_offsets_ == other.tick_offsets_ && cells_ == other.cells_;
+  }
+
+ private:
+  StateLayout layout_;
+  std::vector<uint64_t> tick_offsets_;  // size num_ticks + 1
+  std::vector<TraceCell> cells_;
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_TRACE_MATERIALIZED_H_

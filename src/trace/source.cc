@@ -1,0 +1,4 @@
+#include "trace/source.h"
+
+// UpdateSource is an interface; this file anchors its vtable.
+namespace tickpoint {}  // namespace tickpoint

@@ -1,0 +1,43 @@
+// Streaming interface for update traces.
+//
+// A trace is a sequence of ticks; each tick carries the cell ids updated
+// during that tick (repeats allowed: an object may be updated several times
+// per tick, paper Section 4.3). Sources are deterministic and resettable so
+// the same trace can drive several algorithms in lockstep, and -- crucially
+// for recovery -- can be replayed from the beginning.
+#ifndef TICKPOINT_TRACE_SOURCE_H_
+#define TICKPOINT_TRACE_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/layout.h"
+
+namespace tickpoint {
+
+/// Cell ids inside traces are 32-bit (supports up to 4.29e9 cells; the paper
+/// maximum is 10M).
+using TraceCell = uint32_t;
+
+/// Abstract deterministic update stream.
+class UpdateSource {
+ public:
+  virtual ~UpdateSource() = default;
+
+  /// Geometry of the state this trace updates.
+  virtual const StateLayout& layout() const = 0;
+
+  /// Total ticks this source will produce.
+  virtual uint64_t num_ticks() const = 0;
+
+  /// Restarts the stream from tick 0 (must reproduce identical output).
+  virtual void Reset() = 0;
+
+  /// Produces the next tick's updates into *cells (overwritten). Returns
+  /// false when the trace is exhausted.
+  virtual bool NextTick(std::vector<TraceCell>* cells) = 0;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_TRACE_SOURCE_H_

@@ -1,0 +1,34 @@
+// Trace characterization (paper Table 5): update counts, distinct touched
+// cells/objects, and per-tick distribution.
+#ifndef TICKPOINT_TRACE_STATS_H_
+#define TICKPOINT_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/source.h"
+#include "util/histogram.h"
+
+namespace tickpoint {
+
+/// Summary statistics over a full trace.
+struct TraceStats {
+  uint64_t num_ticks = 0;
+  uint64_t total_updates = 0;
+  double avg_updates_per_tick = 0.0;
+  uint64_t min_updates_per_tick = 0;
+  uint64_t max_updates_per_tick = 0;
+  uint64_t distinct_cells = 0;
+  uint64_t distinct_objects = 0;
+  /// Fraction of all updates that hit the hottest 1% of atomic objects.
+  double hottest_percentile_share = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Scans the whole source (resetting it first and after).
+TraceStats ComputeTraceStats(UpdateSource* source);
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_TRACE_STATS_H_

@@ -1,0 +1,55 @@
+#include "trace/zipf_source.h"
+
+#include <numeric>
+
+namespace tickpoint {
+namespace {
+
+// Finds a multiplier coprime with `n` for the rank-scatter bijection.
+uint64_t FindCoprimeMultiplier(uint64_t n) {
+  // Knuth's multiplicative constant and a few fallback odd primes.
+  const uint64_t candidates[] = {2654435761ULL, 2246822519ULL, 3266489917ULL,
+                                 668265263ULL, 374761393ULL};
+  for (uint64_t c : candidates) {
+    if (std::gcd(c, n) == 1) return c % n == 0 ? 1 : c;
+  }
+  return 1;
+}
+
+}  // namespace
+
+ZipfUpdateSource::ZipfUpdateSource(const ZipfTraceConfig& config)
+    : config_(config),
+      row_zipf_(config.layout.rows, config.theta),
+      col_zipf_(config.layout.cols, config.theta),
+      rng_(config.seed) {
+  TP_CHECK(config_.layout.Valid());
+  TP_CHECK(config_.layout.num_cells() <= UINT32_MAX);
+  scatter_multiplier_ = FindCoprimeMultiplier(config_.layout.rows);
+}
+
+void ZipfUpdateSource::Reset() {
+  rng_.Reseed(config_.seed);
+  tick_ = 0;
+}
+
+uint64_t ZipfUpdateSource::ScatterRow(uint64_t rank) const {
+  if (!config_.scatter_rows) return rank;
+  return (rank * scatter_multiplier_) % config_.layout.rows;
+}
+
+bool ZipfUpdateSource::NextTick(std::vector<TraceCell>* cells) {
+  if (tick_ >= config_.num_ticks) return false;
+  ++tick_;
+  cells->clear();
+  cells->reserve(config_.updates_per_tick);
+  for (uint64_t i = 0; i < config_.updates_per_tick; ++i) {
+    const uint64_t row = ScatterRow(row_zipf_.Next(&rng_));
+    const uint64_t col = col_zipf_.Next(&rng_);
+    cells->push_back(
+        static_cast<TraceCell>(config_.layout.CellOf(row, col)));
+  }
+  return true;
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace tickpoint {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t length, uint32_t initial) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~initial;
+  for (size_t i = 0; i < length; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace tickpoint

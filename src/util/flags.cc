@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace tickpoint {
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      return Status::InvalidArgument("unexpected argument: " + token);
+    }
+    token = token.substr(2);
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // --key value, unless the next token is another flag (then bool true).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt64(const std::string& key, int64_t default_value) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!used_.count(key)) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace tickpoint

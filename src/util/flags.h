@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Accepts --key=value and --key value; --help prints registered flags.
+#ifndef TICKPOINT_UTIL_FLAGS_H_
+#define TICKPOINT_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Parsed command line. Typical bench usage:
+///
+///   Flags flags;
+///   TP_CHECK_OK(flags.Parse(argc, argv));
+///   const int64_t ticks = flags.GetInt64("ticks", 1000);
+class Flags {
+ public:
+  /// Parses argv. Returns InvalidArgument on malformed input
+  /// (non --key tokens, trailing valueless keys are treated as bools).
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt64(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// All keys that were never read through a Get*/Has call; benches use this
+  /// to reject typos in flag names.
+  std::vector<std::string> UnusedKeys() const;
+
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  bool help_requested_ = false;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_FLAGS_H_

@@ -1,0 +1,63 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double SampleSeries::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSeries::Sum() const {
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum;
+}
+
+double SampleSeries::Min() const {
+  TP_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSeries::Max() const {
+  TP_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSeries::Percentile(double p) const {
+  TP_CHECK(!samples_.empty());
+  TP_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,58 @@
+// Sample collections for latency analysis: exact-percentile sample buffers
+// (tick counts are small enough to keep every sample) and streaming moments.
+#ifndef TICKPOINT_UTIL_HISTOGRAM_H_
+#define TICKPOINT_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tickpoint {
+
+/// Streaming mean / min / max / variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Keeps all samples; supports exact percentiles. Suitable for per-tick
+/// series (1e3..1e6 samples), not for per-update measurements.
+class SampleSeries {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double Percentile(double p) const;
+  double Sum() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// (trace generators, the game AI, crash injection) takes an explicit seed so
+// simulations and recovery replays are bit-reproducible.
+#ifndef TICKPOINT_UTIL_RANDOM_H_
+#define TICKPOINT_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// SplitMix64: used to expand a user seed into generator state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator: fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Re-initializes the state from a seed (same sequence as Rng(seed)).
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(&sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    TP_DCHECK(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the bounds used here (< 2^40) and determinism matters more.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    TP_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_RANDOM_H_

@@ -1,0 +1,86 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TP_CHECK(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Seconds(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0 || abs == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string TablePrinter::Bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1073741824.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1073741824.0);
+  } else if (bytes >= 1048576.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1048576.0);
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tickpoint

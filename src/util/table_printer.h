@@ -1,0 +1,41 @@
+// Aligned text tables for the benchmark harnesses. Every figure/table bench
+// prints its series through this so the output is uniform and diffable.
+#ifndef TICKPOINT_UTIL_TABLE_PRINTER_H_
+#define TICKPOINT_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tickpoint {
+
+/// Collects rows of strings and prints them with column alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 4);
+  /// Scientific-ish compact formatting for seconds (e.g. "0.85 ms").
+  static std::string Seconds(double seconds);
+  /// "40.0 MB", "512 B", ...
+  static std::string Bytes(double bytes);
+
+  /// Writes the table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Writes the table as CSV (for plotting scripts).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,49 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+double ZipfGenerator::ZetaStatic(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  TP_CHECK(n >= 1);
+  TP_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = ZetaStatic(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = ZetaStatic(n >= 2 ? 2 : 1, theta);
+  if (n >= 2) {
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  } else {
+    eta_ = 1.0;
+  }
+  half_pow_theta_ = std::pow(0.5, theta);
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  // Guard against floating point landing exactly on n.
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfGenerator::Probability(uint64_t rank) const {
+  TP_CHECK(rank < n_);
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+}  // namespace tickpoint

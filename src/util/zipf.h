@@ -1,0 +1,44 @@
+// Zipfian rank sampler after Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases" (SIGMOD'94) -- the generator the paper cites as [10]
+// for its synthetic update traces.
+#ifndef TICKPOINT_UTIL_ZIPF_H_
+#define TICKPOINT_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace tickpoint {
+
+/// Samples ranks in [0, n) with frequency proportional to 1/(rank+1)^theta.
+/// theta = 0 degenerates to the uniform distribution; theta -> 1 concentrates
+/// probability mass on a few hot ranks. Rank 0 is the hottest item.
+class ZipfGenerator {
+ public:
+  /// Precomputes the normalization constants (O(n) once).
+  /// Preconditions: n >= 1, 0 <= theta < 1.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n) using the supplied RNG.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability of rank r under this distribution (for tests).
+  double Probability(uint64_t rank) const;
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;   // generalized harmonic number H_{n,theta}
+  double alpha_;   // 1 / (1 - theta)
+  double eta_;
+  double half_pow_theta_;  // 0.5^theta
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_ZIPF_H_

@@ -1,0 +1,173 @@
+// Unit tests of the decision-tree AI building blocks (movement, combat
+// outcomes, healer behavior) on hand-built miniature worlds.
+#include "game/ai.h"
+
+#include <gtest/gtest.h>
+
+#include "game/world.h"
+
+namespace tickpoint {
+namespace game {
+namespace {
+
+// A miniature arena with hand-placed units.
+struct Arena {
+  explicit Arena(uint32_t n = 8) : units(n), grid(1024, 6) {
+    ctx.units = &units;
+    ctx.grid = &grid;
+    ctx.tick = 0;
+    ctx.enemy_base_x[0] = 900;
+    ctx.enemy_base_y[0] = 512;
+    ctx.enemy_base_x[1] = 100;
+    ctx.enemy_base_y[1] = 512;
+  }
+
+  void Place(UnitId u, UnitType type, int32_t team, int32_t x, int32_t y,
+             int32_t health = kMaxHealth) {
+    units.SetRaw(u, kAttrType, static_cast<int32_t>(type));
+    units.SetRaw(u, kAttrTeam, team);
+    units.SetRaw(u, kAttrX, x);
+    units.SetRaw(u, kAttrY, y);
+    units.SetRaw(u, kAttrHealth, health);
+    units.SetRaw(u, kAttrTarget, static_cast<int32_t>(kNoUnit));
+    units.SetRaw(u, kAttrReadyTick, 0);
+    active.push_back(u);
+  }
+
+  void Step(UnitId u) {
+    grid.Rebuild(units, active);
+    StepUnit(ctx, u);
+  }
+
+  UnitTable units;
+  SpatialGrid grid;
+  AiContext ctx;
+  std::vector<UnitId> active;
+};
+
+TEST(MoveTowardTest, StepsDominantAxisOnly) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  // Target mostly to the east: x moves, y does not.
+  MoveToward(arena.ctx, 0, 200, 110);
+  EXPECT_EQ(arena.units.x(0), 100 + kMoveStep);
+  EXPECT_EQ(arena.units.y(0), 100);
+  // Target mostly to the north: y moves.
+  MoveToward(arena.ctx, 0, 108 + kMoveStep, 300);
+  EXPECT_EQ(arena.units.y(0), 100 + kMoveStep);
+}
+
+TEST(MoveTowardTest, ClampsShortSteps) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  MoveToward(arena.ctx, 0, 103, 100);  // closer than one step
+  EXPECT_EQ(arena.units.x(0), 103);
+  MoveToward(arena.ctx, 0, 103, 100);  // already there: no movement
+  EXPECT_EQ(arena.units.x(0), 103);
+  EXPECT_EQ(arena.units.y(0), 100);
+}
+
+TEST(MoveTowardTest, StaysOnMap) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 2, 100);
+  MoveToward(arena.ctx, 0, -500, 100);
+  EXPECT_GE(arena.units.x(0), 0);
+}
+
+TEST(KnightTest, AttacksAdjacentEnemy) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 1, 110, 100);  // in melee range
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), kMaxHealth - kKnightDamage);
+  EXPECT_EQ(arena.units.state(0), UnitState::kAttacking);
+  // Cooldown set: next step must not attack again.
+  arena.ctx.tick = 1;
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), kMaxHealth - kKnightDamage);
+}
+
+TEST(KnightTest, PursuesVisibleEnemy) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  arena.Place(1, UnitType::kArcher, 1, 170, 100);  // visible, out of reach
+  arena.Step(0);
+  EXPECT_EQ(arena.units.state(0), UnitState::kPursuing);
+  EXPECT_EQ(arena.units.x(0), 100 + kMoveStep);
+  EXPECT_EQ(arena.units.target(0), 1u);
+}
+
+TEST(KnightTest, KillCreditsAttacker) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  arena.Place(1, UnitType::kHealer, 1, 110, 100, /*health=*/kKnightDamage);
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), 0);
+  EXPECT_EQ(arena.units.Get(0, kAttrKills), 1);
+  EXPECT_EQ(arena.units.state(1), UnitState::kDead);
+}
+
+TEST(ArcherTest, ShootsFromRange) {
+  Arena arena;
+  arena.Place(0, UnitType::kArcher, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 1, 100 + kArcherAttackRange - 10, 100);
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), kMaxHealth - kArcherDamage);
+  EXPECT_EQ(arena.units.state(0), UnitState::kAttacking);
+  // The archer holds position while shooting.
+  EXPECT_EQ(arena.units.x(0), 100);
+}
+
+TEST(ArcherTest, KitesWhenEnemyTooClose) {
+  Arena arena;
+  arena.Place(0, UnitType::kArcher, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 1, 100 + kArcherPanicRange - 8, 100);
+  arena.Step(0);
+  EXPECT_EQ(arena.units.state(0), UnitState::kRetreating);
+  EXPECT_EQ(arena.units.x(0), 100 - kMoveStep);  // away from the threat
+  EXPECT_EQ(arena.units.health(1), kMaxHealth);  // no shot while fleeing
+}
+
+TEST(HealerTest, HealsWeakestAllyInRange) {
+  Arena arena;
+  arena.Place(0, UnitType::kHealer, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 0, 120, 100, 80);
+  arena.Place(2, UnitType::kKnight, 0, 130, 100, 40);  // weakest
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(2), 40 + kHealAmount);
+  EXPECT_EQ(arena.units.health(1), 80);
+  EXPECT_EQ(arena.units.state(0), UnitState::kHealing);
+}
+
+TEST(HealerTest, HealNeverExceedsMaxHealth) {
+  Arena arena;
+  arena.Place(0, UnitType::kHealer, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 0, 120, 100, kMaxHealth - 2);
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), kMaxHealth);
+}
+
+TEST(HealerTest, IgnoresEnemiesAndCorpses) {
+  Arena arena;
+  arena.Place(0, UnitType::kHealer, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 1, 120, 100, 10);  // hurt enemy
+  arena.Place(2, UnitType::kKnight, 0, 130, 100, 0);   // dead ally
+  arena.Step(0);
+  EXPECT_EQ(arena.units.health(1), 10);
+  EXPECT_EQ(arena.units.health(2), 0);
+  EXPECT_NE(arena.units.state(0), UnitState::kHealing);
+}
+
+TEST(DamageTest, MoraleDropsWhenBadlyHurt) {
+  Arena arena;
+  arena.Place(0, UnitType::kKnight, 0, 100, 100);
+  arena.Place(1, UnitType::kKnight, 1, 110, 100, kLowHealth + 5);
+  arena.units.SetRaw(1, kAttrMorale, 10);
+  arena.Step(0);  // drops target below kLowHealth
+  ASSERT_LT(arena.units.health(1), kLowHealth);
+  EXPECT_EQ(arena.units.Get(1, kAttrMorale), 10 - kMoraleDrop);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace tickpoint

@@ -1,0 +1,70 @@
+#include "model/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "model/layout.h"
+
+namespace tickpoint {
+namespace {
+
+TEST(PhysicalLoggingTest, BandwidthScalesLinearly) {
+  PhysicalLoggingModel aries;
+  EXPECT_DOUBLE_EQ(aries.RequiredBandwidth(1e6), 40e6);
+  EXPECT_DOUBLE_EQ(aries.RequiredBandwidth(2e6),
+                   2 * aries.RequiredBandwidth(1e6));
+}
+
+TEST(PhysicalLoggingTest, PaperDiskCapsUpdateRate) {
+  // The paper's motivation: 256K updates/tick at 30 Hz (7.7M/s) cannot be
+  // physically logged on a 60 MB/s disk.
+  const HardwareParams hw = HardwareParams::Paper();
+  PhysicalLoggingModel aries;
+  const double mmo_rate = 256000.0 * hw.tick_hz;
+  EXPECT_GT(aries.RequiredBandwidth(mmo_rate), hw.disk_bandwidth);
+  // And the cap is far below that rate.
+  EXPECT_LT(aries.MaxUpdatesPerTick(hw), 256000.0);
+  EXPECT_GT(aries.MaxUpdatesPerTick(hw), 0.0);
+}
+
+TEST(PhysicalLoggingTest, FractionLeavesRoomForCheckpoints) {
+  const HardwareParams hw = HardwareParams::Paper();
+  PhysicalLoggingModel aries;
+  EXPECT_DOUBLE_EQ(aries.MaxUpdatesPerSecond(hw, 0.5),
+                   aries.MaxUpdatesPerSecond(hw) / 2);
+}
+
+TEST(LogicalLoggingTest, ActionCompressionHelps) {
+  const HardwareParams hw = HardwareParams::Paper();
+  PhysicalLoggingModel aries;
+  LogicalLoggingModel logical;
+  // Logical logging sustains a much higher cell-update rate than physical
+  // logging on the same disk (the reason the paper pairs checkpoints with
+  // logical logs).
+  EXPECT_GT(logical.MaxUpdatesPerSecond(hw),
+            5 * aries.MaxUpdatesPerSecond(hw));
+}
+
+TEST(KSafetyTest, UtilizationIsOneOverK) {
+  EXPECT_DOUBLE_EQ(KSafetyModel{1}.Utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(KSafetyModel{2}.Utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(KSafetyModel{4}.Utilization(), 0.25);
+  EXPECT_EQ(KSafetyModel{3}.ServersRequired(100), 300u);
+}
+
+TEST(BaselineComparisonTest, CheckpointRecoveryBeatsKSafetyOnUtilization) {
+  // The trade the paper describes: checkpointing's downtime (seconds) buys
+  // back the (K-1)/K of hardware that active replication burns.
+  const HardwareParams hw = HardwareParams::Paper();
+  const CostModel cost(hw);
+  const StateLayout layout = StateLayout::Paper();
+  const double checkpoint_recovery_downtime =
+      2 * cost.SequentialReadSeconds(layout.num_objects());
+  KSafetyModel ksafety{2};
+  EXPECT_LT(checkpoint_recovery_downtime, 60.0);  // "several minutes" budget
+  EXPECT_GT(checkpoint_recovery_downtime, ksafety.RecoverySeconds());
+  EXPECT_LT(ksafety.Utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace tickpoint

@@ -1,0 +1,132 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tickpoint {
+namespace {
+
+TEST(BitVectorTest, StartsClear) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.CountSet(), 0u);
+  for (uint64_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Get(i));
+}
+
+TEST(BitVectorTest, SetClearAssign) {
+  BitVector bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(99));
+  EXPECT_EQ(bits.CountSet(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Get(63));
+  bits.Assign(63, true);
+  EXPECT_TRUE(bits.Get(63));
+  bits.Assign(63, false);
+  EXPECT_FALSE(bits.Get(63));
+}
+
+TEST(BitVectorTest, FillRespectsPadding) {
+  BitVector bits(70);
+  bits.Fill(true);
+  EXPECT_EQ(bits.CountSet(), 70u);
+  bits.Fill(false);
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+TEST(BitVectorTest, ConstructedFullRespectsPadding) {
+  BitVector bits(65, true);
+  EXPECT_EQ(bits.CountSet(), 65u);
+}
+
+TEST(BitVectorTest, FindNextSet) {
+  BitVector bits(256);
+  bits.Set(3);
+  bits.Set(64);
+  bits.Set(255);
+  EXPECT_EQ(bits.FindNextSet(0), 3u);
+  EXPECT_EQ(bits.FindNextSet(3), 3u);
+  EXPECT_EQ(bits.FindNextSet(4), 64u);
+  EXPECT_EQ(bits.FindNextSet(65), 255u);
+  EXPECT_EQ(bits.FindNextSet(256), 256u);
+  BitVector empty(64);
+  EXPECT_EQ(empty.FindNextSet(0), 64u);
+}
+
+TEST(BitVectorTest, RandomizedAgainstReference) {
+  Rng rng(21);
+  BitVector bits(513);
+  std::vector<bool> reference(513, false);
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t i = rng.Uniform(513);
+    const bool set = rng.Chance(0.5);
+    bits.Assign(i, set);
+    reference[i] = set;
+  }
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < 513; ++i) {
+    EXPECT_EQ(bits.Get(i), reference[i]) << i;
+    expected += reference[i];
+  }
+  EXPECT_EQ(bits.CountSet(), expected);
+}
+
+TEST(InvertibleBitVectorTest, InvertIsConstantTimeClear) {
+  InvertibleBitVector bits(50);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(bits.Get(i));
+    bits.Set(i);
+    EXPECT_TRUE(bits.Get(i));
+  }
+  EXPECT_TRUE(bits.AllSet());
+  bits.InvertInterpretation();
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_FALSE(bits.Get(i));
+  // Second round works identically (the Pu trick across checkpoints).
+  for (uint64_t i = 0; i < 50; ++i) bits.Set(i);
+  EXPECT_TRUE(bits.AllSet());
+  bits.InvertInterpretation();
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_FALSE(bits.Get(i));
+}
+
+TEST(InvertibleBitVectorTest, AllSetDetectsStragglers) {
+  InvertibleBitVector bits(10);
+  for (uint64_t i = 0; i < 9; ++i) bits.Set(i);
+  EXPECT_FALSE(bits.AllSet());
+  bits.Set(9);
+  EXPECT_TRUE(bits.AllSet());
+}
+
+TEST(EpochVectorTest, ClearAllIsBulk) {
+  EpochVector epochs(64);
+  epochs.Set(1);
+  epochs.Set(33);
+  EXPECT_TRUE(epochs.Get(1));
+  EXPECT_TRUE(epochs.Get(33));
+  EXPECT_FALSE(epochs.Get(2));
+  EXPECT_EQ(epochs.CountSet(), 2u);
+  epochs.ClearAll();
+  EXPECT_FALSE(epochs.Get(1));
+  EXPECT_FALSE(epochs.Get(33));
+  EXPECT_EQ(epochs.CountSet(), 0u);
+}
+
+TEST(EpochVectorTest, ManyEpochsStayIsolated) {
+  EpochVector epochs(8);
+  for (int round = 0; round < 1000; ++round) {
+    const uint64_t idx = static_cast<uint64_t>(round) % 8;
+    epochs.Set(idx);
+    EXPECT_TRUE(epochs.Get(idx));
+    EXPECT_EQ(epochs.CountSet(), 1u);
+    epochs.ClearAll();
+  }
+}
+
+}  // namespace
+}  // namespace tickpoint

@@ -1,0 +1,361 @@
+// Tests for the on-disk checkpoint organizations and the logical log.
+#include "engine/checkpoint_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/logical_log.h"
+
+namespace tickpoint {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tp_store_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    layout_ = StateLayout::Small(256, 10);  // 20 objects
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Fills a table with a recognizable pattern keyed by `salt`.
+  StateTable MakeState(int32_t salt) {
+    StateTable table(layout_);
+    for (CellId c = 0; c < layout_.num_cells(); ++c) {
+      table.WriteCell(c, static_cast<int32_t>(c) * 31 + salt);
+    }
+    return table;
+  }
+
+  std::string dir_;
+  StateLayout layout_;
+};
+
+TEST_F(StoreTest, BackupFullImageRoundTrip) {
+  auto store_or = BackupStore::Open(dir_, layout_, /*fsync=*/false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(1);
+
+  ASSERT_TRUE(store.BeginCheckpoint(0).ok());
+  ASSERT_TRUE(store.WriteRange(0, 0, state.data(), layout_.num_objects()).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 7, 42, state.Digest()).ok());
+
+  auto info = store.Inspect(0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->valid);
+  EXPECT_EQ(info->seq, 7u);
+  EXPECT_EQ(info->consistent_tick, 42u);
+
+  StateTable restored(layout_);
+  ASSERT_TRUE(store.ReadAll(0, &restored).ok());
+  EXPECT_TRUE(restored.ContentEquals(state));
+}
+
+TEST_F(StoreTest, BackupBeginWithoutFinishIsInvalid) {
+  auto store_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(2);
+  ASSERT_TRUE(store.BeginCheckpoint(1).ok());
+  ASSERT_TRUE(store.WriteRange(1, 0, state.data(), 5).ok());
+  // No FinishCheckpoint: a crash here must leave the image unusable.
+  auto info = store.Inspect(1);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->valid);
+  StateTable restored(layout_);
+  EXPECT_FALSE(store.ReadAll(1, &restored).ok());
+}
+
+TEST_F(StoreTest, BackupSiblingSurvivesRewrite) {
+  auto store_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable old_state = MakeState(3);
+  ASSERT_TRUE(store.BeginCheckpoint(0).ok());
+  ASSERT_TRUE(
+      store.WriteRange(0, 0, old_state.data(), layout_.num_objects()).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 1, 10, 0).ok());
+
+  // Start (and tear) a write to backup 1: backup 0 stays recoverable.
+  ASSERT_TRUE(store.BeginCheckpoint(1).ok());
+  ASSERT_TRUE(store.WriteRange(1, 0, old_state.data(), 3).ok());
+  StateTable restored(layout_);
+  ASSERT_TRUE(store.ReadAll(0, &restored).ok());
+  EXPECT_TRUE(restored.ContentEquals(old_state));
+}
+
+TEST_F(StoreTest, BackupIncrementalUpdateInPlace) {
+  auto store_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(4);
+  ASSERT_TRUE(store.BeginCheckpoint(0).ok());
+  ASSERT_TRUE(store.WriteRange(0, 0, state.data(), layout_.num_objects()).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 1, 5, 0).ok());
+
+  // Change two objects and write only those at their offsets.
+  for (CellId c = 128; c < 256; ++c) state.WriteCell(c, -1);
+  for (CellId c = 640; c < 768; ++c) state.WriteCell(c, -2);
+  ASSERT_TRUE(store.BeginCheckpoint(0).ok());
+  ASSERT_TRUE(store.WriteRange(0, 1, state.ObjectData(1), 1).ok());
+  ASSERT_TRUE(store.WriteRange(0, 5, state.ObjectData(5), 1).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 2, 9, state.Digest()).ok());
+
+  StateTable restored(layout_);
+  ASSERT_TRUE(store.ReadAll(0, &restored).ok());
+  EXPECT_TRUE(restored.ContentEquals(state));
+}
+
+TEST_F(StoreTest, BackupStateCrcDetectsBitRot) {
+  auto store_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(5);
+  ASSERT_TRUE(store.BeginCheckpoint(0).ok());
+  ASSERT_TRUE(store.WriteRange(0, 0, state.data(), layout_.num_objects()).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 1, 1, state.Digest()).ok());
+
+  // Flip one data byte on disk behind the store's back.
+  {
+    FileWriter vandal;
+    ASSERT_TRUE(vandal.OpenForUpdate(store.path(0)).ok());
+    const char evil = 0x66;
+    ASSERT_TRUE(vandal.WriteAt(512 + 1000, &evil, 1).ok());
+    ASSERT_TRUE(vandal.Close().ok());
+  }
+  StateTable restored(layout_);
+  const Status status = store.ReadAll(0, &restored);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(StoreTest, LogFullFlushAndIncrementsRestore) {
+  auto store_or = LogStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(6);
+
+  // Generation 0: full flush of the pristine state.
+  ASSERT_TRUE(store.BeginGeneration(0).ok());
+  ASSERT_TRUE(store.BeginSegment(0, 1, true, layout_.num_objects()).ok());
+  for (ObjectId o = 0; o < layout_.num_objects(); ++o) {
+    ASSERT_TRUE(store.AppendObject(o, state.ObjectData(o)).ok());
+  }
+  ASSERT_TRUE(store.CommitSegment().ok());
+
+  // Two incremental segments with object changes.
+  for (CellId c = 0; c < 128; ++c) state.WriteCell(c, 111);
+  ASSERT_TRUE(store.BeginSegment(1, 2, false, 1).ok());
+  ASSERT_TRUE(store.AppendObject(0, state.ObjectData(0)).ok());
+  ASSERT_TRUE(store.CommitSegment().ok());
+
+  for (CellId c = 1280; c < 1408; ++c) state.WriteCell(c, 222);
+  ASSERT_TRUE(store.BeginSegment(2, 3, false, 1).ok());
+  ASSERT_TRUE(store.AppendObject(10, state.ObjectData(10)).ok());
+  ASSERT_TRUE(store.CommitSegment().ok());
+
+  StateTable restored(layout_);
+  auto image = store.Restore(&restored);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->seq, 2u);
+  EXPECT_EQ(image->consistent_tick, 3u);
+  EXPECT_TRUE(restored.ContentEquals(state));
+}
+
+TEST_F(StoreTest, LogTornTailIgnored) {
+  auto store_or = LogStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(7);
+  ASSERT_TRUE(store.BeginGeneration(0).ok());
+  ASSERT_TRUE(store.BeginSegment(0, 1, true, layout_.num_objects()).ok());
+  for (ObjectId o = 0; o < layout_.num_objects(); ++o) {
+    ASSERT_TRUE(store.AppendObject(o, state.ObjectData(o)).ok());
+  }
+  ASSERT_TRUE(store.CommitSegment().ok());
+  const StateTable committed = MakeState(7);
+
+  // Torn segment: declared 3 objects, only 1 appended, never committed.
+  state.WriteCell(0, -99);
+  ASSERT_TRUE(store.BeginSegment(1, 2, false, 3).ok());
+  ASSERT_TRUE(store.AppendObject(0, state.ObjectData(0)).ok());
+  store.AbortSegment();
+
+  StateTable restored(layout_);
+  auto image = store.Restore(&restored);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->seq, 0u);
+  EXPECT_TRUE(restored.ContentEquals(committed));
+}
+
+TEST_F(StoreTest, LogFallsBackToOlderGeneration) {
+  auto store_or = LogStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable gen0_state = MakeState(8);
+  ASSERT_TRUE(store.BeginGeneration(0).ok());
+  ASSERT_TRUE(store.BeginSegment(0, 1, true, layout_.num_objects()).ok());
+  for (ObjectId o = 0; o < layout_.num_objects(); ++o) {
+    ASSERT_TRUE(store.AppendObject(o, gen0_state.ObjectData(o)).ok());
+  }
+  ASSERT_TRUE(store.CommitSegment().ok());
+
+  // Generation 1's full flush tears mid-way (crash before commit).
+  ASSERT_TRUE(store.BeginGeneration(1).ok());
+  ASSERT_TRUE(store.BeginSegment(1, 9, true, layout_.num_objects()).ok());
+  ASSERT_TRUE(store.AppendObject(0, gen0_state.ObjectData(0)).ok());
+  store.AbortSegment();
+
+  StateTable restored(layout_);
+  auto image = store.Restore(&restored);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->consistent_tick, 1u);
+  EXPECT_TRUE(restored.ContentEquals(gen0_state));
+}
+
+TEST_F(StoreTest, LogReopenDiscoversGenerations) {
+  {
+    auto store_or = LogStore::Open(dir_, layout_, false);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = *store_or.value();
+    StateTable state = MakeState(9);
+    ASSERT_TRUE(store.BeginGeneration(3).ok());
+    ASSERT_TRUE(store.BeginSegment(12, 30, true, layout_.num_objects()).ok());
+    for (ObjectId o = 0; o < layout_.num_objects(); ++o) {
+      ASSERT_TRUE(store.AppendObject(o, state.ObjectData(o)).ok());
+    }
+    ASSERT_TRUE(store.CommitSegment().ok());
+  }
+  // A cold open (as recovery does) must find generation 3.
+  auto reopened_or = LogStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ(reopened_or.value()->current_generation(), 3u);
+  StateTable restored(layout_);
+  auto image = reopened_or.value()->Restore(&restored);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->seq, 12u);
+  EXPECT_TRUE(restored.ContentEquals(MakeState(9)));
+}
+
+TEST_F(StoreTest, LogDropGenerations) {
+  auto store_or = LogStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(10);
+  for (uint64_t gen = 0; gen < 3; ++gen) {
+    ASSERT_TRUE(store.BeginGeneration(gen).ok());
+    ASSERT_TRUE(
+        store.BeginSegment(gen, gen + 1, true, layout_.num_objects()).ok());
+    for (ObjectId o = 0; o < layout_.num_objects(); ++o) {
+      ASSERT_TRUE(store.AppendObject(o, state.ObjectData(o)).ok());
+    }
+    ASSERT_TRUE(store.CommitSegment().ok());
+  }
+  ASSERT_TRUE(store.DropGenerationsBefore(2).ok());
+  EXPECT_FALSE(FileExists(dir_ + "/log-0.img"));
+  EXPECT_FALSE(FileExists(dir_ + "/log-1.img"));
+  EXPECT_TRUE(FileExists(dir_ + "/log-2.img"));
+}
+
+TEST_F(StoreTest, LogicalLogRoundTrip) {
+  const std::string path = dir_ + "/logical.log";
+  ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  {
+    auto log_or = LogicalLog::Create(path, 1);
+    ASSERT_TRUE(log_or.ok());
+    auto& log = *log_or.value();
+    std::vector<CellUpdate> t0 = {{0, 10}, {5, 50}};
+    std::vector<CellUpdate> t1 = {};  // empty tick is legal
+    std::vector<CellUpdate> t2 = {{0, 11}, {9, 90}};
+    ASSERT_TRUE(log.AppendTick(0, t0).ok());
+    ASSERT_TRUE(log.AppendTick(1, t1).ok());
+    ASSERT_TRUE(log.AppendTick(2, t2).ok());
+    EXPECT_EQ(log.ticks_appended(), 3u);
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto count = LogicalLog::CountDurableTicks(path);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3u);
+
+  StateTable table(layout_);
+  auto stats = LogicalLog::Replay(path, 0, UINT64_MAX, &table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, 3u);
+  EXPECT_EQ(stats->last_tick, 2u);
+  EXPECT_EQ(table.ReadCell(0), 11);  // overwritten by tick 2
+  EXPECT_EQ(table.ReadCell(5), 50);
+  EXPECT_EQ(table.ReadCell(9), 90);
+}
+
+TEST_F(StoreTest, LogicalLogRangeFilter) {
+  const std::string path = dir_ + "/logical.log";
+  ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  {
+    auto log_or = LogicalLog::Create(path, 1);
+    ASSERT_TRUE(log_or.ok());
+    for (uint64_t t = 0; t < 5; ++t) {
+      std::vector<CellUpdate> updates = {
+          {static_cast<uint32_t>(t), static_cast<int32_t>(t + 100)}};
+      ASSERT_TRUE(log_or.value()->AppendTick(t, updates).ok());
+    }
+    ASSERT_TRUE(log_or.value()->Close().ok());
+  }
+  StateTable table(layout_);
+  auto stats = LogicalLog::Replay(path, 2, 3, &table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, 2u);
+  EXPECT_EQ(table.ReadCell(0), 0);    // tick 0 excluded
+  EXPECT_EQ(table.ReadCell(2), 102);  // tick 2 included
+  EXPECT_EQ(table.ReadCell(3), 103);  // tick 3 included
+  EXPECT_EQ(table.ReadCell(4), 0);    // tick 4 excluded
+}
+
+TEST_F(StoreTest, LogicalLogTornTailStopsReplay) {
+  const std::string path = dir_ + "/logical.log";
+  ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  {
+    auto log_or = LogicalLog::Create(path, 1);
+    ASSERT_TRUE(log_or.ok());
+    std::vector<CellUpdate> updates = {{1, 5}};
+    ASSERT_TRUE(log_or.value()->AppendTick(0, updates).ok());
+    ASSERT_TRUE(log_or.value()->AppendTick(1, updates).ok());
+    ASSERT_TRUE(log_or.value()->Close().ok());
+  }
+  // Truncate mid-way through the second record (simulated torn write).
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  bytes.resize(bytes.size() - 5);
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+
+  StateTable table(layout_);
+  auto stats = LogicalLog::Replay(path, 0, UINT64_MAX, &table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, 1u);
+  EXPECT_EQ(stats->last_tick, 0u);
+}
+
+TEST_F(StoreTest, LogicalLogGroupCommitWindow) {
+  const std::string path = dir_ + "/logical.log";
+  ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  auto log_or = LogicalLog::Create(path, /*sync_every=*/4);
+  ASSERT_TRUE(log_or.ok());
+  std::vector<CellUpdate> updates = {{1, 5}};
+  for (uint64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(log_or.value()->AppendTick(t, updates).ok());
+  }
+  // Records are buffered; before Close/Sync only whole group commits are
+  // guaranteed durable. After Close, all 10 are.
+  ASSERT_TRUE(log_or.value()->Close().ok());
+  auto count = LogicalLog::CountDurableTicks(path);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 10u);
+}
+
+}  // namespace
+}  // namespace tickpoint

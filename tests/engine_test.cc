@@ -1,0 +1,276 @@
+// End-to-end tests of the real checkpointing engine: the central property
+// is that for EVERY algorithm and EVERY crash point, Recover() rebuilds
+// exactly the state the engine held when it crashed.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/mutator.h"
+#include "engine/recovery.h"
+#include "trace/zipf_source.h"
+
+namespace tickpoint {
+namespace {
+
+StateLayout TestLayout() { return StateLayout::Small(2048, 10); }  // 160 objects
+
+ZipfTraceConfig TraceConfig(uint64_t ticks, uint64_t updates_per_tick) {
+  ZipfTraceConfig config;
+  config.layout = TestLayout();
+  config.num_ticks = ticks;
+  config.updates_per_tick = updates_per_tick;
+  config.theta = 0.6;
+  config.seed = 1234;
+  return config;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tp_engine_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name())))
+               .string();
+    // Parameterized test names contain '/', which breaks paths.
+    for (auto& c : dir_) {
+      if (c == '/') c = '_';
+    }
+    dir_ = (std::filesystem::temp_directory_path() / dir_).string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  EngineConfig Config(AlgorithmKind kind) {
+    EngineConfig config;
+    config.layout = TestLayout();
+    config.algorithm = kind;
+    config.dir = dir_;
+    config.fsync = false;  // simulated crashes: page cache is "durable"
+    config.full_flush_period = 3;
+    return config;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EngineTest, RunsAndShutsDownCleanly) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kCopyOnUpdate));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(30, 200));
+  auto report = RunWorkload(&engine, &source, MutatorOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ticks, 30u);
+  EXPECT_FALSE(report->crashed);
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(engine.metrics().updates, 30u * 200u);
+  EXPECT_GE(engine.metrics().checkpoints.size(), 1u);
+}
+
+TEST_F(EngineTest, StateMatchesReferenceExecution) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kDribble));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(25, 300));
+  ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+
+  StateTable reference(TestLayout());
+  ApplyWorkloadToTable(&source, 25, &reference);
+  EXPECT_TRUE(engine.state().ContentEquals(reference));
+}
+
+TEST_F(EngineTest, RecoverAfterCleanShutdownRebuildsFinalState) {
+  const EngineConfig config = Config(AlgorithmKind::kCopyOnUpdate);
+  uint32_t final_digest = 0;
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok());
+    ZipfUpdateSource source(TraceConfig(40, 250));
+    ASSERT_TRUE(RunWorkload(engine_or.value().get(), &source,
+                            MutatorOptions{})
+                    .ok());
+    ASSERT_TRUE(engine_or.value()->Shutdown().ok());
+    final_digest = engine_or.value()->state().Digest();
+  }
+  StateTable recovered(TestLayout());
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(recovered.Digest(), final_digest);
+  EXPECT_EQ(result->recovered_ticks, 40u);
+}
+
+TEST_F(EngineTest, EarlyCrashRecoversFromLogicalLogAlone) {
+  // Crash after tick 0: no checkpoint has completed. Recovery must rebuild
+  // purely from the logical log on a zeroed table.
+  const EngineConfig config = Config(AlgorithmKind::kNaiveSnapshot);
+  auto engine_or = Engine::Open(config);
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(10, 100));
+  MutatorOptions options;
+  options.crash_after_tick = 0;
+  auto report = RunWorkload(&engine, &source, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->crashed);
+
+  StateTable recovered(TestLayout());
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recovered_ticks, 1u);
+  EXPECT_TRUE(recovered.ContentEquals(engine.state()));
+}
+
+TEST_F(EngineTest, ChecksummedSnapshotSurvivesRestore) {
+  EngineConfig config = Config(AlgorithmKind::kNaiveSnapshot);
+  config.checksum_state = true;
+  auto engine_or = Engine::Open(config);
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(20, 150));
+  ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  ASSERT_GE(engine.metrics().checkpoints.size(), 1u);
+
+  StateTable recovered(TestLayout());
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->restored_from_checkpoint);
+  EXPECT_TRUE(recovered.ContentEquals(engine.state()));
+}
+
+TEST_F(EngineTest, EagerCheckpointsRecordPauses) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kNaiveSnapshot));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(20, 100));
+  ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  for (const auto& record : engine.metrics().checkpoints) {
+    EXPECT_GT(record.sync_seconds, 0.0);
+    EXPECT_GT(record.async_seconds, 0.0);
+    EXPECT_TRUE(record.all_objects);
+    EXPECT_EQ(record.objects_written, TestLayout().num_objects());
+  }
+  // Naive-Snapshot never copies on update.
+  EXPECT_EQ(engine.metrics().cou_copies, 0u);
+}
+
+TEST_F(EngineTest, CopyOnUpdateCopiesAreBounded) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kCopyOnUpdate));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(40, 400));
+  ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  // Per checkpoint, at most one pre-image copy per member object; across
+  // the run, copies can never exceed checkpoints * objects.
+  const uint64_t n = TestLayout().num_objects();
+  EXPECT_LE(engine.metrics().cou_copies,
+            (engine.metrics().checkpoints.size() + 1) * n);
+  EXPECT_GT(engine.metrics().updates, 0u);
+}
+
+TEST_F(EngineTest, PartialRedoWritesFullFlushEveryC) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kPartialRedo));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(60, 200));
+  ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  ASSERT_GE(engine.metrics().checkpoints.size(), 4u);
+  for (const auto& record : engine.metrics().checkpoints) {
+    EXPECT_EQ(record.full_flush, record.seq % 3 == 0) << record.seq;
+    if (!record.full_flush) {
+      EXPECT_LT(record.objects_written, TestLayout().num_objects());
+    }
+  }
+}
+
+TEST_F(EngineTest, PacedRunHoldsTickRate) {
+  auto engine_or = Engine::Open(Config(AlgorithmKind::kCopyOnUpdate));
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  ZipfUpdateSource source(TraceConfig(20, 50));
+  MutatorOptions options;
+  options.tick_hz = 200.0;  // 5 ms ticks: fast but schedulable
+  options.query_reads_per_tick = 100;
+  auto report = RunWorkload(&engine, &source, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  // 20 ticks at 5 ms = 100 ms minimum.
+  EXPECT_GE(report->wall_seconds, 0.095);
+}
+
+// ---- The crash-recovery property, across algorithms and crash points ----
+
+struct CrashCase {
+  AlgorithmKind kind;
+  uint64_t crash_tick;
+};
+
+class CrashRecoveryTest : public EngineTest,
+                          public ::testing::WithParamInterface<CrashCase> {
+ protected:
+  void SetUp() override { EngineTest::SetUp(); }
+};
+
+TEST_P(CrashRecoveryTest, RecoveredStateEqualsStateAtCrash) {
+  const CrashCase param = GetParam();
+  const EngineConfig config = Config(param.kind);
+  auto engine_or = Engine::Open(config);
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+
+  ZipfUpdateSource source(TraceConfig(40, 300));
+  MutatorOptions options;
+  options.crash_after_tick = param.crash_tick;
+  auto report = RunWorkload(&engine, &source, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->crashed);
+
+  // Reference: the same workload applied to a bare table up to the crash.
+  StateTable reference(TestLayout());
+  ApplyWorkloadToTable(&source, param.crash_tick + 1, &reference);
+  ASSERT_TRUE(engine.state().ContentEquals(reference))
+      << "engine diverged from reference before the crash";
+
+  StateTable recovered(TestLayout());
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->recovered_ticks, param.crash_tick + 1);
+  EXPECT_TRUE(recovered.ContentEquals(reference))
+      << AlgorithmName(param.kind) << " crash@" << param.crash_tick
+      << ": recovered state diverges";
+}
+
+std::string CrashCaseName(const ::testing::TestParamInfo<CrashCase>& info) {
+  return std::string(GetTraits(info.param.kind).short_name) + "_tick" +
+         std::to_string(info.param.crash_tick);
+}
+
+std::vector<CrashCase> AllCrashCases() {
+  std::vector<CrashCase> cases;
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    for (uint64_t tick : {2ull, 9ull, 23ull, 38ull}) {
+      cases.push_back({kind, tick});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithmsAllCrashPoints, CrashRecoveryTest,
+                         ::testing::ValuesIn(AllCrashCases()),
+                         [](const auto& info) {
+                           std::string name = CrashCaseName(info);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace tickpoint

@@ -1,0 +1,257 @@
+// Tests for the Knights-and-Archers prototype game server.
+#include "game/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/stats.h"
+
+namespace tickpoint {
+namespace game {
+namespace {
+
+WorldConfig SmallWorld() {
+  WorldConfig config;
+  config.num_units = 6000;
+  config.map_size = 1024;
+  config.spawn_radius = 420;
+  config.seed = 12345;
+  return config;
+}
+
+TEST(WorldTest, ActiveSetSizeIsTenPercentAndConstant) {
+  World world(SmallWorld());
+  const size_t expected =
+      static_cast<size_t>(SmallWorld().num_units * 0.10);
+  EXPECT_EQ(world.active_units().size(), expected);
+  for (int t = 0; t < 50; ++t) {
+    world.Tick();
+    EXPECT_EQ(world.active_units().size(), expected);
+  }
+}
+
+TEST(WorldTest, ActiveSetHasNoDuplicates) {
+  World world(SmallWorld());
+  for (int t = 0; t < 20; ++t) {
+    world.Tick();
+    std::set<UnitId> seen(world.active_units().begin(),
+                          world.active_units().end());
+    EXPECT_EQ(seen.size(), world.active_units().size());
+  }
+}
+
+TEST(WorldTest, ActiveSetRenewsOverTime) {
+  // Paper: "completely renewed every 100 ticks with high probability".
+  // "Renewed" means no unit stays continuously active for 100 ticks; a unit
+  // may leave and randomly rejoin later (at the ~10% background rate).
+  World world(SmallWorld());
+  std::set<UnitId> continuously_active(world.active_units().begin(),
+                                       world.active_units().end());
+  const size_t initial_size = continuously_active.size();
+  for (int t = 0; t < 100; ++t) {
+    world.Tick();
+    std::set<UnitId> now(world.active_units().begin(),
+                         world.active_units().end());
+    std::set<UnitId> still;
+    for (UnitId u : continuously_active) {
+      if (now.count(u)) still.insert(u);
+    }
+    continuously_active.swap(still);
+  }
+  // Expectation: 600 * 0.95^100 ~= 3.5 continuous survivors.
+  EXPECT_LT(continuously_active.size(), initial_size / 20);
+  // And the set as a whole is mostly fresh (overlap ~10% by chance).
+  std::set<UnitId> initial_again;  // recompute deterministic initial set
+  World fresh(SmallWorld());
+  initial_again.insert(fresh.active_units().begin(),
+                       fresh.active_units().end());
+  size_t overlap = 0;
+  for (UnitId u : world.active_units()) overlap += initial_again.count(u);
+  EXPECT_LT(overlap, initial_size / 4);
+}
+
+TEST(WorldTest, UnitsStayOnTheMap) {
+  World world(SmallWorld());
+  for (int t = 0; t < 60; ++t) world.Tick();
+  const UnitTable& units = world.units();
+  for (UnitId u = 0; u < world.num_units(); ++u) {
+    EXPECT_GE(units.x(u), 0);
+    EXPECT_LT(units.x(u), SmallWorld().map_size);
+    EXPECT_GE(units.y(u), 0);
+    EXPECT_LT(units.y(u), SmallWorld().map_size);
+  }
+}
+
+TEST(WorldTest, HealthStaysInRange) {
+  World world(SmallWorld());
+  for (int t = 0; t < 120; ++t) {
+    world.Tick();
+    for (UnitId u : world.active_units()) {
+      EXPECT_GE(world.units().health(u), 0);
+      EXPECT_LE(world.units().health(u), kMaxHealth);
+    }
+  }
+}
+
+TEST(WorldTest, CombatActuallyHappens) {
+  World world(SmallWorld());
+  for (int t = 0; t < 200; ++t) world.Tick();
+  int64_t total_kills = 0;
+  int damaged = 0;
+  for (UnitId u = 0; u < world.num_units(); ++u) {
+    total_kills += world.units().Get(u, kAttrKills);
+    damaged += (world.units().health(u) < kMaxHealth);
+  }
+  EXPECT_GT(damaged, 0) << "no unit ever took damage";
+  EXPECT_GT(total_kills, 0) << "no unit was ever defeated";
+}
+
+TEST(WorldTest, AllThreeTypesSpawn) {
+  World world(SmallWorld());
+  int counts[3] = {0, 0, 0};
+  for (UnitId u = 0; u < world.num_units(); ++u) {
+    ++counts[static_cast<int>(world.units().type(u))];
+  }
+  EXPECT_GT(counts[0], 0);  // knights
+  EXPECT_GT(counts[1], 0);  // archers
+  EXPECT_GT(counts[2], 0);  // healers
+  // Roughly half the units are knights.
+  EXPECT_NEAR(counts[0], world.num_units() / 2.0, world.num_units() * 0.05);
+}
+
+TEST(WorldTest, TeamsAreBalanced) {
+  World world(SmallWorld());
+  int team0 = 0;
+  for (UnitId u = 0; u < world.num_units(); ++u) {
+    team0 += (world.units().team(u) == 0);
+  }
+  EXPECT_EQ(team0, static_cast<int>(world.num_units()) / 2);
+}
+
+TEST(WorldTest, DeterministicAcrossRuns) {
+  World a(SmallWorld());
+  World b(SmallWorld());
+  for (int t = 0; t < 50; ++t) {
+    a.Tick();
+    b.Tick();
+  }
+  for (UnitId u = 0; u < a.num_units(); ++u) {
+    for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
+      ASSERT_EQ(a.units().Get(u, attr), b.units().Get(u, attr))
+          << "unit " << u << " attr " << attr;
+    }
+  }
+}
+
+TEST(GameTraceTest, TraceIsDeterministic) {
+  MaterializedTrace a = RecordGameTrace(SmallWorld(), 30);
+  MaterializedTrace b = RecordGameTrace(SmallWorld(), 30);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(GameTraceTest, TraceLayoutMatchesWorld) {
+  MaterializedTrace trace = RecordGameTrace(SmallWorld(), 10);
+  EXPECT_EQ(trace.layout().rows, SmallWorld().num_units);
+  EXPECT_EQ(trace.layout().cols, kNumAttributes);
+  EXPECT_EQ(trace.num_ticks(), 10u);
+}
+
+TEST(GameTraceTest, UpdatesComeFromActiveUnitsAtPlausibleRate) {
+  const WorldConfig config = SmallWorld();
+  MaterializedTrace trace = RecordGameTrace(config, 60);
+  const TraceStats stats = ComputeTraceStats(&trace);
+  const double active = config.num_units * config.active_fraction;
+  // Paper Table 5: ~0.9 attribute updates per active unit per tick.
+  // Accept a generous band; the shape (order of magnitude) is what matters.
+  EXPECT_GT(stats.avg_updates_per_tick, active * 0.2);
+  EXPECT_LT(stats.avg_updates_per_tick, active * 4.0);
+  // Updates must reference valid cells.
+  trace.Reset();
+  std::vector<TraceCell> cells;
+  while (trace.NextTick(&cells)) {
+    for (TraceCell cell : cells) {
+      ASSERT_LT(cell, trace.layout().num_cells());
+    }
+  }
+}
+
+TEST(GameTraceTest, PositionUpdatesDominate) {
+  // Paper Section 5.4: "many characters update their position during each
+  // tick ... other attributes such as health remain relatively stable".
+  MaterializedTrace trace = RecordGameTrace(SmallWorld(), 60);
+  trace.Reset();
+  std::vector<TraceCell> cells;
+  uint64_t position_updates = 0, health_updates = 0, total = 0;
+  while (trace.NextTick(&cells)) {
+    for (TraceCell cell : cells) {
+      const uint32_t attr = cell % kNumAttributes;
+      position_updates += (attr == kAttrX || attr == kAttrY);
+      health_updates += (attr == kAttrHealth);
+      ++total;
+    }
+  }
+  EXPECT_GT(position_updates, total / 4);
+  EXPECT_LT(health_updates, position_updates);
+}
+
+TEST(GameTraceTest, SinkSuppressesNoOpWrites) {
+  UnitTable table(4);
+  class CountingSink : public UpdateSink {
+   public:
+    void OnUpdate(UnitId, uint32_t, int32_t) override { ++count; }
+    int count = 0;
+  } sink;
+  table.set_sink(&sink);
+  table.Set(0, kAttrHealth, 50);
+  EXPECT_EQ(sink.count, 1);
+  table.Set(0, kAttrHealth, 50);  // unchanged: suppressed
+  EXPECT_EQ(sink.count, 1);
+  table.Set(0, kAttrHealth, 51);
+  EXPECT_EQ(sink.count, 2);
+}
+
+TEST(GridTest, FindsNearestEnemyOnly) {
+  UnitTable units(4);
+  auto place = [&](UnitId u, int32_t team, int32_t x, int32_t y) {
+    units.SetRaw(u, kAttrTeam, team);
+    units.SetRaw(u, kAttrX, x);
+    units.SetRaw(u, kAttrY, y);
+    units.SetRaw(u, kAttrHealth, kMaxHealth);
+  };
+  place(0, 0, 100, 100);
+  place(1, 0, 110, 100);  // ally
+  place(2, 1, 130, 100);  // enemy, near
+  place(3, 1, 300, 100);  // enemy, far
+  SpatialGrid grid(1024, 6);
+  grid.Rebuild(units, {0, 1, 2, 3});
+  EXPECT_EQ(grid.NearestEnemy(units, 0, 64), 2u);
+  EXPECT_EQ(grid.NearestAlly(units, 0, 64), 1u);
+  // Radius excludes the near enemy -> none found.
+  EXPECT_EQ(grid.NearestEnemy(units, 0, 16), kNoUnit);
+}
+
+TEST(GridTest, WeakestAllyPrefersLowestHealth) {
+  UnitTable units(4);
+  auto place = [&](UnitId u, int32_t health, int32_t x) {
+    units.SetRaw(u, kAttrTeam, 0);
+    units.SetRaw(u, kAttrX, x);
+    units.SetRaw(u, kAttrY, 100);
+    units.SetRaw(u, kAttrHealth, health);
+  };
+  place(0, kMaxHealth, 100);
+  place(1, 70, 110);
+  place(2, 30, 120);
+  place(3, kMaxHealth, 130);  // full health: not a patient
+  SpatialGrid grid(1024, 6);
+  grid.Rebuild(units, {0, 1, 2, 3});
+  EXPECT_EQ(grid.WeakestAlly(units, 0, 100), 2u);
+  // Dead allies are not patients.
+  units.SetRaw(2, kAttrHealth, 0);
+  grid.Rebuild(units, {0, 1, 2, 3});
+  EXPECT_EQ(grid.WeakestAlly(units, 0, 100), 1u);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace tickpoint

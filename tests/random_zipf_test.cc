@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace tickpoint {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.Next());
+  rng.Reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.Next(), first[i]);
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeCoversBothEndpoints) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(1);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  for (int r = 0; r < 100; ++r) {
+    EXPECT_NEAR(counts[r], kDraws / 100, kDraws / 100 * 0.15) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, RanksAlwaysInRange) {
+  ZipfGenerator zipf(50, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 50u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHotRanks) {
+  Rng rng(3);
+  ZipfGenerator mild(10000, 0.5);
+  ZipfGenerator heavy(10000, 0.99);
+  constexpr int kDraws = 100000;
+  auto top100_share = [&](ZipfGenerator& zipf) {
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += (zipf.Next(&rng) < 100);
+    return static_cast<double>(hits) / kDraws;
+  };
+  const double mild_share = top100_share(mild);
+  const double heavy_share = top100_share(heavy);
+  EXPECT_GT(heavy_share, mild_share * 2);
+  EXPECT_GT(heavy_share, 0.4);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatchesProbability) {
+  ZipfGenerator zipf(1000, 0.8);
+  Rng rng(17);
+  constexpr int kDraws = 500000;
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  // Check the head of the distribution where counts are statistically solid.
+  for (int r : {0, 1, 2, 5, 10}) {
+    const double expected = zipf.Probability(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, expected * 0.2 + 30) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(500, 0.7);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < 500; ++r) sum += zipf.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SingleItemAlwaysRankZero) {
+  ZipfGenerator zipf(1, 0.8);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(ZipfTest, MonotoneDecreasingProbabilities) {
+  ZipfGenerator zipf(100, 0.6);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1));
+  }
+}
+
+}  // namespace
+}  // namespace tickpoint

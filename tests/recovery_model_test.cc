@@ -1,0 +1,128 @@
+// Focused tests of the recovery-time model (paper Section 4.2) and its
+// interaction with measured checkpoint metrics.
+#include "core/recovery_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tickpoint {
+namespace {
+
+SimMetrics MetricsWithCheckpoints(
+    std::initializer_list<std::tuple<uint64_t, bool, double, double>>
+        checkpoints) {
+  // tuple: (objects, full_flush, sync_seconds, async_seconds)
+  SimMetrics metrics;
+  uint64_t seq = 0;
+  for (const auto& [objects, full, sync, async] : checkpoints) {
+    CheckpointRecord record;
+    record.seq = seq++;
+    record.objects_written = objects;
+    record.full_flush = full;
+    record.sync_seconds = sync;
+    record.async_seconds = async;
+    metrics.checkpoints.push_back(record);
+  }
+  return metrics;
+}
+
+TEST(RecoveryModelTest, NonPartialRedoIsRestorePlusReplay) {
+  const StateLayout layout = StateLayout::Paper();
+  const CostModel cost{HardwareParams::Paper()};
+  const SimMetrics metrics =
+      MetricsWithCheckpoints({{78125, false, 0.018, 0.667},
+                              {78125, false, 0.018, 0.667}});
+  const RecoveryEstimate estimate =
+      EstimateRecovery(GetTraits(AlgorithmKind::kNaiveSnapshot), metrics,
+                       layout, cost, SimParams{});
+  EXPECT_NEAR(estimate.restore_seconds, 0.667, 0.01);
+  EXPECT_NEAR(estimate.replay_seconds, 0.685, 0.001);
+  EXPECT_NEAR(estimate.total_seconds(),
+              estimate.restore_seconds + estimate.replay_seconds, 1e-12);
+}
+
+TEST(RecoveryModelTest, PartialRedoExcludesFullFlushesFromK) {
+  const StateLayout layout = StateLayout::Paper();
+  const CostModel cost{HardwareParams::Paper()};
+  // Two incremental checkpoints of 1000 objects and one full flush: k must
+  // be 1000, not the average over all three.
+  const SimMetrics metrics = MetricsWithCheckpoints(
+      {{78125, true, 0.0, 0.667}, {1000, false, 0.0, 0.009},
+       {1000, false, 0.0, 0.009}});
+  SimParams params;
+  params.full_flush_period = 9;
+  const RecoveryEstimate estimate = EstimateRecovery(
+      GetTraits(AlgorithmKind::kPartialRedo), metrics, layout, cost, params);
+  EXPECT_DOUBLE_EQ(
+      estimate.restore_seconds,
+      cost.PartialRedoRestoreSeconds(1000.0, 9, layout.num_objects()));
+  EXPECT_EQ(metrics.AvgObjectsPerCheckpoint(true), 1000.0);
+  EXPECT_NE(metrics.AvgObjectsPerCheckpoint(false), 1000.0);
+}
+
+TEST(RecoveryModelTest, RecoveryGrowsWithFullFlushPeriod) {
+  const StateLayout layout = StateLayout::Paper();
+  const CostModel cost{HardwareParams::Paper()};
+  const SimMetrics metrics =
+      MetricsWithCheckpoints({{20000, false, 0.0, 0.17}});
+  double previous = 0.0;
+  for (uint64_t period : {2u, 4u, 8u, 16u}) {
+    SimParams params;
+    params.full_flush_period = period;
+    const RecoveryEstimate estimate =
+        EstimateRecovery(GetTraits(AlgorithmKind::kCopyOnUpdatePartialRedo),
+                         metrics, layout, cost, params);
+    EXPECT_GT(estimate.restore_seconds, previous);
+    previous = estimate.restore_seconds;
+  }
+}
+
+TEST(RecoveryModelTest, NoCheckpointsMeansZeroReplay) {
+  const StateLayout layout = StateLayout::Paper();
+  const CostModel cost{HardwareParams::Paper()};
+  const SimMetrics metrics;
+  const RecoveryEstimate estimate =
+      EstimateRecovery(GetTraits(AlgorithmKind::kCopyOnUpdate), metrics,
+                       layout, cost, SimParams{});
+  EXPECT_DOUBLE_EQ(estimate.replay_seconds, 0.0);
+  EXPECT_GT(estimate.restore_seconds, 0.0);
+}
+
+TEST(SimMetricsTest, CheckpointAverages) {
+  const SimMetrics metrics = MetricsWithCheckpoints(
+      {{100, false, 0.01, 0.10}, {200, false, 0.02, 0.20}});
+  EXPECT_DOUBLE_EQ(metrics.AvgCheckpointSeconds(), (0.11 + 0.22) / 2);
+  EXPECT_DOUBLE_EQ(metrics.AvgObjectsPerCheckpoint(false), 150.0);
+  EXPECT_DOUBLE_EQ(metrics.checkpoints[0].TotalSeconds(), 0.11);
+  EXPECT_DOUBLE_EQ(metrics.checkpoints[0].EndTime(),
+                   metrics.checkpoints[0].start_time + 0.10);
+}
+
+TEST(SimMetricsTest, EmptyMetricsAreZero) {
+  const SimMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.AvgCheckpointSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.AvgObjectsPerCheckpoint(true), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.AvgOverheadSeconds(), 0.0);
+}
+
+// Property sweep: the closed-form restore formula is monotone in all its
+// arguments, for every algorithm that uses it.
+class RestoreFormulaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RestoreFormulaTest, MonotoneInDirtyCount) {
+  const uint64_t period = GetParam();
+  const CostModel cost{HardwareParams::Paper()};
+  const uint64_t n = StateLayout::Paper().num_objects();
+  double previous = 0.0;
+  for (double k : {0.0, 100.0, 10000.0, 50000.0, static_cast<double>(n)}) {
+    const double restore = cost.PartialRedoRestoreSeconds(k, period, n);
+    EXPECT_GE(restore, previous);
+    EXPECT_GE(restore, cost.SequentialReadSeconds(n) - 1e-12);
+    previous = restore;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, RestoreFormulaTest,
+                         ::testing::Values(1, 2, 9, 50));
+
+}  // namespace
+}  // namespace tickpoint

@@ -1,0 +1,279 @@
+// Integration tests: lockstep simulation over Zipf traces, checked against
+// the closed-form values and orderings the paper reports.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/zipf_source.h"
+
+namespace tickpoint {
+namespace {
+
+std::map<AlgorithmKind, AlgorithmRunResult> ResultMap(
+    std::vector<AlgorithmRunResult> results) {
+  std::map<AlgorithmKind, AlgorithmRunResult> map;
+  for (auto& result : results) map.emplace(result.kind, std::move(result));
+  return map;
+}
+
+// Paper-scale layout but few ticks, to keep tests fast.
+ZipfTraceConfig PaperishConfig(uint64_t updates_per_tick, double theta,
+                               uint64_t ticks = 120) {
+  ZipfTraceConfig config;
+  config.layout = StateLayout::Paper();
+  config.num_ticks = ticks;
+  config.updates_per_tick = updates_per_tick;
+  config.theta = theta;
+  config.seed = 99;
+  return config;
+}
+
+TEST(LockstepSimulatorTest, AllSixAlgorithmsRun) {
+  ZipfUpdateSource source(PaperishConfig(4000, 0.8, 60));
+  SimulationOptions options;
+  auto results = RunSimulation(options, AllAlgorithms(), &source);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.ticks, 60u);
+    EXPECT_GT(result.sim_seconds, 0.0);
+    EXPECT_GE(result.metrics.checkpoints.size(), 1u)
+        << AlgorithmName(result.kind);
+  }
+}
+
+TEST(LockstepSimulatorTest, FullStateMethodsCheckpointInConstantTime) {
+  // Figure 2(b): Naive, Dribble, Atomic-Copy, and Copy-on-Update write the
+  // whole state (or a full rotation) per checkpoint: ~0.67 s regardless of
+  // update rate.
+  for (uint64_t rate : {1000u, 64000u}) {
+    ZipfUpdateSource source(PaperishConfig(rate, 0.8, 80));
+    auto results = ResultMap(RunSimulation(
+        SimulationOptions{},
+        {AlgorithmKind::kNaiveSnapshot, AlgorithmKind::kDribble,
+         AlgorithmKind::kAtomicCopyDirty, AlgorithmKind::kCopyOnUpdate},
+        &source));
+    for (const auto& [kind, result] : results) {
+      EXPECT_NEAR(result.avg_checkpoint_seconds, 0.667, 0.03)
+          << AlgorithmName(kind) << " at rate " << rate;
+    }
+  }
+}
+
+TEST(LockstepSimulatorTest, PartialRedoCheckpointsFasterAtLowRates) {
+  // Figure 2(b): at 1,000 updates/tick the log-based dirty methods
+  // checkpoint ~6.8x faster than the full-state methods.
+  ZipfUpdateSource source(PaperishConfig(1000, 0.8, 150));
+  auto results = ResultMap(RunSimulation(
+      SimulationOptions{},
+      {AlgorithmKind::kNaiveSnapshot, AlgorithmKind::kPartialRedo,
+       AlgorithmKind::kCopyOnUpdatePartialRedo},
+      &source));
+  const double naive = results.at(AlgorithmKind::kNaiveSnapshot)
+                           .avg_checkpoint_seconds;
+  const double pr = results.at(AlgorithmKind::kPartialRedo)
+                        .avg_checkpoint_seconds;
+  const double coupr = results.at(AlgorithmKind::kCopyOnUpdatePartialRedo)
+                           .avg_checkpoint_seconds;
+  EXPECT_LT(pr, naive / 3);
+  EXPECT_LT(coupr, naive / 3);
+  EXPECT_NEAR(naive, 0.667, 0.03);
+}
+
+TEST(LockstepSimulatorTest, CopyOnUpdateBeatsEagerOverheadAtLowRates) {
+  // Figure 2(a): below ~8,000 updates/tick the copy-on-update family has
+  // up to 5x less average overhead than Naive-Snapshot.
+  ZipfUpdateSource source(PaperishConfig(1000, 0.8, 150));
+  auto results =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &source));
+  const double naive =
+      results.at(AlgorithmKind::kNaiveSnapshot).avg_overhead_seconds;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kDribble, AlgorithmKind::kCopyOnUpdate,
+        AlgorithmKind::kCopyOnUpdatePartialRedo}) {
+    EXPECT_LT(results.at(kind).avg_overhead_seconds, naive / 2)
+        << AlgorithmName(kind);
+  }
+}
+
+TEST(LockstepSimulatorTest, EagerConcentratesOverheadIntoPeaks) {
+  // Figure 3: at 64K updates/tick the eager methods pause ~17-18 ms (beyond
+  // the half-tick latency limit) while copy-on-update methods stay below it
+  // on every tick but spread overhead across ticks.
+  ZipfUpdateSource source(PaperishConfig(64000, 0.8, 100));
+  auto results =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &source));
+  const double limit = HardwareParams::Paper().LatencyLimitSeconds();
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNaiveSnapshot, AlgorithmKind::kAtomicCopyDirty,
+        AlgorithmKind::kPartialRedo}) {
+    EXPECT_GT(results.at(kind).metrics.tick_overhead.Max(), limit)
+        << AlgorithmName(kind);
+  }
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kDribble, AlgorithmKind::kCopyOnUpdate,
+        AlgorithmKind::kCopyOnUpdatePartialRedo}) {
+    EXPECT_LT(results.at(kind).metrics.tick_overhead.Max(), limit)
+        << AlgorithmName(kind);
+  }
+}
+
+TEST(LockstepSimulatorTest, PartialRedoRecoveryWorstAtHighRates) {
+  // Figure 2(c): at high update rates the partial-redo methods recover
+  // several times slower than everything else (7.2 s vs 1.4 s in the paper).
+  ZipfUpdateSource source(PaperishConfig(64000, 0.8, 120));
+  auto results =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &source));
+  const double naive = results.at(AlgorithmKind::kNaiveSnapshot)
+                           .recovery_seconds;
+  EXPECT_NEAR(naive, 1.33, 0.1);  // 2x the 0.67 s full write
+  for (AlgorithmKind kind : {AlgorithmKind::kPartialRedo,
+                             AlgorithmKind::kCopyOnUpdatePartialRedo}) {
+    EXPECT_GT(results.at(kind).recovery_seconds, 3 * naive)
+        << AlgorithmName(kind);
+  }
+  // Non-partial-redo methods all recover in about the same time.
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kDribble, AlgorithmKind::kAtomicCopyDirty,
+        AlgorithmKind::kCopyOnUpdate}) {
+    EXPECT_NEAR(results.at(kind).recovery_seconds, naive, 0.2)
+        << AlgorithmName(kind);
+  }
+}
+
+TEST(LockstepSimulatorTest, SkewReducesCopyOnUpdateOverhead) {
+  // Figure 4(a): higher skew -> fewer distinct dirty objects -> less
+  // copy-on-update work. Naive-Snapshot is unaffected.
+  ZipfUpdateSource uniform(PaperishConfig(64000, 0.0, 100));
+  ZipfUpdateSource skewed(PaperishConfig(64000, 0.99, 100));
+  auto at_uniform =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &uniform));
+  auto at_skew =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &skewed));
+  EXPECT_LT(at_skew.at(AlgorithmKind::kCopyOnUpdate).avg_overhead_seconds,
+            at_uniform.at(AlgorithmKind::kCopyOnUpdate).avg_overhead_seconds);
+  EXPECT_NEAR(
+      at_skew.at(AlgorithmKind::kNaiveSnapshot).avg_overhead_seconds,
+      at_uniform.at(AlgorithmKind::kNaiveSnapshot).avg_overhead_seconds,
+      1e-4);
+}
+
+TEST(LockstepSimulatorTest, LockstepMatchesIndividualRuns) {
+  // Running algorithms together must give identical results to running them
+  // alone (no cross-algorithm interference).
+  ZipfUpdateSource source(PaperishConfig(2000, 0.8, 40));
+  auto together =
+      RunSimulation(SimulationOptions{}, AllAlgorithms(), &source);
+  for (const auto& expected : together) {
+    ZipfUpdateSource solo_source(PaperishConfig(2000, 0.8, 40));
+    auto solo =
+        RunSimulation(SimulationOptions{}, {expected.kind}, &solo_source);
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_DOUBLE_EQ(solo[0].avg_overhead_seconds,
+                     expected.avg_overhead_seconds)
+        << AlgorithmName(expected.kind);
+    EXPECT_DOUBLE_EQ(solo[0].avg_checkpoint_seconds,
+                     expected.avg_checkpoint_seconds);
+    EXPECT_DOUBLE_EQ(solo[0].recovery_seconds, expected.recovery_seconds);
+    EXPECT_EQ(solo[0].metrics.checkpoints.size(),
+              expected.metrics.checkpoints.size());
+  }
+}
+
+TEST(LockstepSimulatorTest, MaxTicksLimitsRun) {
+  ZipfUpdateSource source(PaperishConfig(1000, 0.8, 100));
+  SimulationOptions options;
+  options.max_ticks = 25;
+  auto results = RunSimulation(options, {AlgorithmKind::kNaiveSnapshot},
+                               &source);
+  EXPECT_EQ(results[0].ticks, 25u);
+}
+
+TEST(LockstepSimulatorTest, DeterministicAcrossRuns) {
+  for (int round = 0; round < 2; ++round) {
+    static double first_overhead = -1.0;
+    ZipfUpdateSource source(PaperishConfig(8000, 0.8, 50));
+    auto results = RunSimulation(SimulationOptions{},
+                                 {AlgorithmKind::kCopyOnUpdate}, &source);
+    if (first_overhead < 0) {
+      first_overhead = results[0].avg_overhead_seconds;
+    } else {
+      EXPECT_DOUBLE_EQ(results[0].avg_overhead_seconds, first_overhead);
+    }
+  }
+}
+
+// --- Property sweep: paper-invariants across the update-rate grid -------.
+
+class RateSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RateSweepTest, InvariantsHoldAtEveryRate) {
+  const uint64_t rate = GetParam();
+  ZipfUpdateSource source(PaperishConfig(rate, 0.8, 80));
+  auto results =
+      ResultMap(RunSimulation(SimulationOptions{}, AllAlgorithms(), &source));
+
+  const StateLayout layout = StateLayout::Paper();
+  for (const auto& [kind, result] : results) {
+    const auto& traits = GetTraits(kind);
+    for (const auto& record : result.metrics.checkpoints) {
+      // No checkpoint ever writes more than the whole state.
+      EXPECT_LE(record.objects_written, layout.num_objects());
+      // Full-state methods always write everything.
+      if (!traits.dirty_only) {
+        EXPECT_EQ(record.objects_written, layout.num_objects());
+      }
+      // Copy-on-update never copies more objects than it writes.
+      EXPECT_LE(record.cou_copies, record.objects_written);
+      // Eager checkpoints never record copy-on-update copies.
+      if (traits.eager_copy && !record.full_flush) {
+        EXPECT_EQ(record.cou_copies, 0u);
+      }
+    }
+    // Overhead is nonnegative and recovery includes a full-state restore.
+    EXPECT_GE(result.avg_overhead_seconds, 0.0);
+    const CostModel cost{HardwareParams::Paper()};
+    EXPECT_GE(result.recovery_seconds,
+              cost.SequentialReadSeconds(layout.num_objects()) - 1e-9);
+  }
+
+  // Naive-Snapshot has the lowest total overhead at extreme rates
+  // (recommendation #2 of the paper).
+  if (rate >= 128000) {
+    const double naive =
+        results.at(AlgorithmKind::kNaiveSnapshot).avg_overhead_seconds;
+    for (const auto& [kind, result] : results) {
+      EXPECT_GE(result.avg_overhead_seconds, naive * 0.999)
+          << AlgorithmName(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpdatesPerTick, RateSweepTest,
+                         ::testing::Values(1000, 8000, 64000, 128000));
+
+// --- Property sweep: skew grid ------------------------------------------.
+
+class SkewSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewSweepTest, CheckpointsStayConsistentUnderSkew) {
+  ZipfUpdateSource source(PaperishConfig(16000, GetParam(), 60));
+  auto results =
+      RunSimulation(SimulationOptions{}, AllAlgorithms(), &source);
+  for (const auto& result : results) {
+    EXPECT_GE(result.metrics.checkpoints.size(), 1u);
+    // Completed checkpoints are ordered and non-overlapping.
+    double prev_end = -1.0;
+    for (const auto& record : result.metrics.checkpoints) {
+      EXPECT_GE(record.start_time, prev_end) << AlgorithmName(result.kind);
+      prev_end = record.start_time + record.async_seconds;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SkewSweepTest,
+                         ::testing::Values(0.0, 0.4, 0.8, 0.99));
+
+}  // namespace
+}  // namespace tickpoint

@@ -1,0 +1,131 @@
+#include "engine/state_table.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/dirty_map.h"
+
+#include <thread>
+
+namespace tickpoint {
+namespace {
+
+TEST(StateTableTest, StartsZeroed) {
+  StateTable table(StateLayout::Small(64, 10));
+  for (CellId c = 0; c < table.layout().num_cells(); c += 97) {
+    EXPECT_EQ(table.ReadCell(c), 0);
+  }
+  EXPECT_EQ(table.buffer_bytes(),
+            table.num_objects() * table.layout().object_size);
+}
+
+TEST(StateTableTest, CellRoundTrip) {
+  StateTable table(StateLayout::Small(64, 10));
+  table.WriteCell(0, 42);
+  table.WriteCell(639, -7);
+  EXPECT_EQ(table.ReadCell(0), 42);
+  EXPECT_EQ(table.ReadCell(639), -7);
+  EXPECT_EQ(table.ReadCell(1), 0);
+}
+
+TEST(StateTableTest, CellsLandInTheirObject) {
+  StateTable table(StateLayout::Small(64, 10));
+  // Cell 130 lives in object 1 (128 cells of 4 bytes per 512-byte object).
+  table.WriteCell(130, 0x11223344);
+  const ObjectId object = table.layout().ObjectOfCell(130);
+  EXPECT_EQ(object, 1u);
+  int32_t stored;
+  std::memcpy(&stored, table.ObjectData(object) + (130 - 128) * 4, 4);
+  EXPECT_EQ(stored, 0x11223344);
+}
+
+TEST(StateTableTest, ObjectCopyAndLoad) {
+  StateTable table(StateLayout::Small(64, 10));
+  for (CellId c = 128; c < 256; ++c) {
+    table.WriteCell(c, static_cast<int32_t>(c));
+  }
+  std::vector<uint8_t> buffer(table.layout().object_size);
+  table.CopyObjectTo(1, buffer.data());
+
+  StateTable other(StateLayout::Small(64, 10));
+  other.LoadObject(1, buffer.data());
+  for (CellId c = 128; c < 256; ++c) {
+    EXPECT_EQ(other.ReadCell(c), static_cast<int32_t>(c));
+  }
+}
+
+TEST(StateTableTest, DigestTracksContent) {
+  StateTable a(StateLayout::Small(64, 10));
+  StateTable b(StateLayout::Small(64, 10));
+  EXPECT_EQ(a.Digest(), b.Digest());
+  EXPECT_TRUE(a.ContentEquals(b));
+  a.WriteCell(5, 1);
+  EXPECT_NE(a.Digest(), b.Digest());
+  EXPECT_FALSE(a.ContentEquals(b));
+  b.WriteCell(5, 1);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  a.Clear();
+  b.Clear();
+  EXPECT_TRUE(a.ContentEquals(b));
+}
+
+TEST(AtomicBitMapTest, BasicOps) {
+  AtomicBitMap bits(130);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_EQ(bits.CountSet(), 3u);
+  EXPECT_TRUE(bits.TestAndSet(0));    // already set
+  EXPECT_FALSE(bits.TestAndSet(1));   // newly set
+  EXPECT_EQ(bits.CountSet(), 4u);
+  bits.Clear(0);
+  EXPECT_FALSE(bits.Test(0));
+  bits.ClearAll();
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+TEST(AtomicBitMapTest, ExchangeIntoMovesAndClears) {
+  AtomicBitMap source(256);
+  AtomicBitMap snapshot(256);
+  source.Set(3);
+  source.Set(200);
+  snapshot.Set(77);  // stale content must be overwritten
+  source.ExchangeInto(&snapshot);
+  EXPECT_EQ(source.CountSet(), 0u);
+  EXPECT_TRUE(snapshot.Test(3));
+  EXPECT_TRUE(snapshot.Test(200));
+  EXPECT_FALSE(snapshot.Test(77));
+  EXPECT_EQ(snapshot.CountSet(), 2u);
+}
+
+TEST(AtomicBitMapTest, ConcurrentSettersDoNotLoseBits) {
+  AtomicBitMap bits(4096);
+  auto setter = [&](uint64_t start) {
+    for (uint64_t i = start; i < 4096; i += 2) bits.Set(i);
+  };
+  std::thread a(setter, 0), b(setter, 1);
+  a.join();
+  b.join();
+  EXPECT_EQ(bits.CountSet(), 4096u);
+}
+
+TEST(ObjectLockTableTest, MutualExclusion) {
+  ObjectLockTable locks(8);
+  int64_t counter = 0;
+  auto worker = [&] {
+    for (int i = 0; i < 50000; ++i) {
+      ObjectLockGuard guard(&locks, 3);
+      ++counter;  // data race unless the lock works
+    }
+  };
+  std::thread a(worker), b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(counter, 100000);
+}
+
+}  // namespace
+}  // namespace tickpoint

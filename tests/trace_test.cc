@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "trace/materialized.h"
+#include "trace/stats.h"
+#include "trace/zipf_source.h"
+#include "util/io.h"
+
+namespace tickpoint {
+namespace {
+
+ZipfTraceConfig SmallConfig() {
+  ZipfTraceConfig config;
+  config.layout = StateLayout::Small(1024, 10);
+  config.num_ticks = 20;
+  config.updates_per_tick = 500;
+  config.theta = 0.8;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ZipfSourceTest, ProducesConfiguredShape) {
+  ZipfUpdateSource source(SmallConfig());
+  std::vector<TraceCell> cells;
+  uint64_t ticks = 0;
+  while (source.NextTick(&cells)) {
+    ++ticks;
+    EXPECT_EQ(cells.size(), 500u);
+    for (TraceCell cell : cells) {
+      EXPECT_LT(cell, source.layout().num_cells());
+    }
+  }
+  EXPECT_EQ(ticks, 20u);
+}
+
+TEST(ZipfSourceTest, ResetReproducesExactly) {
+  ZipfUpdateSource source(SmallConfig());
+  std::vector<std::vector<TraceCell>> first;
+  std::vector<TraceCell> cells;
+  while (source.NextTick(&cells)) first.push_back(cells);
+  source.Reset();
+  size_t tick = 0;
+  while (source.NextTick(&cells)) {
+    ASSERT_LT(tick, first.size());
+    EXPECT_EQ(cells, first[tick]) << "tick " << tick;
+    ++tick;
+  }
+  EXPECT_EQ(tick, first.size());
+}
+
+TEST(ZipfSourceTest, SkewConcentratesUpdates) {
+  auto distinct_objects = [](double theta) {
+    ZipfTraceConfig config = SmallConfig();
+    // A layout with enough objects (5,120) that 10K draws cannot saturate it.
+    config.layout = StateLayout::Small(65536, 10);
+    config.theta = theta;
+    config.num_ticks = 5;
+    config.updates_per_tick = 2000;
+    ZipfUpdateSource source(config);
+    std::set<ObjectId> objects;
+    std::vector<TraceCell> cells;
+    while (source.NextTick(&cells)) {
+      for (TraceCell cell : cells) {
+        objects.insert(source.layout().ObjectOfCell(cell));
+      }
+    }
+    return objects.size();
+  };
+  EXPECT_LT(distinct_objects(0.99), distinct_objects(0.0));
+}
+
+TEST(ZipfSourceTest, ScatterPreservesRowUniverse) {
+  ZipfTraceConfig config = SmallConfig();
+  config.scatter_rows = true;
+  config.theta = 0.0;
+  ZipfUpdateSource source(config);
+  std::vector<TraceCell> cells;
+  ASSERT_TRUE(source.NextTick(&cells));
+  for (TraceCell cell : cells) {
+    EXPECT_LT(cell, config.layout.num_cells());
+  }
+}
+
+TEST(ZipfSourceTest, DifferentSeedsDiffer) {
+  ZipfTraceConfig config_a = SmallConfig();
+  ZipfTraceConfig config_b = SmallConfig();
+  config_b.seed = config_a.seed + 1;
+  ZipfUpdateSource a(config_a), b(config_b);
+  std::vector<TraceCell> cells_a, cells_b;
+  ASSERT_TRUE(a.NextTick(&cells_a));
+  ASSERT_TRUE(b.NextTick(&cells_b));
+  EXPECT_NE(cells_a, cells_b);
+}
+
+TEST(MaterializedTraceTest, RecordMatchesSource) {
+  ZipfUpdateSource source(SmallConfig());
+  MaterializedTrace trace = MaterializedTrace::Record(&source);
+  EXPECT_EQ(trace.num_ticks(), 20u);
+  EXPECT_EQ(trace.total_updates(), 20u * 500u);
+
+  source.Reset();
+  std::vector<TraceCell> cells;
+  uint64_t tick = 0;
+  while (source.NextTick(&cells)) {
+    const auto stored = trace.Tick(tick);
+    ASSERT_EQ(stored.size(), cells.size());
+    EXPECT_TRUE(std::equal(stored.begin(), stored.end(), cells.begin()));
+    ++tick;
+  }
+}
+
+TEST(MaterializedTraceTest, ActsAsUpdateSource) {
+  ZipfUpdateSource source(SmallConfig());
+  MaterializedTrace trace = MaterializedTrace::Record(&source);
+  // Drain twice: Reset must rewind.
+  for (int round = 0; round < 2; ++round) {
+    trace.Reset();
+    std::vector<TraceCell> cells;
+    uint64_t ticks = 0;
+    while (trace.NextTick(&cells)) {
+      EXPECT_EQ(cells.size(), 500u);
+      ++ticks;
+    }
+    EXPECT_EQ(ticks, 20u);
+  }
+}
+
+TEST(MaterializedTraceTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tp_trace_roundtrip.trace")
+          .string();
+  ZipfUpdateSource source(SmallConfig());
+  MaterializedTrace trace = MaterializedTrace::Record(&source);
+  ASSERT_TRUE(trace.WriteTo(path).ok());
+  auto loaded = MaterializedTrace::ReadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value() == trace);
+  std::filesystem::remove(path);
+}
+
+TEST(MaterializedTraceTest, CorruptionDetected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tp_trace_corrupt.trace")
+          .string();
+  ZipfUpdateSource source(SmallConfig());
+  MaterializedTrace trace = MaterializedTrace::Record(&source);
+  ASSERT_TRUE(trace.WriteTo(path).ok());
+  // Flip one byte in the middle of the payload.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x5A;
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  auto loaded = MaterializedTrace::ReadFrom(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(MaterializedTraceTest, BadMagicRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tp_trace_magic.trace")
+          .string();
+  ASSERT_TRUE(WriteStringToFile(path, std::string(256, 'q')).ok());
+  auto loaded = MaterializedTrace::ReadFrom(path);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(MaterializedTraceTest, EmptyTicksSupported) {
+  MaterializedTrace trace(StateLayout::Small(16, 4));
+  trace.AppendTick({});
+  std::vector<TraceCell> one = {5};
+  trace.AppendTick(one);
+  trace.AppendTick({});
+  EXPECT_EQ(trace.num_ticks(), 3u);
+  EXPECT_EQ(trace.total_updates(), 1u);
+  EXPECT_EQ(trace.Tick(0).size(), 0u);
+  EXPECT_EQ(trace.Tick(1).size(), 1u);
+  EXPECT_EQ(trace.Tick(2).size(), 0u);
+}
+
+TEST(TraceStatsTest, CountsDistinctAndPerTick) {
+  MaterializedTrace trace(StateLayout::Small(1024, 10));
+  // Object size 512 / cell 4 => 128 cells per object.
+  std::vector<TraceCell> t0 = {0, 1, 2, 0};        // 3 distinct cells, 1 object
+  std::vector<TraceCell> t1 = {128, 256, 10000};   // 3 cells, 3 objects
+  trace.AppendTick(t0);
+  trace.AppendTick(t1);
+  const TraceStats stats = ComputeTraceStats(&trace);
+  EXPECT_EQ(stats.num_ticks, 2u);
+  EXPECT_EQ(stats.total_updates, 7u);
+  EXPECT_DOUBLE_EQ(stats.avg_updates_per_tick, 3.5);
+  EXPECT_EQ(stats.min_updates_per_tick, 3u);
+  EXPECT_EQ(stats.max_updates_per_tick, 4u);
+  EXPECT_EQ(stats.distinct_cells, 6u);
+  EXPECT_EQ(stats.distinct_objects, 4u);
+}
+
+TEST(TraceStatsTest, ZipfSkewShowsInTopShare) {
+  ZipfTraceConfig config = SmallConfig();
+  config.theta = 0.99;
+  ZipfUpdateSource hot(config);
+  config.theta = 0.0;
+  config.seed = 11;
+  ZipfUpdateSource uniform(config);
+  const TraceStats hot_stats = ComputeTraceStats(&hot);
+  const TraceStats uniform_stats = ComputeTraceStats(&uniform);
+  EXPECT_GT(hot_stats.hottest_percentile_share,
+            uniform_stats.hottest_percentile_share);
+}
+
+}  // namespace
+}  // namespace tickpoint
