@@ -174,9 +174,13 @@ Status Engine::EndTick() {
     const bool interval_elapsed =
         checkpoint_seq_ == 0 ||
         tick_ >= last_start_tick_ + config_.checkpoint_interval_ticks;
-    if (!active_job_ && interval_elapsed) {
+    const bool want_start = config_.manual_checkpoints
+                                ? checkpoint_requested_
+                                : interval_elapsed;
+    if (!active_job_ && want_start) {
       TP_ASSIGN_OR_RETURN(pause, StartCheckpoint());
       last_start_tick_ = tick_;
+      checkpoint_requested_ = false;
     }
   }
 

@@ -55,6 +55,10 @@ struct EngineConfig {
   bool checksum_state = false;
   /// Group-commit granularity of the logical log, in ticks.
   uint64_t logical_sync_every = 1;
+  /// External checkpoint scheduling (ShardedEngine/StaggerScheduler): when
+  /// true, EndTick starts a checkpoint only after ScheduleCheckpoint() was
+  /// called, instead of applying the interval policy.
+  bool manual_checkpoints = false;
 };
 
 /// One completed real checkpoint.
@@ -132,6 +136,11 @@ class Engine {
   /// drained checkpoint, and starts the next one (running any eager copy as
   /// the end-of-tick pause).
   Status EndTick();
+
+  /// Manual mode only: requests that a checkpoint start at the next
+  /// EndTick. The request stays pending while a previous checkpoint is
+  /// still in flight and is served as soon as it drains.
+  void ScheduleCheckpoint() { checkpoint_requested_ = true; }
 
   /// Graceful stop: waits for the in-flight checkpoint, stops the writer,
   /// closes the logs.
@@ -215,6 +224,7 @@ class Engine {
   bool backup_written_[2] = {false, false};
   uint64_t next_log_gen_ = 0;
   bool log_started_ = false;
+  bool checkpoint_requested_ = false;
   std::optional<Job> active_job_;
 
   // Writer thread plumbing.

@@ -16,6 +16,16 @@ int32_t WorkloadValue(uint64_t tick, uint32_t cell, uint64_t index) {
   return static_cast<int32_t>(x);
 }
 
+uint32_t WorkloadCell(uint32_t shard, uint64_t tick, uint64_t index,
+                      uint64_t num_cells) {
+  uint64_t x = (uint64_t{shard} + 1) * 0x9E3779B97F4A7C15ull +
+               tick * 0xBF58476D1CE4E5B9ull + index * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return static_cast<uint32_t>(x % num_cells);
+}
+
 StatusOr<MutatorReport> RunWorkload(Engine* engine, UpdateSource* source,
                                     const MutatorOptions& options) {
   using Clock = std::chrono::steady_clock;

@@ -44,6 +44,12 @@ struct MutatorReport {
 /// this, so a recovered state can be byte-compared against a reference.
 int32_t WorkloadValue(uint64_t tick, uint32_t cell, uint64_t index);
 
+/// Deterministic cell pick for (shard, tick, position-in-tick): the
+/// sharded-fleet analogue of WorkloadValue, shared by the sharded engine's
+/// tests and benches so their engine runs and reference executions agree.
+uint32_t WorkloadCell(uint32_t shard, uint64_t tick, uint64_t index,
+                      uint64_t num_cells);
+
 /// Drives `engine` with the trace. Resets the source first.
 StatusOr<MutatorReport> RunWorkload(Engine* engine, UpdateSource* source,
                                     const MutatorOptions& options);

@@ -1,5 +1,6 @@
 #include "engine/recovery.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "engine/checkpoint_store.h"
@@ -70,6 +71,41 @@ StatusOr<RecoveryResult> Recover(const EngineConfig& config,
   result.recovered_ticks = stats.records_applied > 0
                                ? stats.last_tick + 1
                                : result.image_consistent_ticks;
+  return result;
+}
+
+StatusOr<ShardedRecoveryResult> RecoverSharded(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (config.shard.dir.empty()) {
+    return Status::InvalidArgument("ShardedEngineConfig.shard.dir must be set");
+  }
+  ShardedRecoveryResult result;
+  result.shards.reserve(config.num_shards);
+  out->clear();
+  out->reserve(config.num_shards);
+  for (uint32_t i = 0; i < config.num_shards; ++i) {
+    EngineConfig shard_config = config.shard;
+    shard_config.dir = ShardedEngine::ShardDir(config.shard.dir, i);
+    out->emplace_back(shard_config.layout);
+    TP_ASSIGN_OR_RETURN(const RecoveryResult shard_result,
+                        Recover(shard_config, &out->back()));
+    result.restore_seconds += shard_result.restore_seconds;
+    result.replay_seconds += shard_result.replay_seconds;
+    const uint64_t recovered = shard_result.recovered_ticks;
+    if (i == 0) {
+      result.min_recovered_ticks = recovered;
+      result.max_recovered_ticks = recovered;
+    } else {
+      result.min_recovered_ticks = std::min(result.min_recovered_ticks,
+                                            recovered);
+      result.max_recovered_ticks = std::max(result.max_recovered_ticks,
+                                            recovered);
+    }
+    result.shards.push_back(shard_result);
+  }
   return result;
 }
 

@@ -4,8 +4,10 @@
 #define TICKPOINT_ENGINE_RECOVERY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "engine/state_table.h"
 
 namespace tickpoint {
@@ -35,6 +37,32 @@ struct RecoveryResult {
 /// (overwritten). Reads the checkpoint store and logical log under
 /// config.dir. `out` must use config.layout.
 StatusOr<RecoveryResult> Recover(const EngineConfig& config, StateTable* out);
+
+/// Outcome of a whole-fleet recovery.
+struct ShardedRecoveryResult {
+  /// Per-shard outcomes, indexed by shard id. With staggered scheduling the
+  /// shards are typically at different checkpoint generations, so
+  /// image_seq/image_consistent_ticks differ per shard while every shard
+  /// still replays its own logical log to the common crash tick.
+  std::vector<RecoveryResult> shards;
+  /// Sums of the per-shard phase times (shards recover sequentially: one
+  /// disk serves the restore reads).
+  double restore_seconds = 0.0;
+  double replay_seconds = 0.0;
+  /// min/max over shards of RecoveryResult::recovered_ticks. Equal unless a
+  /// crash landed between shard group commits.
+  uint64_t min_recovered_ticks = 0;
+  uint64_t max_recovered_ticks = 0;
+
+  double total_seconds() const { return restore_seconds + replay_seconds; }
+};
+
+/// Rebuilds every shard of an engine previously run with `config`. `out` is
+/// cleared and refilled with num_shards tables in shard order. Each shard
+/// restores from its own newest complete checkpoint (whatever generation it
+/// reached before the crash) and replays its own logical log.
+StatusOr<ShardedRecoveryResult> RecoverSharded(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out);
 
 }  // namespace tickpoint
 

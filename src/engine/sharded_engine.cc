@@ -1,0 +1,118 @@
+#include "engine/sharded_engine.h"
+
+#include "util/io.h"
+
+namespace tickpoint {
+
+std::string ShardedEngine::ShardDir(const std::string& root, uint32_t shard) {
+  return root + "/shard-" + std::to_string(shard);
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
+    : config_(config), scheduler_(config.ToStaggerConfig()) {}
+
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const ShardedEngineConfig& config) {
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (config.checkpoint_period_ticks == 0) {
+    return Status::InvalidArgument("checkpoint_period_ticks must be positive");
+  }
+  if (config.shard.dir.empty()) {
+    return Status::InvalidArgument("ShardedEngineConfig.shard.dir must be set");
+  }
+  TP_RETURN_NOT_OK(EnsureDirectory(config.shard.dir));
+  std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
+  sharded->shards_.reserve(config.num_shards);
+  for (uint32_t i = 0; i < config.num_shards; ++i) {
+    EngineConfig shard_config = config.shard;
+    shard_config.dir = ShardDir(config.shard.dir, i);
+    shard_config.manual_checkpoints = true;
+    TP_ASSIGN_OR_RETURN(auto engine, Engine::Open(shard_config));
+    sharded->shards_.push_back(std::move(engine));
+  }
+  return sharded;
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (!shut_down_) {
+    (void)Shutdown();
+  }
+}
+
+void ShardedEngine::BeginTick() {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  in_tick_ = true;
+  for (auto& shard : shards_) shard->BeginTick();
+}
+
+void ShardedEngine::ApplyUpdate(uint32_t shard, uint32_t cell,
+                                int32_t value) {
+  TP_DCHECK(in_tick_);
+  TP_DCHECK(shard < shards_.size());
+  shards_[shard]->ApplyUpdate(cell, value);
+}
+
+Status ShardedEngine::EndTick() {
+  TP_CHECK(in_tick_);
+  in_tick_ = false;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    if (scheduler_.ShouldCheckpoint(i, tick_)) {
+      shards_[i]->ScheduleCheckpoint();
+    }
+    TP_RETURN_NOT_OK(shards_[i]->EndTick());
+  }
+  ++tick_;
+  return Status::OK();
+}
+
+Status ShardedEngine::Shutdown() {
+  if (shut_down_) return Status::OK();
+  shut_down_ = true;
+  Status first_error = Status::OK();
+  for (auto& shard : shards_) {
+    const Status status = shard->Shutdown();
+    if (first_error.ok() && !status.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status ShardedEngine::SimulateCrash() {
+  TP_CHECK(!shut_down_);
+  shut_down_ = true;
+  Status first_error = Status::OK();
+  for (auto& shard : shards_) {
+    const Status status = shard->SimulateCrash();
+    if (first_error.ok() && !status.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+ShardedCheckpointStats ShardedEngine::CheckpointStats(bool skip_first) const {
+  ShardedCheckpointStats stats;
+  double total_sum = 0.0;
+  double sync_sum = 0.0;
+  double async_sum = 0.0;
+  for (const auto& shard : shards_) {
+    const auto& records = shard->metrics().checkpoints;
+    for (size_t r = skip_first ? 1 : 0; r < records.size(); ++r) {
+      const EngineCheckpointRecord& record = records[r];
+      ++stats.checkpoints;
+      const double total = record.TotalSeconds();
+      total_sum += total;
+      sync_sum += record.sync_seconds;
+      async_sum += record.async_seconds;
+      if (total > stats.max_total_seconds) stats.max_total_seconds = total;
+    }
+  }
+  if (stats.checkpoints > 0) {
+    const double n = static_cast<double>(stats.checkpoints);
+    stats.avg_total_seconds = total_sum / n;
+    stats.avg_sync_seconds = sync_sum / n;
+    stats.avg_async_seconds = async_sum / n;
+  }
+  return stats;
+}
+
+}  // namespace tickpoint

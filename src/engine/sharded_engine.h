@@ -1,0 +1,111 @@
+// K independent Engine instances behind one tick facade (paper Section 8
+// future work: multiple shards per persistence disk).
+//
+// Each shard owns a disjoint state partition, its own logical log, and its
+// own checkpoint directory under the shared root -- exactly the layout a
+// multi-zone MMO server would run on one persistence disk. The facade
+// drives all shards in tick lockstep; the StaggerScheduler decides, per
+// tick, which shards begin a checkpoint, so the synchronized-vs-staggered
+// disk-contention tradeoff projected by bench_shard_stagger can be measured
+// on the real write path. Each shard's writer thread flushes concurrently
+// with the others, which is precisely the contention under study.
+#ifndef TICKPOINT_ENGINE_SHARDED_ENGINE_H_
+#define TICKPOINT_ENGINE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/stagger_scheduler.h"
+
+namespace tickpoint {
+
+/// Sharded-engine construction parameters.
+struct ShardedEngineConfig {
+  /// Per-shard template. `shard.layout` is the layout of ONE partition and
+  /// `shard.dir` the shared root directory; shard i lives in
+  /// ShardDir(shard.dir, i). Interval fields are ignored: checkpoint
+  /// scheduling is owned by the stagger scheduler.
+  EngineConfig shard;
+  /// K: number of shards sharing the persistence disk.
+  uint32_t num_shards = 1;
+  /// Ticks between one shard's consecutive checkpoint starts.
+  uint64_t checkpoint_period_ticks = 8;
+  /// Stagger shard starts by i * period / K (false = synchronized).
+  bool staggered = true;
+
+  StaggerConfig ToStaggerConfig() const {
+    return StaggerConfig{num_shards, checkpoint_period_ticks, staggered};
+  }
+};
+
+/// Checkpoint timing aggregated across all shards of a run.
+struct ShardedCheckpointStats {
+  uint64_t checkpoints = 0;
+  double avg_total_seconds = 0.0;  // sync pause + async writer wall
+  double max_total_seconds = 0.0;
+  double avg_sync_seconds = 0.0;
+  double avg_async_seconds = 0.0;
+};
+
+/// A fleet of K engines sharing one disk, driven in tick lockstep.
+class ShardedEngine {
+ public:
+  static StatusOr<std::unique_ptr<ShardedEngine>> Open(
+      const ShardedEngineConfig& config);
+
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Starts the next tick on every shard.
+  void BeginTick();
+
+  /// Applies one logical update to `shard`'s partition.
+  void ApplyUpdate(uint32_t shard, uint32_t cell, int32_t value);
+
+  /// Ends the tick on every shard, scheduling checkpoint starts per the
+  /// stagger scheduler.
+  Status EndTick();
+
+  /// Graceful stop of every shard (drains in-flight checkpoints).
+  Status Shutdown();
+
+  /// Crash injection across the fleet: every shard's in-flight checkpoint
+  /// is abandoned mid-write. Because of staggering, shards are typically at
+  /// different checkpoint generations when the crash lands.
+  Status SimulateCrash();
+
+  const ShardedEngineConfig& config() const { return config_; }
+  const StaggerScheduler& scheduler() const { return scheduler_; }
+  uint32_t num_shards() const { return config_.num_shards; }
+  uint64_t current_tick() const { return tick_; }
+
+  Engine& shard(uint32_t i) { return *shards_[i]; }
+  const Engine& shard(uint32_t i) const { return *shards_[i]; }
+
+  /// Aggregates checkpoint records across shards, skipping each shard's
+  /// first (cold, all-objects) checkpoint when `skip_first` is set so
+  /// steady-state incremental timing is not polluted by the bootstrap.
+  ShardedCheckpointStats CheckpointStats(bool skip_first = false) const;
+
+  /// Checkpoint/log directory of shard `i` under `root`.
+  static std::string ShardDir(const std::string& root, uint32_t shard);
+
+ private:
+  explicit ShardedEngine(const ShardedEngineConfig& config);
+
+  ShardedEngineConfig config_;
+  StaggerScheduler scheduler_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  uint64_t tick_ = 0;
+  bool in_tick_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_SHARDED_ENGINE_H_

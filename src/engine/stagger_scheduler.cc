@@ -1,0 +1,32 @@
+#include "engine/stagger_scheduler.h"
+
+namespace tickpoint {
+
+StaggerScheduler::StaggerScheduler(const StaggerConfig& config)
+    : config_(config) {
+  TP_CHECK(config_.Valid());
+}
+
+uint64_t StaggerScheduler::OffsetTicks(uint32_t shard) const {
+  TP_DCHECK(shard < config_.num_shards);
+  if (!config_.staggered) return 0;
+  return shard * config_.period_ticks / config_.num_shards;
+}
+
+bool StaggerScheduler::ShouldCheckpoint(uint32_t shard, uint64_t tick) const {
+  const uint64_t offset = OffsetTicks(shard);
+  if (tick < offset) return false;
+  return (tick - offset) % config_.period_ticks == 0;
+}
+
+uint64_t StaggerScheduler::NextCheckpointTick(uint32_t shard,
+                                              uint64_t tick) const {
+  const uint64_t offset = OffsetTicks(shard);
+  if (tick <= offset) return offset;
+  const uint64_t since = tick - offset;
+  const uint64_t periods =
+      (since + config_.period_ticks - 1) / config_.period_ticks;
+  return offset + periods * config_.period_ticks;
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,56 @@
+// Checkpoint schedule for K shards sharing one persistence disk (paper
+// Section 8 future work, previously only a cost-model projection in
+// bench_shard_stagger).
+//
+// With synchronized starts every shard writes at Bdisk/K and each
+// checkpoint stretches K-fold. Staggering offsets shard i's first
+// checkpoint by i * period / K ticks, so at most one shard is writing at a
+// time whenever one solo checkpoint fits in period / K ticks -- the
+// bandwidth-partitioning fix, now driven by the real engine instead of the
+// model.
+#ifndef TICKPOINT_ENGINE_STAGGER_SCHEDULER_H_
+#define TICKPOINT_ENGINE_STAGGER_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Shard checkpoint schedule parameters.
+struct StaggerConfig {
+  /// K: shards sharing the persistence disk.
+  uint32_t num_shards = 1;
+  /// Ticks between one shard's consecutive checkpoint starts.
+  uint64_t period_ticks = 8;
+  /// true: shard i starts at tick i * period / K, then every period ticks.
+  /// false: every shard starts at tick 0, then every period ticks
+  /// (the synchronized baseline the bench compares against).
+  bool staggered = true;
+
+  bool Valid() const { return num_shards > 0 && period_ticks > 0; }
+};
+
+/// Pure schedule arithmetic; owns no engine state.
+class StaggerScheduler {
+ public:
+  explicit StaggerScheduler(const StaggerConfig& config);
+
+  const StaggerConfig& config() const { return config_; }
+
+  /// First tick at which `shard` checkpoints.
+  uint64_t OffsetTicks(uint32_t shard) const;
+
+  /// True if `shard` should begin a checkpoint at the end of tick `tick`.
+  bool ShouldCheckpoint(uint32_t shard, uint64_t tick) const;
+
+  /// First scheduled checkpoint tick of `shard` that is >= `tick`.
+  uint64_t NextCheckpointTick(uint32_t shard, uint64_t tick) const;
+
+ private:
+  StaggerConfig config_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_STAGGER_SCHEDULER_H_
