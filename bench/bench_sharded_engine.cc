@@ -4,6 +4,15 @@
 // staggered starts keep each write at the solo time; this harness runs the
 // actual ShardedEngine both ways and prints measured checkpoint write times
 // next to the model's projection.
+//
+// Three execution modes per shard count:
+//   inline    -- all shards multiplexed on one mutator thread (the PR-1
+//                facade, kept as the contention-free baseline for the loop
+//                itself)
+//   threaded  -- one mutator thread per shard (real zone-server pacing);
+//                synchronized vs fixed-staggered starts
+//   adaptive  -- threaded + the measured-write-time stagger planner, which
+//                keeps concurrent flushes within --budget
 #include <chrono>
 #include <filesystem>
 #include <thread>
@@ -17,6 +26,20 @@ using namespace tickpoint;
 
 namespace {
 
+enum class Schedule { kSynchronized, kStaggered, kAdaptive };
+
+const char* ScheduleName(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kSynchronized:
+      return "synchronized";
+    case Schedule::kStaggered:
+      return "staggered";
+    case Schedule::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
 struct RunParams {
   StateLayout layout;
   AlgorithmKind algorithm;
@@ -25,14 +48,19 @@ struct RunParams {
   uint64_t updates_per_tick = 4000;
   uint64_t period_ticks = 12;
   double tick_hz = 30.0;
+  uint32_t disk_budget = 1;
+};
+
+struct FleetResult {
+  ShardedCheckpointStats stats;
+  uint64_t deferrals = 0;
 };
 
 /// One full fleet run; returns steady-state checkpoint stats (each shard's
 /// cold first checkpoint excluded).
-StatusOr<ShardedCheckpointStats> RunFleet(const std::string& dir,
-                                          const RunParams& params,
-                                          uint32_t num_shards,
-                                          bool staggered) {
+StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
+                               uint32_t num_shards, Schedule schedule,
+                               bool threaded) {
   std::filesystem::remove_all(dir);
   ShardedEngineConfig config;
   config.shard.layout = params.layout;
@@ -41,7 +69,10 @@ StatusOr<ShardedCheckpointStats> RunFleet(const std::string& dir,
   config.shard.fsync = params.fsync;
   config.num_shards = num_shards;
   config.checkpoint_period_ticks = params.period_ticks;
-  config.staggered = staggered;
+  config.staggered = schedule != Schedule::kSynchronized;
+  config.adaptive = schedule == Schedule::kAdaptive;
+  config.disk_budget = params.disk_budget;
+  config.threaded = threaded;
   TP_ASSIGN_OR_RETURN(auto engine, ShardedEngine::Open(config));
 
   const uint64_t num_cells = params.layout.num_cells();
@@ -65,25 +96,29 @@ StatusOr<ShardedCheckpointStats> RunFleet(const std::string& dir,
     }
   }
   TP_RETURN_NOT_OK(engine->Shutdown());
-  const ShardedCheckpointStats stats =
-      engine->CheckpointStats(/*skip_first=*/true);
+  FleetResult result;
+  result.stats = engine->CheckpointStats(/*skip_first=*/true);
+  result.deferrals = engine->scheduler().deferrals();
   std::filesystem::remove_all(dir);
-  return stats;
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchContext ctx(argc, argv, "bench_sharded_engine",
-                          "Extension: measured K-shard checkpointing, "
-                          "synchronized vs staggered starts on one disk "
-                          "(real-engine counterpart of bench_shard_stagger)");
+                          "Extension: measured K-shard checkpointing -- "
+                          "inline facade vs per-shard mutator threads, "
+                          "synchronized vs staggered vs adaptive starts on "
+                          "one disk (real-engine counterpart of "
+                          "bench_shard_stagger)");
   const double state_mb = ctx.flags().GetDouble("state-mb", 24.0);
   const uint64_t ticks = ctx.flags().GetInt64("ticks", 60);
   const uint64_t updates = ctx.flags().GetInt64("updates", 4000);
   const uint64_t period = ctx.flags().GetInt64("period", 12);
   const double tick_hz = ctx.flags().GetDouble("tick-hz", 30.0);
   const bool fsync = ctx.flags().GetBool("fsync", true);
+  const uint64_t budget = ctx.flags().GetInt64("budget", 1);
   const std::string algo_name = ctx.flags().GetString("algo", "naive");
   const auto algo = ParseAlgorithm(algo_name);
   if (!algo) {
@@ -100,14 +135,16 @@ int main(int argc, char** argv) {
   params.updates_per_tick = updates;
   params.period_ticks = period;
   params.tick_hz = tick_hz;
+  params.disk_budget = static_cast<uint32_t>(budget);
 
-  char header[160];
+  char header[176];
   std::snprintf(header, sizeof(header),
                 "%.1f MB state/shard, %s, %llu ticks @ %.0f Hz, period %llu "
-                "ticks, fsync %s",
+                "ticks, budget %llu, fsync %s",
                 state_mb, AlgorithmName(*algo),
                 static_cast<unsigned long long>(ticks), tick_hz,
                 static_cast<unsigned long long>(period),
+                static_cast<unsigned long long>(budget),
                 fsync ? "on" : "off");
   ctx.PrintHeader(header);
 
@@ -120,34 +157,54 @@ int main(int argc, char** argv) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "tp_bench_sharded").string();
 
-  TablePrinter table({"shards", "schedule", "ckpts", "avg write", "max write",
-                      "avg pause", "vs solo", "model"});
+  struct RowSpec {
+    uint32_t shards;
+    Schedule schedule;
+    bool threaded;
+  };
+  const RowSpec rows[] = {
+      {1, Schedule::kStaggered, true},  // solo baseline
+      {2, Schedule::kStaggered, false},
+      {2, Schedule::kSynchronized, true},
+      {2, Schedule::kStaggered, true},
+      {2, Schedule::kAdaptive, true},
+      {4, Schedule::kStaggered, false},
+      {4, Schedule::kSynchronized, true},
+      {4, Schedule::kStaggered, true},
+      {4, Schedule::kAdaptive, true},
+  };
+
+  TablePrinter table({"shards", "mode", "schedule", "ckpts", "avg write",
+                      "max write", "avg pause", "defer", "vs solo", "model"});
   double solo_avg = 0.0;
-  for (uint32_t k : {1u, 2u, 4u}) {
-    for (const bool staggered : {false, true}) {
-      if (k == 1 && staggered) continue;  // one shard has nothing to stagger
-      auto stats_or = RunFleet(dir, params, k, staggered);
-      if (!stats_or.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     stats_or.status().ToString().c_str());
-        return 1;
-      }
-      const ShardedCheckpointStats stats = stats_or.value();
-      if (k == 1) solo_avg = stats.avg_total_seconds;
-      const double ratio =
-          solo_avg > 0 ? stats.avg_total_seconds / solo_avg : 0.0;
-      char ratio_cell[32];
-      std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2fx", ratio);
-      const double model =
-          staggered || k == 1 ? model_solo : model_solo * k;
-      table.AddRow({std::to_string(k),
-                    k == 1 ? "solo" : (staggered ? "staggered" : "synchronized"),
-                    std::to_string(stats.checkpoints),
-                    bench::Sec(stats.avg_total_seconds),
-                    bench::Sec(stats.max_total_seconds),
-                    bench::Sec(stats.avg_sync_seconds), ratio_cell,
-                    bench::Sec(model)});
+  for (const RowSpec& row : rows) {
+    auto result_or =
+        RunFleet(dir, params, row.shards, row.schedule, row.threaded);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
     }
+    const ShardedCheckpointStats stats = result_or.value().stats;
+    if (row.shards == 1) solo_avg = stats.avg_total_seconds;
+    const double ratio =
+        solo_avg > 0 ? stats.avg_total_seconds / solo_avg : 0.0;
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2fx", ratio);
+    const double model =
+        row.schedule == Schedule::kSynchronized && row.shards > 1
+            ? model_solo * row.shards
+            : model_solo;
+    table.AddRow({std::to_string(row.shards),
+                  row.shards == 1 ? "solo"
+                                  : (row.threaded ? "threaded" : "inline"),
+                  ScheduleName(row.schedule),
+                  std::to_string(stats.checkpoints),
+                  bench::Sec(stats.avg_total_seconds),
+                  bench::Sec(stats.max_total_seconds),
+                  bench::Sec(stats.avg_sync_seconds),
+                  std::to_string(result_or.value().deferrals), ratio_cell,
+                  bench::Sec(model)});
   }
   std::printf("\n");
   bench::Emit(table, ctx.csv());
@@ -157,9 +214,14 @@ int main(int argc, char** argv) {
       "once, so each checkpoint write sees ~1/K of the disk and stretches "
       "toward Kx the solo time; staggered starts offset shard i by "
       "i*period/K ticks so writes do not overlap and per-checkpoint time "
-      "stays near solo (the model column is the cost-model projection from "
-      "bench_shard_stagger at Table 3 bandwidth -- measured numbers track "
-      "its shape, not its absolute seconds, on faster disks)\n");
+      "stays near solo (expect max write within ~1.2x of the solo row); "
+      "adaptive keeps at most --budget flushes concurrent by planning "
+      "starts from measured write-time EWMAs (defer counts budget "
+      "deferrals). threaded rows pace each shard on its own mutator "
+      "thread; the inline row multiplexes shards on one thread (the model "
+      "column is the cost-model projection from bench_shard_stagger at "
+      "Table 3 bandwidth -- measured numbers track its shape, not its "
+      "absolute seconds, on faster disks)\n");
   ctx.Finish();
   return 0;
 }

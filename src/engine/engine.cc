@@ -161,6 +161,17 @@ Status Engine::EndTick() {
   TP_CHECK(in_tick_);
   in_tick_ = false;
 
+  if (!injected_end_tick_error_.ok()) {
+    // Fail before the logical append and the tick advance: this tick's
+    // updates are lost and the engine freezes at the current tick (a later
+    // Shutdown/SimulateCrash still works).
+    Status injected = std::move(injected_end_tick_error_);
+    injected_end_tick_error_ = Status::OK();
+    tick_updates_.clear();
+    tick_cou_seconds_ = 0.0;
+    return injected;
+  }
+
   // Group-commit the tick's logical updates.
   TP_RETURN_NOT_OK(logical_->AppendTick(tick_, tick_updates_));
   tick_updates_.clear();
@@ -174,13 +185,20 @@ Status Engine::EndTick() {
     const bool interval_elapsed =
         checkpoint_seq_ == 0 ||
         tick_ >= last_start_tick_ + config_.checkpoint_interval_ticks;
-    const bool want_start = config_.manual_checkpoints
-                                ? checkpoint_requested_
-                                : interval_elapsed;
-    if (!active_job_ && want_start) {
-      TP_ASSIGN_OR_RETURN(pause, StartCheckpoint());
-      last_start_tick_ = tick_;
-      checkpoint_requested_ = false;
+    if (!active_job_) {
+      // Consume the manual request atomically only when a checkpoint can
+      // actually start: a request racing in from another thread is either
+      // claimed by this exchange or stays pending for the next EndTick,
+      // never silently dropped.
+      const bool want_start =
+          config_.manual_checkpoints
+              ? checkpoint_requested_.exchange(false,
+                                               std::memory_order_acq_rel)
+              : interval_elapsed;
+      if (want_start) {
+        TP_ASSIGN_OR_RETURN(pause, StartCheckpoint());
+        last_start_tick_ = tick_;
+      }
     }
   }
 
@@ -452,7 +470,13 @@ Status Engine::Shutdown() {
   return writer_status_;
 }
 
-Status Engine::SimulateCrash() {
+Status Engine::SimulateCrash() { return SimulateCrashImpl(false); }
+
+Status Engine::SimulateCrashLosingUnsyncedLog() {
+  return SimulateCrashImpl(true);
+}
+
+Status Engine::SimulateCrashImpl(bool lose_unsynced_log) {
   TP_CHECK(!shut_down_);
   crashed_.store(true, std::memory_order_release);
   shut_down_ = true;
@@ -462,7 +486,10 @@ Status Engine::SimulateCrash() {
   }
   cv_.notify_one();
   if (writer_.joinable()) writer_.join();
-  // The logical log survives to the last durable group commit.
+  // The logical log survives to the last durable group commit; in this
+  // harness a plain SimulateCrash syncs the tail on close, the hard
+  // variant drops everything after the last group commit instead.
+  if (lose_unsynced_log) return logical_->CloseLosingUnsyncedTail();
   return logical_->Close();
 }
 

@@ -6,6 +6,19 @@
 // Checkpoints start only at tick boundaries (EndTick), exploiting the
 // natural quiescence point of the discrete-event simulation loop.
 //
+// Thread-safety contract (relied on by ShardRunner/ShardedEngine, which
+// give every shard its own mutator thread):
+//   - BeginTick/ApplyUpdate/EndTick/Shutdown/SimulateCrash must all be
+//     called from ONE mutator thread (any thread, but the same one); they
+//     synchronize with the writer thread internally.
+//   - ScheduleCheckpoint is the one cross-thread entry point: any thread
+//     may request a checkpoint (the flag is atomic); the mutator serves it
+//     at its next EndTick.
+//   - metrics()/state()/current_tick() are unsynchronized snapshots owned
+//     by the mutator thread; other threads may read them only once the
+//     mutator is quiesced (between ticks with the owner parked, or after
+//     Shutdown/SimulateCrash).
+//
 // The paper's four framework subroutines map to real code here:
 //   Copy-To-Memory                 -> eager memcpy into the aux buffer
 //                                     inside StartCheckpoint (the pause)
@@ -139,8 +152,11 @@ class Engine {
 
   /// Manual mode only: requests that a checkpoint start at the next
   /// EndTick. The request stays pending while a previous checkpoint is
-  /// still in flight and is served as soon as it drains.
-  void ScheduleCheckpoint() { checkpoint_requested_ = true; }
+  /// still in flight and is served as soon as it drains. Safe to call from
+  /// any thread (the fleet scheduler may run outside the mutator thread).
+  void ScheduleCheckpoint() {
+    checkpoint_requested_.store(true, std::memory_order_release);
+  }
 
   /// Graceful stop: waits for the in-flight checkpoint, stops the writer,
   /// closes the logs.
@@ -151,6 +167,20 @@ class Engine {
   /// EndTick, and stops. The in-memory state stays readable as the "lost"
   /// reference for recovery tests.
   Status SimulateCrash();
+
+  /// Like SimulateCrash, but models an OS-level crash with
+  /// logical_sync_every > 1: every logical-log tick after the last group
+  /// commit is lost, and a torn fragment of the first unsynced record is
+  /// left behind for recovery to discard.
+  Status SimulateCrashLosingUnsyncedLog();
+
+  /// Test-only fault injection: the next EndTick fails with `status` after
+  /// leaving the tick (in_tick_ cleared) but before the tick's logical-log
+  /// append or tick-counter advance -- the shard freezes at its current
+  /// tick, exactly the partial-failure scenario ShardedEngine must survive.
+  void InjectEndTickErrorForTest(Status status) {
+    injected_end_tick_error_ = std::move(status);
+  }
 
   const EngineConfig& config() const { return config_; }
   const AlgorithmTraits& traits() const { return traits_; }
@@ -183,6 +213,8 @@ class Engine {
   /// Writes the current in-memory state as a complete synchronous
   /// checkpoint (used by OpenResumed before any tick runs).
   Status WriteBootstrapCheckpoint();
+
+  Status SimulateCrashImpl(bool lose_unsynced_log);
 
   /// Handle-Update (Table 2): dirty-bit maintenance + copy on update.
   void HandleUpdate(ObjectId object);
@@ -224,7 +256,9 @@ class Engine {
   bool backup_written_[2] = {false, false};
   uint64_t next_log_gen_ = 0;
   bool log_started_ = false;
-  bool checkpoint_requested_ = false;
+  // Written by ScheduleCheckpoint (any thread), consumed at EndTick.
+  std::atomic<bool> checkpoint_requested_{false};
+  Status injected_end_tick_error_;  // test-only, one-shot
   std::optional<Job> active_job_;
 
   // Writer thread plumbing.

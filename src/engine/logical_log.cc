@@ -1,5 +1,8 @@
 #include "engine/logical_log.h"
 
+#include <algorithm>
+#include <filesystem>
+
 #include "util/crc32.h"
 
 namespace tickpoint {
@@ -41,18 +44,45 @@ Status LogicalLog::AppendTick(uint64_t tick,
   ++ticks_appended_;
   if (ticks_appended_ % sync_every_ == 0) {
     TP_RETURN_NOT_OK(writer_.Sync());
+    MarkSynced();
   } else {
     TP_RETURN_NOT_OK(writer_.Flush());
   }
   return Status::OK();
 }
 
-Status LogicalLog::Sync() { return writer_.Sync(); }
+Status LogicalLog::Sync() {
+  TP_RETURN_NOT_OK(writer_.Sync());
+  MarkSynced();
+  return Status::OK();
+}
 
 Status LogicalLog::Close() {
   if (!writer_.is_open()) return Status::OK();
   TP_RETURN_NOT_OK(writer_.Sync());
+  MarkSynced();
   return writer_.Close();
+}
+
+Status LogicalLog::CloseLosingUnsyncedTail() {
+  if (!writer_.is_open()) return Status::OK();
+  const std::string path = writer_.path();
+  const uint64_t total_bytes = writer_.bytes_written();
+  TP_RETURN_NOT_OK(writer_.Close());  // plain close: no final sync
+  // Keep the synced prefix plus a strict prefix of the next record (a full
+  // header and two bytes -- every nonempty record is at least 28 bytes), the
+  // torn tail a real crash leaves mid-record.
+  const uint64_t unsynced = total_bytes - synced_bytes_;
+  const uint64_t keep =
+      synced_bytes_ +
+      std::min<uint64_t>(unsynced, sizeof(RecordHeader) + 2);
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) {
+    return Status::IOError("truncate " + path + ": " + ec.message());
+  }
+  ticks_appended_ = synced_ticks_;
+  return Status::OK();
 }
 
 namespace {

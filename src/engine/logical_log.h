@@ -47,15 +47,31 @@ class LogicalLog {
   Status Sync();
   Status Close();
 
+  /// Crash-injection close: makes the log look as it would after an OS
+  /// crash that lost everything past the last group-commit sync. Closes
+  /// the file without a final sync, then truncates it back to the last
+  /// synced byte plus a partial-record fragment of whatever followed, so
+  /// recovery must both stop at the synced prefix and discard a torn tail.
+  Status CloseLosingUnsyncedTail();
+
   uint64_t ticks_appended() const { return ticks_appended_; }
   uint64_t bytes_appended() const { return writer_.bytes_written(); }
+  /// Ticks covered by the last group-commit sync.
+  uint64_t synced_ticks() const { return synced_ticks_; }
 
  private:
   LogicalLog(uint64_t sync_every) : sync_every_(sync_every) {}
 
+  void MarkSynced() {
+    synced_ticks_ = ticks_appended_;
+    synced_bytes_ = writer_.bytes_written();
+  }
+
   FileWriter writer_;
   uint64_t sync_every_;
   uint64_t ticks_appended_ = 0;
+  uint64_t synced_ticks_ = 0;
+  uint64_t synced_bytes_ = 0;
 
  public:
   // ---- Recovery side (static: operates on a closed log file) ----

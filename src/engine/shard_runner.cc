@@ -1,0 +1,120 @@
+#include "engine/shard_runner.h"
+
+namespace tickpoint {
+
+ShardRunner::ShardRunner(uint32_t shard_id, std::unique_ptr<Engine> engine,
+                         bool threaded, uint64_t max_queue_ticks,
+                         CheckpointObserver observer)
+    : shard_id_(shard_id),
+      threaded_(threaded),
+      max_queue_ticks_(max_queue_ticks),
+      engine_(std::move(engine)),
+      observer_(std::move(observer)) {
+  TP_CHECK(engine_ != nullptr);
+  TP_CHECK(max_queue_ticks_ > 0);
+  if (threaded_) {
+    thread_ = std::thread([this] { ThreadMain(); });
+  }
+}
+
+ShardRunner::~ShardRunner() { Stop(); }
+
+void ShardRunner::SubmitTick(ShardTickBatch batch) {
+  if (!threaded_) {
+    ProcessBatch(batch);
+    ticks_completed_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    TP_CHECK(!stop_);
+    // Backpressure: bound how far the fleet can run ahead of a slow shard.
+    batch_done_cv_.wait(
+        lock, [this] { return mailbox_.size() < max_queue_ticks_; });
+    mailbox_.push_back(std::move(batch));
+    ++ticks_submitted_;
+  }
+  batch_ready_cv_.notify_one();
+}
+
+Status ShardRunner::Drain() {
+  if (threaded_) {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_cv_.wait(lock, [this] {
+      return ticks_completed_.load(std::memory_order_acquire) ==
+             ticks_submitted_;
+    });
+  }
+  return status();
+}
+
+void ShardRunner::Stop() {
+  if (!threaded_ || !thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  batch_ready_cv_.notify_one();
+  thread_.join();
+}
+
+Status ShardRunner::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void ShardRunner::ThreadMain() {
+  for (;;) {
+    ShardTickBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_cv_.wait(lock,
+                           [this] { return !mailbox_.empty() || stop_; });
+      // Drain the mailbox before honoring stop: Stop() is a barrier, not
+      // an abort (SimulateCrash relies on every shard reaching the fleet
+      // tick before the crash lands).
+      if (mailbox_.empty()) return;
+      batch = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    ProcessBatch(batch);
+    {
+      // Publish completion under mu_: Drain/SubmitTick re-check their
+      // predicates under the same lock, so the notify can never be lost
+      // between a predicate check and the wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      ticks_completed_.fetch_add(1, std::memory_order_release);
+    }
+    batch_done_cv_.notify_all();
+  }
+}
+
+void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
+  // After the sticky error the engine is frozen at its failure tick;
+  // discard (but account for) later batches so Drain/Stop terminate.
+  if (has_error_.load(std::memory_order_acquire)) return;
+  engine_->BeginTick();
+  for (const CellUpdate& update : batch.updates) {
+    engine_->ApplyUpdate(update.cell, update.value);
+  }
+  if (batch.start_checkpoint) engine_->ScheduleCheckpoint();
+  const Status status = engine_->EndTick();
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = status;
+    }
+    has_error_.store(true, std::memory_order_release);
+    return;
+  }
+  if (!observer_) return;
+  // EndTick finalizes drained checkpoints; report the new records (they
+  // finished during this tick's end).
+  const auto& records = engine_->metrics().checkpoints;
+  while (checkpoints_reported_ < records.size()) {
+    observer_(shard_id_, records[checkpoints_reported_], batch.tick);
+    ++checkpoints_reported_;
+  }
+}
+
+}  // namespace tickpoint

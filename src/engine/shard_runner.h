@@ -1,0 +1,130 @@
+// One shard's mutator thread: a ShardRunner owns the shard's Engine and
+// drives it with per-tick update batches pulled from a mutex+cv mailbox, so
+// K shards tick concurrently the way K real zone servers would, instead of
+// being multiplexed onto the facade's thread.
+//
+// The facade (ShardedEngine) stays the single producer: it submits one
+// ShardTickBatch per fleet tick carrying the tick's updates and the stagger
+// scheduler's checkpoint decision. The runner applies batches in order on
+// its own thread (the engine's mutator thread in the Engine thread-safety
+// contract); the engine's writer thread continues to flush checkpoints
+// underneath it, so a K-shard fleet runs 2K threads plus the caller.
+//
+// Failure semantics: the first Engine error is sticky. After it, the
+// runner discards later batches (counting them as consumed so Drain/Stop
+// never deadlock) and the fleet surfaces the error on its next poll --
+// shards never stall mid-tick waiting on a dead sibling.
+#ifndef TICKPOINT_ENGINE_SHARD_RUNNER_H_
+#define TICKPOINT_ENGINE_SHARD_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace tickpoint {
+
+/// Everything one shard needs to run one tick.
+struct ShardTickBatch {
+  uint64_t tick = 0;
+  std::vector<CellUpdate> updates;
+  /// Stagger scheduler's decision: begin a checkpoint at this tick's end.
+  bool start_checkpoint = false;
+};
+
+class ShardRunner {
+ public:
+  /// Invoked once per completed checkpoint, from the runner's mutator
+  /// thread (threaded mode) or the caller's thread (inline mode):
+  /// (shard id, the finished record, tick at whose end it finished). Used
+  /// to feed measured write times back into the adaptive stagger.
+  using CheckpointObserver = std::function<void(
+      uint32_t shard, const EngineCheckpointRecord& record,
+      uint64_t completion_tick)>;
+
+  /// Takes ownership of `engine`. threaded=true spawns the mutator thread;
+  /// threaded=false applies batches synchronously on the submitting thread
+  /// (the PR-1 facade behavior, kept for comparison benches and
+  /// deterministic tests). `max_queue_ticks` bounds the mailbox: SubmitTick
+  /// blocks while the shard lags that many ticks behind the producer.
+  ShardRunner(uint32_t shard_id, std::unique_ptr<Engine> engine,
+              bool threaded, uint64_t max_queue_ticks,
+              CheckpointObserver observer);
+
+  /// Stops the mutator thread (draining the mailbox first). Does NOT shut
+  /// down the engine -- the owner decides between Shutdown and
+  /// SimulateCrash.
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  /// Hands the runner one tick's batch. Ticks must be submitted in order.
+  /// Threaded: enqueues (blocking on a full mailbox) and returns; inline:
+  /// applies before returning.
+  void SubmitTick(ShardTickBatch batch);
+
+  /// Blocks until every submitted batch is consumed, then returns the
+  /// sticky error status. The barrier behind fleet-consistent operations
+  /// (Shutdown, SimulateCrash, stats snapshots).
+  Status Drain();
+
+  /// Drains and joins the mutator thread. Idempotent; implied by the
+  /// destructor. After Stop, engine() may be used from any thread.
+  void Stop();
+
+  /// Cheap poll: has the sticky error fired? (relaxed atomic, no lock)
+  bool has_error() const {
+    return has_error_.load(std::memory_order_acquire);
+  }
+  /// The sticky first error.
+  Status status() const;
+
+  uint32_t shard_id() const { return shard_id_; }
+  /// Ticks fully applied (not merely submitted).
+  uint64_t ticks_completed() const {
+    return ticks_completed_.load(std::memory_order_acquire);
+  }
+
+  /// The owned engine. Per the Engine thread-safety contract, callers may
+  /// touch it only while the runner is quiesced (after Drain/Stop, or
+  /// inline mode).
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  void ThreadMain();
+  /// BeginTick + updates + checkpoint request + EndTick on the engine;
+  /// records the sticky error and reports finished checkpoints.
+  void ProcessBatch(const ShardTickBatch& batch);
+
+  const uint32_t shard_id_;
+  const bool threaded_;
+  const uint64_t max_queue_ticks_;
+  std::unique_ptr<Engine> engine_;
+  CheckpointObserver observer_;
+  size_t checkpoints_reported_ = 0;  // mutator thread only
+
+  mutable std::mutex mu_;
+  std::condition_variable batch_ready_cv_;  // signals the mutator thread
+  std::condition_variable batch_done_cv_;   // signals producer/Drain
+  std::deque<ShardTickBatch> mailbox_;
+  uint64_t ticks_submitted_ = 0;
+  bool stop_ = false;
+  Status first_error_;  // guarded by mu_
+
+  std::atomic<uint64_t> ticks_completed_{0};
+  std::atomic<bool> has_error_{false};
+  std::thread thread_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_SHARD_RUNNER_H_

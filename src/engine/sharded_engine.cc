@@ -1,5 +1,7 @@
 #include "engine/sharded_engine.h"
 
+#include <utility>
+
 #include "util/io.h"
 
 namespace tickpoint {
@@ -22,15 +24,34 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   if (config.shard.dir.empty()) {
     return Status::InvalidArgument("ShardedEngineConfig.shard.dir must be set");
   }
+  if (config.max_queue_ticks == 0) {
+    return Status::InvalidArgument("max_queue_ticks must be positive");
+  }
+  if (config.disk_budget == 0) {
+    // Checked here, before the member initializer constructs the
+    // StaggerScheduler, whose TP_CHECK would abort instead of returning.
+    return Status::InvalidArgument("disk_budget must be positive");
+  }
   TP_RETURN_NOT_OK(EnsureDirectory(config.shard.dir));
   std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
-  sharded->shards_.reserve(config.num_shards);
+  sharded->runners_.reserve(config.num_shards);
+  sharded->pending_.resize(config.num_shards);
+  // Measured checkpoint completions feed the adaptive stagger; in threaded
+  // mode the callbacks arrive on runner threads (the scheduler locks).
+  auto observer = [fleet = sharded.get()](
+                      uint32_t shard, const EngineCheckpointRecord& record,
+                      uint64_t completion_tick) {
+    fleet->scheduler_.ObserveCheckpointEnd(shard, completion_tick,
+                                           record.TotalSeconds());
+  };
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
     shard_config.dir = ShardDir(config.shard.dir, i);
     shard_config.manual_checkpoints = true;
     TP_ASSIGN_OR_RETURN(auto engine, Engine::Open(shard_config));
-    sharded->shards_.push_back(std::move(engine));
+    sharded->runners_.push_back(std::make_unique<ShardRunner>(
+        i, std::move(engine), config.threaded, config.max_queue_ticks,
+        observer));
   }
   return sharded;
 }
@@ -42,37 +63,71 @@ ShardedEngine::~ShardedEngine() {
 }
 
 void ShardedEngine::BeginTick() {
-  TP_CHECK(!in_tick_ && !shut_down_);
+  TP_CHECK(!in_tick_ && !shut_down_ && !failed_);
   in_tick_ = true;
-  for (auto& shard : shards_) shard->BeginTick();
 }
 
 void ShardedEngine::ApplyUpdate(uint32_t shard, uint32_t cell,
                                 int32_t value) {
   TP_DCHECK(in_tick_);
-  TP_DCHECK(shard < shards_.size());
-  shards_[shard]->ApplyUpdate(cell, value);
+  TP_DCHECK(shard < runners_.size());
+  pending_[shard].push_back(CellUpdate{cell, value});
 }
 
 Status ShardedEngine::EndTick() {
   TP_CHECK(in_tick_);
   in_tick_ = false;
-  for (uint32_t i = 0; i < shards_.size(); ++i) {
-    if (scheduler_.ShouldCheckpoint(i, tick_)) {
-      shards_[i]->ScheduleCheckpoint();
-    }
-    TP_RETURN_NOT_OK(shards_[i]->EndTick());
+  // Every shard gets its batch even if a sibling already failed: no shard
+  // is ever left mid-tick, and the fleet tick advances exactly once.
+  for (uint32_t i = 0; i < runners_.size(); ++i) {
+    ShardTickBatch batch;
+    batch.tick = tick_;
+    batch.start_checkpoint = scheduler_.ShouldCheckpoint(i, tick_);
+    batch.updates = std::move(pending_[i]);
+    pending_[i].clear();
+    runners_[i]->SubmitTick(std::move(batch));
   }
   ++tick_;
-  return Status::OK();
+  return PollShardError();
+}
+
+Status ShardedEngine::PollShardError() {
+  if (!failed_) {
+    for (auto& runner : runners_) {
+      if (!runner->has_error()) continue;
+      const Status status = runner->status();
+      if (first_error_.ok() && !status.ok()) first_error_ = status;
+      failed_ = true;
+    }
+  }
+  return first_error_;
+}
+
+Status ShardedEngine::WaitForIdle() {
+  TP_CHECK(!in_tick_);
+  for (auto& runner : runners_) {
+    const Status status = runner->Drain();
+    if (first_error_.ok() && !status.ok()) {
+      first_error_ = status;
+      failed_ = true;
+    }
+  }
+  return first_error_;
 }
 
 Status ShardedEngine::Shutdown() {
   if (shut_down_) return Status::OK();
   shut_down_ = true;
   Status first_error = Status::OK();
-  for (auto& shard : shards_) {
-    const Status status = shard->Shutdown();
+  // Barrier: drain mailboxes and park the mutator threads, then stop each
+  // engine (which drains its writer thread).
+  for (auto& runner : runners_) runner->Stop();
+  for (auto& runner : runners_) {
+    const Status status = runner->status();
+    if (first_error.ok() && !status.ok()) first_error = status;
+  }
+  for (auto& runner : runners_) {
+    const Status status = runner->engine().Shutdown();
     if (first_error.ok() && !status.ok()) first_error = status;
   }
   return first_error;
@@ -81,9 +136,13 @@ Status ShardedEngine::Shutdown() {
 Status ShardedEngine::SimulateCrash() {
   TP_CHECK(!shut_down_);
   shut_down_ = true;
+  // Barrier first: every shard reaches the fleet tick, so the crash lands
+  // between fleet ticks (the per-shard writer threads are still mid-flush,
+  // which is what the crash abandons).
+  for (auto& runner : runners_) runner->Stop();
   Status first_error = Status::OK();
-  for (auto& shard : shards_) {
-    const Status status = shard->SimulateCrash();
+  for (auto& runner : runners_) {
+    const Status status = runner->engine().SimulateCrash();
     if (first_error.ok() && !status.ok()) first_error = status;
   }
   return first_error;
@@ -94,8 +153,8 @@ ShardedCheckpointStats ShardedEngine::CheckpointStats(bool skip_first) const {
   double total_sum = 0.0;
   double sync_sum = 0.0;
   double async_sum = 0.0;
-  for (const auto& shard : shards_) {
-    const auto& records = shard->metrics().checkpoints;
+  for (const auto& runner : runners_) {
+    const auto& records = runner->engine().metrics().checkpoints;
     for (size_t r = skip_first ? 1 : 0; r < records.size(); ++r) {
       const EngineCheckpointRecord& record = records[r];
       ++stats.checkpoints;

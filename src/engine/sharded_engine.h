@@ -3,12 +3,21 @@
 //
 // Each shard owns a disjoint state partition, its own logical log, and its
 // own checkpoint directory under the shared root -- exactly the layout a
-// multi-zone MMO server would run on one persistence disk. The facade
-// drives all shards in tick lockstep; the StaggerScheduler decides, per
-// tick, which shards begin a checkpoint, so the synchronized-vs-staggered
-// disk-contention tradeoff projected by bench_shard_stagger can be measured
-// on the real write path. Each shard's writer thread flushes concurrently
-// with the others, which is precisely the contention under study.
+// multi-zone MMO server would run on one persistence disk. In threaded
+// mode (the default) every shard also owns a ShardRunner mutator thread:
+// the facade's BeginTick/ApplyUpdate/EndTick only assemble per-shard
+// update batches and mail them to the runners, which tick independently --
+// the fleet analogue of K zone servers on independent simulation loops.
+// The StaggerScheduler decides, per tick, which shards begin a checkpoint
+// (fixed i * period / K offsets, or the adaptive plan fed by measured
+// write times), so the synchronized-vs-staggered disk-contention tradeoff
+// projected by bench_shard_stagger can be measured on the real write path.
+// Each shard's writer thread flushes concurrently with the others, which
+// is precisely the contention under study.
+//
+// Fleet-level barriers exist only where the API demands a consistent view:
+// Shutdown, SimulateCrash, and WaitForIdle drain every runner to the
+// facade tick before acting.
 #ifndef TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 #define TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 
@@ -18,6 +27,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/shard_runner.h"
 #include "engine/stagger_scheduler.h"
 
 namespace tickpoint {
@@ -35,9 +45,26 @@ struct ShardedEngineConfig {
   uint64_t checkpoint_period_ticks = 8;
   /// Stagger shard starts by i * period / K (false = synchronized).
   bool staggered = true;
+  /// Run each shard on its own mutator thread (see header comment).
+  /// false = drive every shard inline from the caller's thread: the PR-1
+  /// facade, kept for comparison benches and deterministic unit tests.
+  bool threaded = true;
+  /// Adaptive stagger: learn measured write times and keep concurrent
+  /// flushes at or below `disk_budget` (see StaggerConfig).
+  bool adaptive = false;
+  uint32_t disk_budget = 1;
+  /// Threaded mode: max ticks a shard's mailbox may lag behind the facade
+  /// before EndTick blocks (bounds memory under a slow shard).
+  uint64_t max_queue_ticks = 64;
 
   StaggerConfig ToStaggerConfig() const {
-    return StaggerConfig{num_shards, checkpoint_period_ticks, staggered};
+    StaggerConfig config;
+    config.num_shards = num_shards;
+    config.period_ticks = checkpoint_period_ticks;
+    config.staggered = staggered;
+    config.adaptive = adaptive;
+    config.disk_budget = disk_budget;
+    return config;
   }
 };
 
@@ -50,7 +77,9 @@ struct ShardedCheckpointStats {
   double avg_async_seconds = 0.0;
 };
 
-/// A fleet of K engines sharing one disk, driven in tick lockstep.
+/// A fleet of K engines sharing one disk. The facade itself is driven by
+/// one caller thread; in threaded mode the shards consume its ticks
+/// asynchronously on their own mutator threads.
 class ShardedEngine {
  public:
   static StatusOr<std::unique_ptr<ShardedEngine>> Open(
@@ -61,35 +90,54 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  /// Starts the next tick on every shard.
+  /// Starts the next fleet tick.
   void BeginTick();
 
-  /// Applies one logical update to `shard`'s partition.
+  /// Records one logical update for `shard`'s partition (applied by the
+  /// shard when it consumes this tick).
   void ApplyUpdate(uint32_t shard, uint32_t cell, int32_t value);
 
-  /// Ends the tick on every shard, scheduling checkpoint starts per the
-  /// stagger scheduler.
+  /// Ends the fleet tick: mails every shard its batch plus the stagger
+  /// scheduler's checkpoint decision, and polls for shard errors. On a
+  /// shard failure EVERY other shard still receives and finishes the tick,
+  /// the first error is recorded, the fleet tick stays consistent, and the
+  /// fleet hard-fails (failed() becomes true; only Shutdown/SimulateCrash
+  /// remain legal). In threaded mode an error can surface one or more
+  /// ticks after the EndTick that caused it.
   Status EndTick();
 
-  /// Graceful stop of every shard (drains in-flight checkpoints).
+  /// Barrier: blocks until every shard has consumed all submitted ticks,
+  /// then returns the fleet's sticky error. After it returns OK, per-shard
+  /// engines are quiescent and safe to inspect from this thread.
+  Status WaitForIdle();
+
+  /// Graceful stop of every shard (drains mailboxes and in-flight
+  /// checkpoints).
   Status Shutdown();
 
-  /// Crash injection across the fleet: every shard's in-flight checkpoint
-  /// is abandoned mid-write. Because of staggering, shards are typically at
-  /// different checkpoint generations when the crash lands.
+  /// Crash injection across the fleet. Barriers first -- every shard
+  /// reaches the fleet tick, as if the crash hit between ticks -- then
+  /// every shard's in-flight checkpoint is abandoned mid-write. Because of
+  /// staggering, shards are typically at different checkpoint generations
+  /// when the crash lands.
   Status SimulateCrash();
 
   const ShardedEngineConfig& config() const { return config_; }
   const StaggerScheduler& scheduler() const { return scheduler_; }
   uint32_t num_shards() const { return config_.num_shards; }
   uint64_t current_tick() const { return tick_; }
+  /// True once a shard error hard-failed the fleet.
+  bool failed() const { return failed_; }
 
-  Engine& shard(uint32_t i) { return *shards_[i]; }
-  const Engine& shard(uint32_t i) const { return *shards_[i]; }
+  /// Shard `i`'s engine. Safe only while the fleet is quiesced (inline
+  /// mode, or after WaitForIdle/Shutdown/SimulateCrash).
+  Engine& shard(uint32_t i) { return runners_[i]->engine(); }
+  const Engine& shard(uint32_t i) const { return runners_[i]->engine(); }
 
   /// Aggregates checkpoint records across shards, skipping each shard's
   /// first (cold, all-objects) checkpoint when `skip_first` is set so
   /// steady-state incremental timing is not polluted by the bootstrap.
+  /// Requires a quiesced fleet (see shard()).
   ShardedCheckpointStats CheckpointStats(bool skip_first = false) const;
 
   /// Checkpoint/log directory of shard `i` under `root`.
@@ -98,11 +146,18 @@ class ShardedEngine {
  private:
   explicit ShardedEngine(const ShardedEngineConfig& config);
 
+  /// First sticky error across runners (polled without blocking).
+  Status PollShardError();
+
   ShardedEngineConfig config_;
   StaggerScheduler scheduler_;
-  std::vector<std::unique_ptr<Engine>> shards_;
+  std::vector<std::unique_ptr<ShardRunner>> runners_;
+  /// Per-shard updates buffered during the open tick.
+  std::vector<std::vector<CellUpdate>> pending_;
   uint64_t tick_ = 0;
   bool in_tick_ = false;
+  bool failed_ = false;
+  Status first_error_;
   bool shut_down_ = false;
 };
 

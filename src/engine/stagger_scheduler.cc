@@ -1,10 +1,17 @@
 #include "engine/stagger_scheduler.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace tickpoint {
 
 StaggerScheduler::StaggerScheduler(const StaggerConfig& config)
     : config_(config) {
   TP_CHECK(config_.Valid());
+  plans_.resize(config_.num_shards);
+  for (uint32_t shard = 0; shard < config_.num_shards; ++shard) {
+    plans_[shard].next_start = OffsetTicks(shard);
+  }
 }
 
 uint64_t StaggerScheduler::OffsetTicks(uint32_t shard) const {
@@ -13,20 +20,143 @@ uint64_t StaggerScheduler::OffsetTicks(uint32_t shard) const {
   return shard * config_.period_ticks / config_.num_shards;
 }
 
-bool StaggerScheduler::ShouldCheckpoint(uint32_t shard, uint64_t tick) const {
-  const uint64_t offset = OffsetTicks(shard);
-  if (tick < offset) return false;
-  return (tick - offset) % config_.period_ticks == 0;
+bool StaggerScheduler::ShouldCheckpoint(uint32_t shard, uint64_t tick) {
+  TP_DCHECK(shard < config_.num_shards);
+  if (!config_.adaptive) {
+    const uint64_t offset = OffsetTicks(shard);
+    if (tick < offset) return false;
+    return (tick - offset) % config_.period_ticks == 0;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardPlan& plan = plans_[shard];
+  if (plan.inflight || tick < plan.next_start) return false;
+  if (inflight_ >= config_.disk_budget) {
+    // Budget exhausted: stay due (next_start unchanged, so the claim keeps
+    // its age) and retry when a flush completes.
+    ++deferrals_;
+    return false;
+  }
+  // FIFO fairness: older due claims get the free slots first. Without this
+  // the per-tick shard scan always hands a freed slot to the lowest-index
+  // due shard, starving the rest on an oversubscribed disk. Yield only
+  // when the older claims actually fill the remaining budget, so a large
+  // budget never wastes slots.
+  const uint32_t free_slots = config_.disk_budget - inflight_;
+  uint32_t older_claims = 0;
+  for (uint32_t other = 0; other < config_.num_shards; ++other) {
+    if (other == shard) continue;
+    const ShardPlan& other_plan = plans_[other];
+    if (other_plan.inflight || tick < other_plan.next_start) continue;
+    if (other_plan.next_start < plan.next_start ||
+        (other_plan.next_start == plan.next_start && other < shard)) {
+      ++older_claims;
+    }
+  }
+  if (older_claims >= free_slots) {
+    ++deferrals_;
+    return false;
+  }
+  plan.inflight = true;
+  plan.started_at = tick;
+  ++inflight_;
+  max_concurrent_starts_ = std::max(max_concurrent_starts_, inflight_);
+  plan.next_start = PlanNextStartLocked(shard, tick);
+  return true;
 }
 
 uint64_t StaggerScheduler::NextCheckpointTick(uint32_t shard,
                                               uint64_t tick) const {
   const uint64_t offset = OffsetTicks(shard);
-  if (tick <= offset) return offset;
-  const uint64_t since = tick - offset;
-  const uint64_t periods =
-      (since + config_.period_ticks - 1) / config_.period_ticks;
+  if (tick < offset) return offset;
+  // Starts land on offset + k * period; take the first one strictly after
+  // `tick` (a start at `tick` itself is "now", not "next").
+  const uint64_t periods = (tick - offset) / config_.period_ticks + 1;
   return offset + periods * config_.period_ticks;
+}
+
+void StaggerScheduler::ObserveCheckpointEnd(uint32_t shard, uint64_t end_tick,
+                                            double write_seconds) {
+  if (!config_.adaptive) return;
+  TP_DCHECK(shard < config_.num_shards);
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardPlan& plan = plans_[shard];
+  if (!plan.inflight) return;  // tolerate duplicate reports
+  plan.inflight = false;
+  TP_DCHECK(inflight_ > 0);
+  --inflight_;
+  const double observed_ticks = static_cast<double>(
+      end_tick > plan.started_at ? end_tick - plan.started_at : 1);
+  const double alpha = config_.ewma_alpha;
+  auto ewma = [alpha](double prev, double observed) {
+    return prev == 0.0 ? observed : alpha * observed + (1 - alpha) * prev;
+  };
+  plan.ewma_ticks = ewma(plan.ewma_ticks, observed_ticks);
+  plan.ewma_seconds = ewma(plan.ewma_seconds, write_seconds);
+}
+
+uint64_t StaggerScheduler::EstimateTicksLocked(uint32_t shard) const {
+  const ShardPlan& plan = plans_[shard];
+  if (plan.ewma_ticks > 0.0) {
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(std::ceil(plan.ewma_ticks))));
+  }
+  return std::max<uint64_t>(1, config_.period_ticks / config_.num_shards);
+}
+
+uint64_t StaggerScheduler::PlanNextStartLocked(uint32_t shard,
+                                               uint64_t start_tick) const {
+  const uint64_t est = EstimateTicksLocked(shard);
+  uint64_t candidate = start_tick + config_.period_ticks;
+  // Greedy: while at least `disk_budget` other windows overlap
+  // [candidate, candidate + est), slide the candidate to the earliest end
+  // of an overlapping window. Each round passes at least one window, so
+  // num_shards rounds suffice.
+  for (uint32_t round = 0; round <= config_.num_shards; ++round) {
+    uint32_t overlap = 0;
+    uint64_t earliest_end = UINT64_MAX;
+    for (uint32_t other = 0; other < config_.num_shards; ++other) {
+      if (other == shard) continue;
+      const ShardPlan& plan = plans_[other];
+      const uint64_t other_start =
+          plan.inflight ? plan.started_at : plan.next_start;
+      const uint64_t other_end = other_start + EstimateTicksLocked(other);
+      if (other_start < candidate + est && candidate < other_end) {
+        ++overlap;
+        earliest_end = std::min(earliest_end, other_end);
+      }
+    }
+    if (overlap < config_.disk_budget) break;
+    candidate = std::max(candidate + 1, earliest_end);
+  }
+  return candidate;
+}
+
+uint32_t StaggerScheduler::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint32_t StaggerScheduler::max_concurrent_starts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_concurrent_starts_;
+}
+
+uint64_t StaggerScheduler::deferrals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferrals_;
+}
+
+double StaggerScheduler::EwmaTicks(uint32_t shard) const {
+  TP_DCHECK(shard < config_.num_shards);
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_[shard].ewma_ticks;
+}
+
+double StaggerScheduler::EwmaWriteSeconds(uint32_t shard) const {
+  TP_DCHECK(shard < config_.num_shards);
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_[shard].ewma_seconds;
 }
 
 }  // namespace tickpoint

@@ -222,6 +222,108 @@ TEST_F(DurabilityTest, GroupCommitWindowBoundsLoss) {
   EXPECT_TRUE(recovered.ContentEquals(reference));
 }
 
+TEST_F(DurabilityTest, HardCrashBetweenGroupCommitsRecoversLastSyncedTick) {
+  // logical_sync_every = 8 and a hard crash after 30 ticks: ticks 24..29
+  // never reached stable storage, and a torn fragment of tick 24's record
+  // is left on disk. With no checkpoint image (manual mode, never
+  // scheduled) the logical log is the only recovery source, so the
+  // recovery window is exactly the group-commit window: Recover must land
+  // on tick 24 -- the last synced group commit -- and must not apply the
+  // torn tail.
+  const StateLayout layout = StateLayout::Small(512, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = AlgorithmKind::kCopyOnUpdate;
+  config.dir = dir_;
+  config.fsync = false;
+  config.logical_sync_every = 8;
+  config.manual_checkpoints = true;  // no image: recovery is log-only
+
+  constexpr uint64_t kTicks = 30;
+  constexpr uint64_t kSyncedTicks = 24;  // last group commit before 30
+  constexpr uint64_t kUpdates = 120;
+  const uint64_t num_cells = layout.num_cells();
+
+  auto engine_or = Engine::Open(config);
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  StateTable reference(layout);  // state at the last synced tick
+  for (uint64_t tick = 0; tick < kTicks; ++tick) {
+    engine.BeginTick();
+    for (uint64_t i = 0; i < kUpdates; ++i) {
+      const uint32_t cell = WorkloadCell(0, tick, i, num_cells);
+      const int32_t value = WorkloadValue(tick, cell, i);
+      engine.ApplyUpdate(cell, value);
+      if (tick < kSyncedTicks) reference.WriteCell(cell, value);
+    }
+    ASSERT_TRUE(engine.EndTick().ok());
+  }
+  ASSERT_TRUE(engine.SimulateCrashLosingUnsyncedLog().ok());
+
+  // The on-disk log carries exactly the synced prefix...
+  auto durable_or =
+      LogicalLog::CountDurableTicks(Engine::LogicalLogPath(dir_));
+  ASSERT_TRUE(durable_or.ok());
+  EXPECT_EQ(durable_or.value(), kSyncedTicks);
+
+  // ...and recovery lands exactly on the last group commit.
+  StateTable recovered(layout);
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->restored_from_checkpoint);
+  EXPECT_EQ(result->recovered_ticks, kSyncedTicks);
+  EXPECT_TRUE(recovered.ContentEquals(reference));
+}
+
+TEST_F(DurabilityTest, HardCrashWithCheckpointsStaysWithinDurableSources) {
+  // Same hard crash, now with back-to-back checkpoints running: the newest
+  // complete image may cover ticks past the synced log (the image is its
+  // own durable source), so recovery returns max(image, synced log) -- and
+  // never a tick that reached neither.
+  const StateLayout layout = StateLayout::Small(512, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = AlgorithmKind::kCopyOnUpdate;
+  config.dir = dir_;
+  config.fsync = false;
+  config.logical_sync_every = 8;
+
+  constexpr uint64_t kTicks = 30;
+  constexpr uint64_t kSyncedTicks = 24;
+  constexpr uint64_t kUpdates = 120;
+  const uint64_t num_cells = layout.num_cells();
+
+  auto engine_or = Engine::Open(config);
+  ASSERT_TRUE(engine_or.ok());
+  Engine& engine = *engine_or.value();
+  for (uint64_t tick = 0; tick < kTicks; ++tick) {
+    engine.BeginTick();
+    for (uint64_t i = 0; i < kUpdates; ++i) {
+      const uint32_t cell = WorkloadCell(0, tick, i, num_cells);
+      engine.ApplyUpdate(cell, WorkloadValue(tick, cell, i));
+    }
+    ASSERT_TRUE(engine.EndTick().ok());
+  }
+  ASSERT_TRUE(engine.SimulateCrashLosingUnsyncedLog().ok());
+
+  StateTable recovered(layout);
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->recovered_ticks, kSyncedTicks);
+  EXPECT_LE(result->recovered_ticks, kTicks);
+
+  // Whatever tick recovery landed on, the state is that tick's exact
+  // prefix of the deterministic workload.
+  StateTable reference(layout);
+  for (uint64_t tick = 0; tick < result->recovered_ticks; ++tick) {
+    for (uint64_t i = 0; i < kUpdates; ++i) {
+      const uint32_t cell = WorkloadCell(0, tick, i, num_cells);
+      reference.WriteCell(cell, WorkloadValue(tick, cell, i));
+    }
+  }
+  EXPECT_TRUE(recovered.ContentEquals(reference));
+}
+
 TEST_F(DurabilityTest, FallsBackWhenNewestBackupCorrupted) {
   const StateLayout layout = StateLayout::Small(2048, 10);
   EngineConfig config;

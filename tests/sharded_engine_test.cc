@@ -7,8 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "engine/mutator.h"
 #include "engine/recovery.h"
@@ -66,15 +71,122 @@ TEST(StaggerSchedulerTest, EveryShardCheckpointsOncePerPeriod) {
 TEST(StaggerSchedulerTest, NextCheckpointTickIsTheSchedule) {
   StaggerScheduler scheduler(StaggerConfig{4, 8, /*staggered=*/true});
   EXPECT_EQ(scheduler.NextCheckpointTick(1, 0), 2u);
-  EXPECT_EQ(scheduler.NextCheckpointTick(1, 2), 2u);
   EXPECT_EQ(scheduler.NextCheckpointTick(1, 3), 10u);
   EXPECT_EQ(scheduler.NextCheckpointTick(0, 1), 8u);
   for (uint32_t shard = 0; shard < 4; ++shard) {
     for (uint64_t tick = 0; tick < 40; ++tick) {
       const uint64_t next = scheduler.NextCheckpointTick(shard, tick);
-      EXPECT_GE(next, tick);
+      EXPECT_GT(next, tick);
       EXPECT_TRUE(scheduler.ShouldCheckpoint(shard, next));
     }
+  }
+}
+
+TEST(StaggerSchedulerTest, NextCheckpointTickIsStrictlyAfterTheQueryTick) {
+  // The boundary that used to be wrong: querying AT a scheduled start must
+  // answer the following period's start ("next"), not echo "now" back --
+  // ShouldCheckpoint(shard, start) already covers "now".
+  StaggerScheduler scheduler(StaggerConfig{4, 8, /*staggered=*/true});
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    const uint64_t offset = scheduler.OffsetTicks(shard);
+    for (uint64_t start = offset; start < offset + 40; start += 8) {
+      ASSERT_TRUE(scheduler.ShouldCheckpoint(shard, start));
+      EXPECT_EQ(scheduler.NextCheckpointTick(shard, start), start + 8)
+          << "shard " << shard << " start " << start;
+    }
+  }
+  // Before the first start, the first start is the next one.
+  EXPECT_EQ(scheduler.NextCheckpointTick(1, 1), 2u);
+  // Synchronized schedule: same rule at tick 0.
+  StaggerScheduler synced(StaggerConfig{4, 8, /*staggered=*/false});
+  EXPECT_EQ(synced.NextCheckpointTick(0, 0), 8u);
+}
+
+// ---- Adaptive stagger ----
+
+// Deterministic disk model: every checkpoint occupies the disk for
+// `duration` ticks after its start; completions are reported before the
+// next tick's scheduling decisions, the same order ShardedEngine uses.
+struct AdaptiveSimResult {
+  uint32_t max_concurrent = 0;
+  std::vector<int> starts_per_shard;
+};
+
+AdaptiveSimResult RunAdaptiveSim(StaggerScheduler* scheduler, uint32_t shards,
+                                 uint64_t ticks, uint64_t duration) {
+  AdaptiveSimResult result;
+  result.starts_per_shard.assign(shards, 0);
+  std::vector<uint64_t> busy_until(shards, 0);
+  std::vector<bool> inflight(shards, false);
+  uint32_t active = 0;
+  for (uint64_t tick = 0; tick < ticks; ++tick) {
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      if (inflight[shard] && tick >= busy_until[shard]) {
+        scheduler->ObserveCheckpointEnd(shard, tick, 0.001 * duration);
+        inflight[shard] = false;
+        --active;
+      }
+    }
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      if (scheduler->ShouldCheckpoint(shard, tick)) {
+        EXPECT_FALSE(inflight[shard]);
+        inflight[shard] = true;
+        busy_until[shard] = tick + duration;
+        ++active;
+        ++result.starts_per_shard[shard];
+        result.max_concurrent = std::max(result.max_concurrent, active);
+      }
+    }
+  }
+  return result;
+}
+
+TEST(StaggerSchedulerTest, AdaptiveNeverExceedsDiskBudget) {
+  // Writes take 5 ticks but the fixed slot width is period/K = 2: the fixed
+  // schedule would overlap up to 3 flushes; adaptive must keep it at 1.
+  StaggerConfig config{4, 8, /*staggered=*/true};
+  config.adaptive = true;
+  config.disk_budget = 1;
+  StaggerScheduler scheduler(config);
+  const AdaptiveSimResult result =
+      RunAdaptiveSim(&scheduler, 4, 400, /*duration=*/5);
+  EXPECT_EQ(result.max_concurrent, 1u);
+  EXPECT_LE(scheduler.max_concurrent_starts(), 1u);
+  EXPECT_GT(scheduler.deferrals(), 0u);
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    // Oversubscribed disk: shards checkpoint less often than the period,
+    // but none starves.
+    EXPECT_GE(result.starts_per_shard[shard], 5) << "shard " << shard;
+    EXPECT_GT(scheduler.EwmaTicks(shard), 0.0);
+    EXPECT_GT(scheduler.EwmaWriteSeconds(shard), 0.0);
+  }
+}
+
+TEST(StaggerSchedulerTest, AdaptiveHonorsLargerBudgets) {
+  StaggerConfig config{6, 12, /*staggered=*/true};
+  config.adaptive = true;
+  config.disk_budget = 2;
+  StaggerScheduler scheduler(config);
+  const AdaptiveSimResult result =
+      RunAdaptiveSim(&scheduler, 6, 600, /*duration=*/7);
+  EXPECT_LE(result.max_concurrent, 2u);
+  EXPECT_LE(scheduler.max_concurrent_starts(), 2u);
+}
+
+TEST(StaggerSchedulerTest, AdaptiveNarrowsBackToThePeriodWhenWritesAreFast) {
+  // Writes fit the slot: the adaptive plan should settle on the fixed
+  // cadence (one start per shard per period) with no deferrals.
+  StaggerConfig config{4, 8, /*staggered=*/true};
+  config.adaptive = true;
+  config.disk_budget = 1;
+  StaggerScheduler scheduler(config);
+  const AdaptiveSimResult result =
+      RunAdaptiveSim(&scheduler, 4, 400, /*duration=*/1);
+  EXPECT_EQ(result.max_concurrent, 1u);
+  EXPECT_EQ(scheduler.deferrals(), 0u);
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    // 400 ticks / period 8 = 50 slots; allow slack for the offset ramp-in.
+    EXPECT_GE(result.starts_per_shard[shard], 48) << "shard " << shard;
   }
 }
 
@@ -203,6 +315,198 @@ TEST_F(ShardedEngineTest, StaggeredShardsSitAtDifferentGenerations) {
   }
 }
 
+// ---- Partial failure (the EndTick desync regression) ----
+
+TEST_F(ShardedEngineTest, EndTickPartialFailureLeavesNoShardMidTick) {
+  // Inject an EndTick failure on shard 1 of 4. The regression: EndTick
+  // used to early-return on the first failing shard, leaving shards 2-3
+  // stuck with in_tick_ == true and the fleet tick not advanced.
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
+  config.threaded = false;  // deterministic: the error surfaces in-tick
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+  std::vector<StateTable> reference;
+  RunTicks(&engine, 3, &reference);
+
+  engine.shard(1).InjectEndTickErrorForTest(Status::IOError("injected"));
+  const uint64_t num_cells = ShardLayout().num_cells();
+  engine.BeginTick();
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
+      const uint32_t cell = WorkloadCell(shard, 3, i, num_cells);
+      const int32_t value = WorkloadValue(3, cell, i);
+      engine.ApplyUpdate(shard, cell, value);
+      // Shard 1 loses this tick; every other shard must still commit it.
+      if (shard != 1) reference[shard].WriteCell(cell, value);
+    }
+  }
+  const Status status = engine.EndTick();
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(engine.failed());
+
+  // The fleet tick advanced exactly once; shards 0/2/3 finished the tick
+  // (not left mid-tick) and shard 1 froze at its failure tick.
+  EXPECT_EQ(engine.current_tick(), 4u);
+  EXPECT_EQ(engine.shard(0).current_tick(), 4u);
+  EXPECT_EQ(engine.shard(1).current_tick(), 3u);
+  EXPECT_EQ(engine.shard(2).current_tick(), 4u);
+  EXPECT_EQ(engine.shard(3).current_tick(), 4u);
+
+  // The hard-failed fleet shuts down in a defined way: engines close
+  // cleanly, and Shutdown reports the sticky shard error instead of
+  // swallowing it.
+  EXPECT_FALSE(engine.Shutdown().ok());
+
+  // Every shard recovers its own durable prefix: the healthy shards to the
+  // fleet tick, the failed shard to its frozen tick.
+  std::vector<StateTable> recovered;
+  auto result = RecoverSharded(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->min_recovered_ticks, 3u);
+  EXPECT_EQ(result->max_recovered_ticks, 4u);
+  EXPECT_EQ(result->shards[1].recovered_ticks, 3u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+TEST_F(ShardedEngineTest, ThreadedPartialFailureHardFailsTheFleet) {
+  // Threaded mode: the failing shard's error surfaces on a later EndTick
+  // poll (or the WaitForIdle barrier), the healthy shards keep consuming
+  // every submitted tick, and the fleet lands in the defined failed state.
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
+  ASSERT_TRUE(config.threaded);
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+  std::vector<StateTable> reference;
+  RunTicks(&engine, 5, &reference);
+
+  // Quiesce the fleet so the injection happens on a parked shard.
+  ASSERT_TRUE(engine.WaitForIdle().ok());
+  engine.shard(1).InjectEndTickErrorForTest(Status::IOError("injected"));
+
+  const uint64_t num_cells = ShardLayout().num_cells();
+  Status status = Status::OK();
+  while (status.ok() && engine.current_tick() < 20) {
+    const uint64_t tick = engine.current_tick();
+    engine.BeginTick();
+    for (uint32_t shard = 0; shard < 4; ++shard) {
+      for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
+        const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
+        const int32_t value = WorkloadValue(tick, cell, i);
+        engine.ApplyUpdate(shard, cell, value);
+        // Shard 1 fails at tick 5 and discards everything after.
+        if (shard != 1) reference[shard].WriteCell(cell, value);
+      }
+    }
+    status = engine.EndTick();
+  }
+  // Always barrier before inspecting per-shard engines: the healthy
+  // runners may still be consuming when the error surfaces.
+  const Status drain_status = engine.WaitForIdle();
+  if (status.ok()) status = drain_status;
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(engine.failed());
+
+  // No shard is left mid-tick: the healthy shards consumed every submitted
+  // tick, the failed shard froze at its failure tick.
+  EXPECT_EQ(engine.shard(1).current_tick(), 5u);
+  for (uint32_t healthy : {0u, 2u, 3u}) {
+    EXPECT_EQ(engine.shard(healthy).current_tick(), engine.current_tick())
+        << "shard " << healthy;
+  }
+  const uint64_t fleet_ticks = engine.current_tick();
+  EXPECT_FALSE(engine.Shutdown().ok());
+
+  std::vector<StateTable> recovered;
+  auto result = RecoverSharded(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->min_recovered_ticks, 5u);
+  EXPECT_EQ(result->max_recovered_ticks, fleet_ticks);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+// ---- Threaded/inline equivalence and the adaptive fleet ----
+
+TEST_F(ShardedEngineTest, ThreadedMatchesTheInlineFacade) {
+  // Same workload, same schedule: per-shard final states must be identical
+  // whether the shards run on their own mutator threads or multiplexed on
+  // the facade's, and the checkpoint cadence must agree. (Exact start
+  // ticks are NOT compared: a request is served at the first EndTick that
+  // observes the previous flush drained, which depends on real writer
+  // timing.)
+  std::vector<std::unique_ptr<ShardedEngine>> fleets;
+  for (const bool threaded : {false, true}) {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
+    config.shard.dir = dir_ + (threaded ? "/threaded" : "/inline");
+    config.threaded = threaded;
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    std::vector<StateTable> reference;
+    RunTicks(engine_or.value().get(), 20, &reference);
+    ASSERT_TRUE(engine_or.value()->Shutdown().ok());
+    fleets.push_back(std::move(engine_or.value()));
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    const Engine& inline_shard = fleets[0]->shard(i);
+    const Engine& threaded_shard = fleets[1]->shard(i);
+    EXPECT_TRUE(threaded_shard.state().ContentEquals(inline_shard.state()))
+        << "shard " << i;
+    const size_t inline_count = inline_shard.metrics().checkpoints.size();
+    const size_t threaded_count =
+        threaded_shard.metrics().checkpoints.size();
+    EXPECT_GE(inline_count, 3u) << "shard " << i;
+    EXPECT_GE(threaded_count, 3u) << "shard " << i;
+    const size_t difference = inline_count > threaded_count
+                                  ? inline_count - threaded_count
+                                  : threaded_count - inline_count;
+    EXPECT_LE(difference, 1u) << "shard " << i;
+  }
+}
+
+TEST_F(ShardedEngineTest, AdaptiveFleetRespectsTheDiskBudget) {
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
+  config.adaptive = true;
+  config.disk_budget = 1;
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+  // Pace the ticks (a 30 Hz loop would): unpaced, the runners outrun the
+  // writer threads so completions only surface at shutdown and the budget
+  // correctly blocks every later start.
+  const uint64_t num_cells = ShardLayout().num_cells();
+  std::vector<StateTable> reference;
+  for (uint32_t i = 0; i < 4; ++i) reference.emplace_back(ShardLayout());
+  for (uint64_t tick = 0; tick < 40; ++tick) {
+    engine.BeginTick();
+    for (uint32_t shard = 0; shard < 4; ++shard) {
+      for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
+        const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
+        const int32_t value = WorkloadValue(tick, cell, i);
+        engine.ApplyUpdate(shard, cell, value);
+        reference[shard].WriteCell(cell, value);
+      }
+    }
+    ASSERT_TRUE(engine.EndTick().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(engine.Shutdown().ok());
+  // The hard budget invariant, measured on the real engine: never more
+  // than disk_budget concurrent scheduled flushes.
+  EXPECT_LE(engine.scheduler().max_concurrent_starts(), 1u);
+  // Every shard still checkpoints and the fleet stays exact.
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GE(engine.shard(i).metrics().checkpoints.size(), 2u)
+        << "shard " << i;
+    EXPECT_TRUE(engine.shard(i).state().ContentEquals(reference[i]))
+        << "shard " << i;
+  }
+}
+
 // ---- The fleet crash-recovery property ----
 
 struct ShardedCrashCase {
@@ -210,6 +514,8 @@ struct ShardedCrashCase {
   uint32_t num_shards;
   uint64_t crash_tick;
   bool staggered;
+  bool threaded = true;
+  bool adaptive = false;
 };
 
 class ShardedCrashRecoveryTest
@@ -218,8 +524,9 @@ class ShardedCrashRecoveryTest
 
 TEST_P(ShardedCrashRecoveryTest, EveryShardRecoversExactly) {
   const ShardedCrashCase param = GetParam();
-  const auto config =
-      Config(param.kind, param.num_shards, param.staggered);
+  auto config = Config(param.kind, param.num_shards, param.staggered);
+  config.threaded = param.threaded;
+  config.adaptive = param.adaptive;
   auto engine_or = ShardedEngine::Open(config);
   ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
   ShardedEngine& engine = *engine_or.value();
@@ -275,6 +582,21 @@ std::vector<ShardedCrashCase> AllShardedCrashCases() {
       cases.push_back({kind, 4, tick, /*staggered=*/false});
     }
   }
+  // The inline (single-thread facade) path stays covered...
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kNaiveSnapshot, AlgorithmKind::kCopyOnUpdate}) {
+    for (uint64_t tick : {2ull, 9ull, 16ull}) {
+      cases.push_back(
+          {kind, 4, tick, /*staggered=*/true, /*threaded=*/false});
+    }
+  }
+  // ...and the adaptive schedule must be recovery-exact too (whatever
+  // starts it picked, every shard's durable prefix rebuilds bit-for-bit).
+  for (uint64_t tick : {4ull, 12ull, 17ull}) {
+    cases.push_back({AlgorithmKind::kCopyOnUpdate, 4, tick,
+                     /*staggered=*/true, /*threaded=*/true,
+                     /*adaptive=*/true});
+  }
   return cases;
 }
 
@@ -283,7 +605,9 @@ std::string ShardedCrashCaseName(
   std::string name = std::string(GetTraits(info.param.kind).short_name) +
                      "_k" + std::to_string(info.param.num_shards) + "_tick" +
                      std::to_string(info.param.crash_tick) +
-                     (info.param.staggered ? "" : "_sync");
+                     (info.param.staggered ? "" : "_sync") +
+                     (info.param.threaded ? "" : "_inline") +
+                     (info.param.adaptive ? "_adaptive" : "");
   for (auto& c : name) {
     if (c == '-') c = '_';
   }
