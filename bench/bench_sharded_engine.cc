@@ -54,13 +54,19 @@ struct RunParams {
 struct FleetResult {
   ShardedCheckpointStats stats;
   uint64_t deferrals = 0;
+  /// With_cut runs: the committed cut's timing, plus the max tick-to-tick
+  /// mutator stall observed around the cut vs. the run's median tick.
+  ConsistentCutReport cut;
+  double max_tick_seconds = 0.0;
 };
 
 /// One full fleet run; returns steady-state checkpoint stats (each shard's
-/// cold first checkpoint excluded).
+/// cold first checkpoint excluded). When `with_cut` is set, a consistent
+/// cut is requested at the halfway tick and committed as soon as the cut
+/// tick has run.
 StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
                                uint32_t num_shards, Schedule schedule,
-                               bool threaded) {
+                               bool threaded, bool with_cut = false) {
   std::filesystem::remove_all(dir);
   ShardedEngineConfig config;
   config.shard.layout = params.layout;
@@ -79,7 +85,17 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
   const auto start = std::chrono::steady_clock::now();
   const std::chrono::duration<double> tick_period(
       params.tick_hz > 0 ? 1.0 / params.tick_hz : 0.0);
+  FleetResult result;
+  const uint64_t request_cut_at = params.ticks / 2;
+  uint64_t cut_tick = 0;
+  bool cut_armed = false;
+  bool cut_committed = false;
   for (uint64_t tick = 0; tick < params.ticks; ++tick) {
+    if (with_cut && !cut_armed && tick == request_cut_at) {
+      TP_ASSIGN_OR_RETURN(cut_tick, engine->RequestConsistentCut());
+      cut_armed = true;
+    }
+    const auto tick_start = std::chrono::steady_clock::now();
     engine->BeginTick();
     for (uint32_t shard = 0; shard < num_shards; ++shard) {
       for (uint64_t i = 0; i < params.updates_per_tick; ++i) {
@@ -89,6 +105,18 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
       }
     }
     TP_RETURN_NOT_OK(engine->EndTick());
+    if (cut_armed && !cut_committed && tick == cut_tick) {
+      TP_RETURN_NOT_OK(engine->CommitConsistentCut());
+      cut_committed = true;
+      result.cut = engine->last_cut_report();
+    }
+    const double tick_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count();
+    if (tick_seconds > result.max_tick_seconds) {
+      result.max_tick_seconds = tick_seconds;
+    }
     if (params.tick_hz > 0) {
       // The sleep phase of the mutator loop: pace to tick_hz so the stagger
       // schedule maps tick offsets onto wall-clock offsets.
@@ -96,7 +124,6 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
     }
   }
   TP_RETURN_NOT_OK(engine->Shutdown());
-  FleetResult result;
   result.stats = engine->CheckpointStats(/*skip_first=*/true);
   result.deferrals = engine->scheduler().deferrals();
   std::filesystem::remove_all(dir);
@@ -208,6 +235,61 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   bench::Emit(table, ctx.csv());
+
+  // ---- Consistent-cut acquisition vs plain staggered operation ----
+  //
+  // Same fleets, but a fleet-wide consistent cut is requested at the
+  // halfway tick: every shard checkpoints at one coordinator-chosen tick T
+  // and the manifest commits once all shards ack. "max stall" is the
+  // slowest shard's mutator block inside the cut tick's EndTick; "stall
+  // ticks" converts it to tick periods at --tick-hz; "base max tick" is
+  // the worst tick of the SAME fleet running plain staggered (no cut).
+  struct CutRowSpec {
+    uint32_t shards;
+    Schedule schedule;
+  };
+  const CutRowSpec cut_rows[] = {
+      {2, Schedule::kStaggered},
+      {4, Schedule::kStaggered},
+      {4, Schedule::kAdaptive},
+  };
+  TablePrinter cut_table({"shards", "schedule", "cut tick", "commit latency",
+                          "max stall", "stall ticks", "base max tick",
+                          "cut max tick"});
+  for (const CutRowSpec& row : cut_rows) {
+    auto base_or = RunFleet(dir, params, row.shards, row.schedule,
+                            /*threaded=*/true, /*with_cut=*/false);
+    auto cut_or = RunFleet(dir, params, row.shards, row.schedule,
+                           /*threaded=*/true, /*with_cut=*/true);
+    if (!base_or.ok() || !cut_or.ok()) {
+      std::fprintf(stderr, "cut run failed: %s\n",
+                   (!base_or.ok() ? base_or.status() : cut_or.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const FleetResult& cut = cut_or.value();
+    const double stall_ticks =
+        tick_hz > 0 ? cut.cut.max_shard_stall_seconds * tick_hz : 0.0;
+    char stall_cell[32];
+    std::snprintf(stall_cell, sizeof(stall_cell), "%.2f", stall_ticks);
+    cut_table.AddRow({std::to_string(row.shards), ScheduleName(row.schedule),
+                      std::to_string(cut.cut.cut_tick),
+                      bench::Sec(cut.cut.commit_latency_seconds),
+                      bench::Sec(cut.cut.max_shard_stall_seconds),
+                      stall_cell,
+                      bench::Sec(base_or.value().max_tick_seconds),
+                      bench::Sec(cut.max_tick_seconds)});
+  }
+  std::printf("\n");
+  bench::Emit(cut_table, ctx.csv());
+
+  std::printf(
+      "\n# consistent cut: acquiring a fleet-wide cut costs each shard one "
+      "synchronous checkpoint at tick T (drain the in-flight flush, then "
+      "write blocking); expect the max stall to stay within a handful of "
+      "tick periods of the staggered baseline's worst tick, and commit "
+      "latency ~ cut lead + slowest shard's write\n");
 
   std::printf(
       "\n# reading: synchronized starts make all K writer threads flush at "

@@ -51,12 +51,17 @@ Status BackupStore::MakeDurable(FileWriter* writer) {
 BackupStore::BackupStore(const StateLayout& layout, bool fsync_enabled)
     : layout_(layout), fsync_enabled_(fsync_enabled) {}
 
+std::string BackupStore::ImageFileName(int index) {
+  TP_CHECK(index == 0 || index == 1);
+  return "backup" + std::to_string(index) + ".img";
+}
+
 StatusOr<std::unique_ptr<BackupStore>> BackupStore::Open(
     const std::string& dir, const StateLayout& layout, bool fsync_enabled) {
   TP_RETURN_NOT_OK(EnsureDirectory(dir));
   std::unique_ptr<BackupStore> store(new BackupStore(layout, fsync_enabled));
   for (int i = 0; i < 2; ++i) {
-    store->paths_[i] = dir + "/backup" + std::to_string(i) + ".img";
+    store->paths_[i] = dir + "/" + ImageFileName(i);
     TP_RETURN_NOT_OK(store->writers_[i].OpenForUpdate(store->paths_[i]));
   }
   return store;
@@ -154,6 +159,14 @@ LogStore::LogStore(std::string dir, const StateLayout& layout,
                    bool fsync_enabled)
     : dir_(std::move(dir)), layout_(layout), fsync_enabled_(fsync_enabled) {}
 
+bool LogStore::ParseGenerationFileName(const std::string& name,
+                                       uint64_t* gen) {
+  if (name.rfind("log-", 0) != 0) return false;
+  if (name.find(".img") == std::string::npos) return false;
+  *gen = std::strtoull(name.c_str() + 4, nullptr, 10);
+  return true;
+}
+
 StatusOr<std::unique_ptr<LogStore>> LogStore::Open(const std::string& dir,
                                                    const StateLayout& layout,
                                                    bool fsync_enabled) {
@@ -163,12 +176,12 @@ StatusOr<std::unique_ptr<LogStore>> LogStore::Open(const std::string& dir,
   // store cold).
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("log-", 0) != 0) continue;
-    const size_t dot = name.find(".img");
-    if (dot == std::string::npos) continue;
-    const uint64_t gen = std::strtoull(name.c_str() + 4, nullptr, 10);
+    uint64_t gen = 0;
+    if (!ParseGenerationFileName(entry.path().filename().string(), &gen)) {
+      continue;
+    }
     store->current_gen_ = std::max(store->current_gen_, gen);
+    store->found_disk_generations_ = true;
   }
   return store;
 }
@@ -245,34 +258,60 @@ Status LogStore::DropGenerationsBefore(uint64_t gen) {
   return Status::OK();
 }
 
+Status LogStore::DropAllGenerationsBefore(uint64_t gen) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    uint64_t g = 0;
+    if (!ParseGenerationFileName(entry.path().filename().string(), &g)) {
+      continue;
+    }
+    if (g < gen) {
+      TP_RETURN_NOT_OK(RemoveFileIfExists(entry.path().string()));
+    }
+  }
+  if (ec) {
+    return Status::IOError("list " + dir_ + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<SegmentInfo>> LogStore::ListSegments(uint64_t gen) {
   return ScanGeneration(gen, nullptr);
 }
 
-StatusOr<ImageInfo> LogStore::Restore(StateTable* out) {
+StatusOr<ImageInfo> LogStore::Restore(StateTable* out,
+                                      uint64_t max_consistent_tick) {
   TP_CHECK(out->layout().num_objects() == layout_.num_objects());
-  // Find the newest generation with an intact full flush.
+  // Find the newest generation with an intact full flush no newer than the
+  // bound.
   for (uint64_t gen = current_gen_ + 1; gen-- > 0;) {
     if (!FileExists(GenPath(gen))) continue;
     auto segments_or = ScanGeneration(gen, nullptr);
     if (!segments_or.ok()) continue;
     const auto& segments = segments_or.value();
     if (segments.empty() || !segments.front().full_flush ||
-        segments.front().object_count != layout_.num_objects()) {
-      continue;  // torn or incomplete full flush: try an older generation
+        segments.front().object_count != layout_.num_objects() ||
+        segments.front().consistent_tick > max_consistent_tick) {
+      // Torn or incomplete full flush, or one entirely past the bound:
+      // try an older generation.
+      continue;
     }
-    TP_RETURN_NOT_OK(ScanGeneration(gen, out).status());
+    TP_RETURN_NOT_OK(ScanGeneration(gen, out, max_consistent_tick).status());
     ImageInfo info;
     info.valid = true;
-    info.seq = segments.back().seq;
-    info.consistent_tick = segments.back().consistent_tick;
+    // Report the newest segment actually applied (within the bound).
+    for (const SegmentInfo& segment : segments) {
+      if (segment.consistent_tick > max_consistent_tick) break;
+      info.seq = segment.seq;
+      info.consistent_tick = segment.consistent_tick;
+    }
     return info;
   }
   return Status::NotFound("no recoverable log generation in " + dir_);
 }
 
-StatusOr<std::vector<SegmentInfo>> LogStore::ScanGeneration(uint64_t gen,
-                                                            StateTable* out) {
+StatusOr<std::vector<SegmentInfo>> LogStore::ScanGeneration(
+    uint64_t gen, StateTable* out, uint64_t max_consistent_tick) {
   FileReader reader;
   TP_RETURN_NOT_OK(reader.Open(GenPath(gen)));
   TP_ASSIGN_OR_RETURN(const uint64_t file_size, reader.Size());
@@ -303,7 +342,7 @@ StatusOr<std::vector<SegmentInfo>> LogStore::ScanGeneration(uint64_t gen,
     uint32_t stored;
     TP_RETURN_NOT_OK(reader.ReadExact(&stored, sizeof(stored)));
     if (stored != crc) break;  // uncommitted/corrupt: stop at this segment
-    if (out != nullptr) {
+    if (out != nullptr && header.consistent_tick <= max_consistent_tick) {
       TP_RETURN_NOT_OK(reader.Seek(offset + sizeof(SegmentHeader)));
       for (uint64_t i = 0; i < header.object_count; ++i) {
         uint64_t id;

@@ -47,6 +47,10 @@ class BackupStore {
                                                      const StateLayout& layout,
                                                      bool fsync_enabled);
 
+  /// Bare filename of backup image `index` ("backup0.img"/"backup1.img") --
+  /// the single owner of the naming rule.
+  static std::string ImageFileName(int index);
+
   /// Invalidates backup `index`'s header; must precede data writes.
   Status BeginCheckpoint(int index);
 
@@ -94,6 +98,11 @@ class LogStore {
                                                   const StateLayout& layout,
                                                   bool fsync_enabled);
 
+  /// True if the bare filename `name` is a generation file ("log-N.img"),
+  /// storing N in *gen -- the single owner of the naming rule, shared by
+  /// the open-time scan, the stale sweeps, and Engine's fresh-open wipe.
+  static bool ParseGenerationFileName(const std::string& name, uint64_t* gen);
+
   /// Starts generation `gen` (creates/truncates log-<gen>.img). Must be
   /// followed by a full-flush segment.
   Status BeginGeneration(uint64_t gen);
@@ -110,14 +119,31 @@ class LogStore {
   /// Abandons an open segment (crash injection); the torn bytes remain.
   void AbortSegment();
 
-  /// Deletes all generation files with gen < `gen`.
+  /// Deletes generation files with gen < `gen` in a small window behind it
+  /// (generations advance one at a time in normal operation).
   Status DropGenerationsBefore(uint64_t gen);
 
+  /// Deletes EVERY generation file with gen < `gen`, via a full directory
+  /// scan. The resume bootstrap uses this to retire stale pre-crash
+  /// generations wholesale, whatever numbers they reached.
+  Status DropAllGenerationsBefore(uint64_t gen);
+
+  /// First generation number strictly above every generation file found on
+  /// disk when the store was opened (0 for a fresh directory): what a
+  /// resumed engine must claim so its bootstrap outranks stale state.
+  uint64_t NextFreshGeneration() const {
+    return found_disk_generations_ ? current_gen_ + 1 : 0;
+  }
+
   /// Restores the newest recoverable image: picks the highest generation
-  /// whose full flush is intact, applies its valid segments in order, and
-  /// reports the consistent tick reached. `out` must be zero/any state; it
-  /// is fully overwritten by the full flush.
-  StatusOr<ImageInfo> Restore(StateTable* out);
+  /// whose full flush is intact and consistent no later than
+  /// `max_consistent_tick`, applies its valid segments with consistent
+  /// tick <= the bound in order, and reports the consistent tick reached.
+  /// `out` must be zero/any state; it is fully overwritten by the full
+  /// flush. The bound (default: none) is how cut recovery rewinds past
+  /// checkpoints newer than the cut.
+  StatusOr<ImageInfo> Restore(StateTable* out,
+                              uint64_t max_consistent_tick = UINT64_MAX);
 
   /// Lists the valid segments of generation `gen` (tests/inspection).
   StatusOr<std::vector<SegmentInfo>> ListSegments(uint64_t gen);
@@ -129,14 +155,18 @@ class LogStore {
   Status MakeDurable(FileWriter* writer);
 
   std::string GenPath(uint64_t gen) const;
-  /// Scans a generation file; applies records to `out` if non-null.
-  StatusOr<std::vector<SegmentInfo>> ScanGeneration(uint64_t gen,
-                                                    StateTable* out);
+  /// Scans a generation file; applies records of segments with consistent
+  /// tick <= `max_consistent_tick` to `out` if non-null (later segments
+  /// are still listed).
+  StatusOr<std::vector<SegmentInfo>> ScanGeneration(
+      uint64_t gen, StateTable* out,
+      uint64_t max_consistent_tick = UINT64_MAX);
 
   std::string dir_;
   StateLayout layout_;
   bool fsync_enabled_;
   uint64_t current_gen_ = 0;
+  bool found_disk_generations_ = false;
   bool gen_open_ = false;
   FileWriter writer_;
   uint64_t append_offset_ = 0;

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "util/crc32.h"
 
@@ -11,6 +13,32 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// A fresh Open starts a NEW incarnation: its logical log is truncated, so
+// any checkpoint a previous process left in `dir` -- whatever disk
+// organization wrote it -- would recover with the ticks between its
+// consistent tick and this run's start silently missing. Wipe them before
+// the stores open. (The resume path must NOT wipe: OpenResumed loads the
+// recovered state first and then outranks + retires the stale files in
+// WriteBootstrapCheckpoint.)
+Status RemoveStaleCheckpointFiles(const std::string& dir) {
+  std::error_code exists_ec;
+  if (!std::filesystem::exists(dir, exists_ec)) return Status::OK();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t gen = 0;
+    const bool backup_image = name == BackupStore::ImageFileName(0) ||
+                              name == BackupStore::ImageFileName(1);
+    if (backup_image || LogStore::ParseGenerationFileName(name, &gen)) {
+      TP_RETURN_NOT_OK(RemoveFileIfExists(entry.path().string()));
+    }
+  }
+  if (ec) {
+    return Status::IOError("list " + dir + ": " + ec.message());
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -37,8 +65,10 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(const EngineConfig& config) {
   if (config.dir.empty()) {
     return Status::InvalidArgument("EngineConfig.dir must be set");
   }
+  TP_RETURN_NOT_OK(RemoveStaleCheckpointFiles(config.dir));
   std::unique_ptr<Engine> engine(new Engine(config));
-  TP_RETURN_NOT_OK(engine->Init());
+  TP_RETURN_NOT_OK(engine->OpenStores());
+  TP_RETURN_NOT_OK(engine->StartLogicalLogAndWriter());
   return engine;
 }
 
@@ -52,40 +82,73 @@ StatusOr<std::unique_ptr<Engine>> Engine::OpenResumed(
   std::memcpy(engine->state_.mutable_data(), initial.data(),
               initial.buffer_bytes());
   engine->tick_ = first_tick;
-  TP_RETURN_NOT_OK(engine->Init());
+  // Ordering is the crash-safety argument for a death DURING OpenResumed:
+  // the bootstrap must be durable before the previous incarnation's
+  // logical log is truncated. Die before the bootstrap commits and the old
+  // (log, checkpoints) pair is untouched -- recovery repeats verbatim; die
+  // after it and the bootstrap is the newest image, so recovery lands on
+  // the resume tick whether or not the old log was truncated yet.
+  TP_RETURN_NOT_OK(engine->OpenStores());
   TP_RETURN_NOT_OK(engine->WriteBootstrapCheckpoint());
+  TP_RETURN_NOT_OK(engine->StartLogicalLogAndWriter());
   return engine;
 }
 
 Status Engine::WriteBootstrapCheckpoint() {
-  // Synchronously persist the resumed state as checkpoint #0 so that a
-  // crash at any later point recovers from (bootstrap image + new logical
-  // log). consistent_ticks = tick_: the image contains everything up to but
-  // not including the first tick this engine will run.
+  // Synchronously persist the resumed state as the bootstrap checkpoint so
+  // that a crash at any later point recovers from (bootstrap image + new
+  // logical log). consistent_ticks = tick_: the image contains everything
+  // up to but not including the first tick this engine will run.
+  //
+  // The directory still holds the previous incarnation's checkpoints, and
+  // they are POISON from here on: Init() already truncated the logical
+  // log, so any pre-crash image would recover with the ticks between its
+  // consistent tick and the resume tick missing. The bootstrap therefore
+  // claims a seq/generation strictly above everything on disk and retires
+  // the stale state, so recovery can never prefer it. (This ordering --
+  // bootstrap durable first, stale state demoted second -- was the dribble
+  // resume flake: the bootstrap used to restart generation numbering at 0
+  // and lose recovery's newest-generation race to its own past.)
   const uint64_t n = config_.layout.num_objects();
-  checkpoint_seq_ = 1;
   if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    uint64_t bootstrap_seq = 0;
+    for (int index = 0; index < 2; ++index) {
+      TP_ASSIGN_OR_RETURN(const ImageInfo info, backup_->Inspect(index));
+      if (info.valid) bootstrap_seq = std::max(bootstrap_seq, info.seq + 1);
+    }
+    checkpoint_seq_ = bootstrap_seq + 1;
     TP_RETURN_NOT_OK(backup_->BeginCheckpoint(0));
     TP_RETURN_NOT_OK(backup_->WriteRange(0, 0, state_.data(), n));
     const uint32_t crc =
         config_.checksum_state ? state_.Digest() : 0;
-    TP_RETURN_NOT_OK(backup_->FinishCheckpoint(0, 0, tick_, crc));
+    TP_RETURN_NOT_OK(backup_->FinishCheckpoint(0, bootstrap_seq, tick_, crc));
+    // Invalidate the stale sibling only after the bootstrap is durable: a
+    // fallback to it would silently skip the ticks the truncated logical
+    // log no longer carries.
+    TP_RETURN_NOT_OK(backup_->BeginCheckpoint(1));
     backup_written_[0] = true;
     next_backup_ = 1;
   } else {
-    TP_RETURN_NOT_OK(log_->BeginGeneration(0));
+    checkpoint_seq_ = 1;
+    const uint64_t gen = log_->NextFreshGeneration();
+    TP_RETURN_NOT_OK(log_->BeginGeneration(gen));
     TP_RETURN_NOT_OK(log_->BeginSegment(0, tick_, /*full_flush=*/true, n));
     for (ObjectId o = 0; o < n; ++o) {
       TP_RETURN_NOT_OK(log_->AppendObject(o, state_.ObjectData(o)));
     }
     TP_RETURN_NOT_OK(log_->CommitSegment());
-    next_log_gen_ = 1;
+    // Every stale generation dies now, not lazily: DropGenerationsBefore
+    // only sweeps a small window behind each new generation, which would
+    // leave high-numbered pre-crash generations shadowing this run's until
+    // its counter caught up.
+    TP_RETURN_NOT_OK(log_->DropAllGenerationsBefore(gen));
+    next_log_gen_ = gen + 1;
     log_started_ = true;
   }
   return Status::OK();
 }
 
-Status Engine::Init() {
+Status Engine::OpenStores() {
   TP_RETURN_NOT_OK(EnsureDirectory(config_.dir));
   if (traits_.disk == DiskOrganization::kDoubleBackup) {
     TP_ASSIGN_OR_RETURN(backup_, BackupStore::Open(config_.dir,
@@ -95,6 +158,13 @@ Status Engine::Init() {
     TP_ASSIGN_OR_RETURN(
         log_, LogStore::Open(config_.dir, config_.layout, config_.fsync));
   }
+  return Status::OK();
+}
+
+Status Engine::StartLogicalLogAndWriter() {
+  // Creating the logical log TRUNCATES any previous one: from this point
+  // the checkpoint store is the only durable source for pre-resume ticks
+  // (see the ordering note in OpenResumed).
   TP_ASSIGN_OR_RETURN(logical_,
                       LogicalLog::Create(LogicalLogPath(config_.dir),
                                          config_.logical_sync_every));
@@ -182,10 +252,33 @@ Status Engine::EndTick() {
       TP_RETURN_NOT_OK(writer_status_);
       FinalizeJob();
     }
+    const bool cut_now = cut_checkpoint_requested_.exchange(
+        false, std::memory_order_acq_rel);
+    if (cut_now) {
+      // Consistent-cut checkpoint: unlike the deferrable manual request,
+      // the cut MUST cover exactly this tick. Drain whatever flush is
+      // still in flight, then run the cut checkpoint synchronously; the
+      // whole block is the mutator stall the fleet bench reports.
+      const auto stall_start = Clock::now();
+      if (active_job_) {
+        WaitForJobDone();
+        TP_RETURN_NOT_OK(writer_status_);
+        FinalizeJob();
+      }
+      TP_ASSIGN_OR_RETURN(pause, StartCheckpoint(/*cut=*/true));
+      last_start_tick_ = tick_;
+      WaitForJobDone();
+      TP_RETURN_NOT_OK(writer_status_);
+      active_job_->cut_stall_seconds = SecondsSince(stall_start);
+      // The stall subsumes any eager-copy pause: report the whole block
+      // as this tick's overhead.
+      pause = active_job_->cut_stall_seconds;
+      FinalizeJob();
+    }
     const bool interval_elapsed =
         checkpoint_seq_ == 0 ||
         tick_ >= last_start_tick_ + config_.checkpoint_interval_ticks;
-    if (!active_job_) {
+    if (!cut_now && !active_job_) {
       // Consume the manual request atomically only when a checkpoint can
       // actually start: a request racing in from another thread is either
       // claimed by this exchange or stays pending for the next EndTick,
@@ -208,12 +301,13 @@ Status Engine::EndTick() {
   return Status::OK();
 }
 
-StatusOr<double> Engine::StartCheckpoint() {
+StatusOr<double> Engine::StartCheckpoint(bool cut) {
   TP_CHECK(!active_job_.has_value());
   Job job;
   job.seq = checkpoint_seq_++;
   job.start_tick = tick_;
   job.consistent_ticks = tick_ + 1;  // effects of ticks [0, tick_] included
+  job.cut = cut;
   job.full_flush =
       traits_.partial_redo && (job.seq % config_.full_flush_period == 0);
 
@@ -301,6 +395,8 @@ void Engine::FinalizeJob() {
   record.consistent_ticks = active_job_->consistent_ticks;
   record.all_objects = active_job_->all_objects;
   record.full_flush = active_job_->full_flush;
+  record.cut = active_job_->cut;
+  record.cut_stall_seconds = active_job_->cut_stall_seconds;
   record.objects_written = active_job_->object_count;
   record.bytes_written =
       active_job_->object_count * config_.layout.object_size;
@@ -328,8 +424,21 @@ void Engine::WriterMain() {
         !crashed_.load(std::memory_order_acquire)) {
       writer_status_ = status;
     }
-    job_done_.store(true, std::memory_order_release);
+    {
+      // Publish under mu_ so a mutator blocked in WaitForJobDone (the
+      // synchronous cut path) re-checks its predicate under the same lock
+      // and can never miss this notify.
+      std::lock_guard<std::mutex> lock(mu_);
+      job_done_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
   }
+}
+
+void Engine::WaitForJobDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [this] { return job_done_.load(std::memory_order_acquire); });
 }
 
 const uint8_t* Engine::CouSource(ObjectId object, uint8_t* staging) {
@@ -466,7 +575,11 @@ Status Engine::Shutdown() {
       writer_status_.ok() && !crashed_.load(std::memory_order_acquire)) {
     FinalizeJob();
   }
-  TP_RETURN_NOT_OK(logical_->Close());
+  // logical_ is null when construction failed before the log was created
+  // (the destructor still runs Shutdown).
+  if (logical_ != nullptr) {
+    TP_RETURN_NOT_OK(logical_->Close());
+  }
   return writer_status_;
 }
 

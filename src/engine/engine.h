@@ -81,10 +81,16 @@ struct EngineCheckpointRecord {
   uint64_t consistent_ticks = 0;  // ticks whose effects are in the image
   bool all_objects = false;
   bool full_flush = false;
+  /// Consistent-cut checkpoint: started at exactly the coordinator's cut
+  /// tick and written synchronously (the mutator blocked until durable).
+  bool cut = false;
   uint64_t objects_written = 0;
   uint64_t bytes_written = 0;
   double sync_seconds = 0.0;   // measured eager-copy pause
   double async_seconds = 0.0;  // measured writer wall time
+  /// Cut checkpoints only: total mutator block inside the cut EndTick
+  /// (draining the previous flush + the synchronous cut write).
+  double cut_stall_seconds = 0.0;
 
   double TotalSeconds() const { return sync_seconds + async_seconds; }
 };
@@ -158,6 +164,17 @@ class Engine {
     checkpoint_requested_.store(true, std::memory_order_release);
   }
 
+  /// Consistent-cut checkpoint: the next EndTick MUST produce a durable
+  /// checkpoint whose consistent tick is exactly that tick's end. Unlike
+  /// ScheduleCheckpoint, the request cannot slip to a later tick: EndTick
+  /// first drains any in-flight flush, then runs the cut checkpoint
+  /// synchronously, blocking the mutator until the image is durable (that
+  /// block is the cut's mutator stall, reported in the checkpoint record).
+  /// Safe to call from any thread; served by the next EndTick.
+  void RequestCutCheckpoint() {
+    cut_checkpoint_requested_.store(true, std::memory_order_release);
+  }
+
   /// Graceful stop: waits for the in-flight checkpoint, stops the writer,
   /// closes the logs.
   Status Shutdown();
@@ -200,16 +217,23 @@ class Engine {
     uint64_t consistent_ticks = 0;
     bool all_objects = false;
     bool full_flush = false;
+    bool cut = false;
     bool cou_mode = false;
     int backup_index = 0;
     uint64_t log_gen = 0;
     bool new_generation = false;
     uint64_t object_count = 0;
     double sync_seconds = 0.0;
+    double cut_stall_seconds = 0.0;
   };
 
   explicit Engine(const EngineConfig& config);
-  Status Init();
+  /// Opens the checkpoint store (backup or log organization) under dir.
+  Status OpenStores();
+  /// Creates the logical log (truncating any previous incarnation's) and
+  /// starts the writer thread. OpenResumed calls this only AFTER the
+  /// bootstrap checkpoint is durable -- see the ordering note there.
+  Status StartLogicalLogAndWriter();
   /// Writes the current in-memory state as a complete synchronous
   /// checkpoint (used by OpenResumed before any tick runs).
   Status WriteBootstrapCheckpoint();
@@ -219,8 +243,11 @@ class Engine {
   /// Handle-Update (Table 2): dirty-bit maintenance + copy on update.
   void HandleUpdate(ObjectId object);
   /// Copy-To-Memory + checkpoint scheduling; returns the pause seconds.
-  StatusOr<double> StartCheckpoint();
+  StatusOr<double> StartCheckpoint(bool cut = false);
   void FinalizeJob();
+  /// Blocks the mutator until the writer reports the in-flight job done
+  /// (the synchronous half of a cut checkpoint).
+  void WaitForJobDone();
 
   void WriterMain();
   Status ExecuteJob(const Job& job);
@@ -258,6 +285,8 @@ class Engine {
   bool log_started_ = false;
   // Written by ScheduleCheckpoint (any thread), consumed at EndTick.
   std::atomic<bool> checkpoint_requested_{false};
+  // Written by RequestCutCheckpoint (any thread), consumed at EndTick.
+  std::atomic<bool> cut_checkpoint_requested_{false};
   Status injected_end_tick_error_;  // test-only, one-shot
   std::optional<Job> active_job_;
 

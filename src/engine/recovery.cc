@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "engine/checkpoint_store.h"
+#include "engine/consistent_cut.h"
 #include "engine/logical_log.h"
 
 namespace tickpoint {
@@ -17,14 +18,24 @@ double SecondsSince(Clock::time_point t0) {
 
 }  // namespace
 
-StatusOr<RecoveryResult> Recover(const EngineConfig& config,
-                                 StateTable* out) {
+namespace {
+
+/// Shared two-phase recovery body: restores the newest image whose
+/// consistent tick does not exceed `up_to_tick` + 1, then replays the
+/// logical log from the image boundary through `up_to_tick`.
+/// UINT64_MAX = unbounded (plain crash recovery); a finite bound is cut
+/// recovery rewinding past newer checkpoints.
+StatusOr<RecoveryResult> RecoverImpl(const EngineConfig& config,
+                                     uint64_t up_to_tick, StateTable* out) {
   TP_CHECK(out->layout().num_objects() == config.layout.num_objects());
   const AlgorithmTraits& traits = GetTraits(config.algorithm);
+  const uint64_t max_image_tick =
+      up_to_tick == UINT64_MAX ? UINT64_MAX : up_to_tick + 1;
   RecoveryResult result;
   out->Clear();
 
-  // Phase 1: restore the newest complete checkpoint image.
+  // Phase 1: restore the newest complete checkpoint image within the
+  // bound.
   const auto restore_start = Clock::now();
   if (traits.disk == DiskOrganization::kDoubleBackup) {
     TP_ASSIGN_OR_RETURN(auto store, BackupStore::Open(config.dir,
@@ -34,7 +45,8 @@ StatusOr<RecoveryResult> Recover(const EngineConfig& config,
     ImageInfo best_info;
     for (int index = 0; index < 2; ++index) {
       TP_ASSIGN_OR_RETURN(const ImageInfo info, store->Inspect(index));
-      if (info.valid && (best < 0 || info.seq > best_info.seq)) {
+      if (info.valid && info.consistent_tick <= max_image_tick &&
+          (best < 0 || info.seq > best_info.seq)) {
         best = index;
         best_info = info;
       }
@@ -48,7 +60,7 @@ StatusOr<RecoveryResult> Recover(const EngineConfig& config,
   } else {
     TP_ASSIGN_OR_RETURN(
         auto store, LogStore::Open(config.dir, config.layout, config.fsync));
-    auto image_or = store->Restore(out);
+    auto image_or = store->Restore(out, max_image_tick);
     if (image_or.ok()) {
       result.restored_from_checkpoint = true;
       result.image_seq = image_or.value().seq;
@@ -59,12 +71,13 @@ StatusOr<RecoveryResult> Recover(const EngineConfig& config,
   }
   result.restore_seconds = SecondsSince(restore_start);
 
-  // Phase 2: replay the logical log from the image boundary to the end.
+  // Phase 2: replay the logical log from the image boundary to the bound
+  // (or the durable end).
   const auto replay_start = Clock::now();
   const std::string log_path = Engine::LogicalLogPath(config.dir);
   TP_ASSIGN_OR_RETURN(
       const LogicalLog::ReplayStats stats,
-      LogicalLog::Replay(log_path, result.image_consistent_ticks, UINT64_MAX,
+      LogicalLog::Replay(log_path, result.image_consistent_ticks, up_to_tick,
                          out));
   result.replay_seconds = SecondsSince(replay_start);
   result.ticks_replayed = stats.records_applied;
@@ -74,14 +87,48 @@ StatusOr<RecoveryResult> Recover(const EngineConfig& config,
   return result;
 }
 
-StatusOr<ShardedRecoveryResult> RecoverSharded(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+}  // namespace
+
+StatusOr<RecoveryResult> Recover(const EngineConfig& config,
+                                 StateTable* out) {
+  return RecoverImpl(config, UINT64_MAX, out);
+}
+
+namespace {
+
+/// Folds one shard's outcome into the fleet aggregate.
+void AccumulateShard(const RecoveryResult& shard_result, uint32_t shard,
+                     ShardedRecoveryResult* result) {
+  result->restore_seconds += shard_result.restore_seconds;
+  result->replay_seconds += shard_result.replay_seconds;
+  const uint64_t recovered = shard_result.recovered_ticks;
+  if (shard == 0) {
+    result->min_recovered_ticks = recovered;
+    result->max_recovered_ticks = recovered;
+  } else {
+    result->min_recovered_ticks =
+        std::min(result->min_recovered_ticks, recovered);
+    result->max_recovered_ticks =
+        std::max(result->max_recovered_ticks, recovered);
+  }
+  result->shards.push_back(shard_result);
+}
+
+Status ValidateShardedConfig(const ShardedEngineConfig& config) {
   if (config.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
   if (config.shard.dir.empty()) {
     return Status::InvalidArgument("ShardedEngineConfig.shard.dir must be set");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ShardedRecoveryResult> RecoverSharded(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
   ShardedRecoveryResult result;
   result.shards.reserve(config.num_shards);
   out->clear();
@@ -92,19 +139,80 @@ StatusOr<ShardedRecoveryResult> RecoverSharded(
     out->emplace_back(shard_config.layout);
     TP_ASSIGN_OR_RETURN(const RecoveryResult shard_result,
                         Recover(shard_config, &out->back()));
-    result.restore_seconds += shard_result.restore_seconds;
-    result.replay_seconds += shard_result.replay_seconds;
-    const uint64_t recovered = shard_result.recovered_ticks;
-    if (i == 0) {
-      result.min_recovered_ticks = recovered;
-      result.max_recovered_ticks = recovered;
-    } else {
-      result.min_recovered_ticks = std::min(result.min_recovered_ticks,
-                                            recovered);
-      result.max_recovered_ticks = std::max(result.max_recovered_ticks,
-                                            recovered);
+    AccumulateShard(shard_result, i, &result);
+  }
+  return result;
+}
+
+StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
+                                       uint64_t cut_tick, StateTable* out) {
+  TP_ASSIGN_OR_RETURN(const RecoveryResult result,
+                      RecoverImpl(config, cut_tick, out));
+  // Exactness guards on top of the shared body: the replayed range must
+  // butt against the restored image (no gap -- every tick appends one
+  // logical record, so applied records are consecutive and their first
+  // tick is recovered_ticks - ticks_replayed) and must actually reach the
+  // cut.
+  if (result.ticks_replayed > 0 &&
+      result.recovered_ticks - result.ticks_replayed >
+          result.image_consistent_ticks) {
+    return Status::Corruption(
+        "logical log in " + config.dir + " starts at tick " +
+        std::to_string(result.recovered_ticks - result.ticks_replayed) +
+        ", after the restored image (" +
+        std::to_string(result.image_consistent_ticks) + ")");
+  }
+  if (result.recovered_ticks != cut_tick + 1) {
+    return Status::Corruption(
+        "durable state in " + config.dir + " reaches tick " +
+        std::to_string(result.recovered_ticks) + ", not the cut tick " +
+        std::to_string(cut_tick + 1));
+  }
+  return result;
+}
+
+StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
+  ShardedCutRecoveryResult result;
+  auto manifest_or = ReadCutManifest(config.shard.dir);
+  if (!manifest_or.ok()) {
+    const StatusCode code = manifest_or.status().code();
+    // NotFound: the coordinator never committed (including a crash between
+    // the last shard ack and the commit rename). Corruption: the manifest
+    // is torn. Both mean "no committed cut" -- fall back to per-shard
+    // exact recovery. Anything else is a real I/O failure.
+    if (code != StatusCode::kNotFound && code != StatusCode::kCorruption) {
+      return manifest_or.status();
     }
-    result.shards.push_back(shard_result);
+  }
+  if (!manifest_or.ok()) {
+    TP_ASSIGN_OR_RETURN(result.fleet, RecoverSharded(config, out));
+    return result;
+  }
+  const CutManifest& manifest = manifest_or.value();
+  if (manifest.shards.size() != config.num_shards) {
+    // A committed manifest that disagrees with the caller's fleet geometry
+    // is a misconfiguration, not a missing cut: surface it instead of
+    // silently recovering a partial fleet.
+    return Status::InvalidArgument(
+        "cut manifest in " + config.shard.dir + " records " +
+        std::to_string(manifest.shards.size()) + " shards, config expects " +
+        std::to_string(config.num_shards));
+  }
+  result.used_manifest = true;
+  result.cut_tick = manifest.cut_tick;
+  result.fleet.shards.reserve(config.num_shards);
+  out->clear();
+  out->reserve(config.num_shards);
+  for (uint32_t i = 0; i < config.num_shards; ++i) {
+    EngineConfig shard_config = config.shard;
+    shard_config.dir = ShardedEngine::ShardDir(config.shard.dir, i);
+    out->emplace_back(shard_config.layout);
+    TP_ASSIGN_OR_RETURN(
+        const RecoveryResult shard_result,
+        RecoverToTick(shard_config, manifest.cut_tick, &out->back()));
+    AccumulateShard(shard_result, i, &result.fleet);
   }
   return result;
 }

@@ -64,6 +64,35 @@ struct ShardedRecoveryResult {
 StatusOr<ShardedRecoveryResult> RecoverSharded(
     const ShardedEngineConfig& config, std::vector<StateTable>* out);
 
+/// Rebuilds one shard's state at EXACTLY the end of `cut_tick`, even when
+/// newer checkpoints exist: restores the newest image consistent no later
+/// than cut_tick + 1 (or starts from zeroed state when the logical log
+/// reaches back to tick 0) and replays the logical log only through
+/// cut_tick. Corruption if the durable sources cannot reproduce the cut
+/// exactly (a gap before the restored image, or a log ending short of the
+/// cut).
+StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
+                                       uint64_t cut_tick, StateTable* out);
+
+/// Outcome of a whole-fleet recovery to a consistent cut.
+struct ShardedCutRecoveryResult {
+  /// True: a committed cut manifest was found and every shard below is at
+  /// exactly `cut_tick`. False: no committed manifest existed (never cut,
+  /// crash before the commit, or a torn manifest file) and `fleet` holds
+  /// the per-shard exact fallback, each shard at its own crash tick.
+  bool used_manifest = false;
+  uint64_t cut_tick = 0;
+  ShardedRecoveryResult fleet;
+};
+
+/// Restores every shard of a fleet previously run with `config` to the
+/// committed consistent cut: each shard lands at exactly the manifest's
+/// cut tick, however far past it the shard's own staggered checkpoints
+/// got. Falls back to RecoverSharded (per-shard exactness, no common tick)
+/// when no committed manifest is found or the manifest is torn.
+StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out);
+
 }  // namespace tickpoint
 
 #endif  // TICKPOINT_ENGINE_RECOVERY_H_

@@ -97,7 +97,11 @@ void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
   for (const CellUpdate& update : batch.updates) {
     engine_->ApplyUpdate(update.cell, update.value);
   }
-  if (batch.start_checkpoint) engine_->ScheduleCheckpoint();
+  if (batch.cut_checkpoint) {
+    engine_->RequestCutCheckpoint();
+  } else if (batch.start_checkpoint) {
+    engine_->ScheduleCheckpoint();
+  }
   const Status status = engine_->EndTick();
   if (!status.ok()) {
     {

@@ -37,6 +37,11 @@ struct ShardTickBatch {
   std::vector<CellUpdate> updates;
   /// Stagger scheduler's decision: begin a checkpoint at this tick's end.
   bool start_checkpoint = false;
+  /// Consistent-cut coordinator's decision: this tick is the fleet cut
+  /// tick -- the shard must end it with a durable checkpoint at exactly
+  /// this tick (Engine::RequestCutCheckpoint semantics). Implies
+  /// start_checkpoint.
+  bool cut_checkpoint = false;
 };
 
 class ShardRunner {

@@ -1,5 +1,6 @@
 #include "engine/sharded_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/io.h"
@@ -11,7 +12,9 @@ std::string ShardedEngine::ShardDir(const std::string& root, uint32_t shard) {
 }
 
 ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
-    : config_(config), scheduler_(config.ToStaggerConfig()) {}
+    : config_(config),
+      scheduler_(config.ToStaggerConfig()),
+      cut_(config.shard.dir, config.num_shards, config.shard.fsync) {}
 
 StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     const ShardedEngineConfig& config) {
@@ -33,6 +36,10 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     return Status::InvalidArgument("disk_budget must be positive");
   }
   TP_RETURN_NOT_OK(EnsureDirectory(config.shard.dir));
+  // A fresh fleet truncates every shard's logical log, so a cut manifest
+  // left by a previous incarnation points at state this run can no longer
+  // reproduce: retire it before the first tick.
+  TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
   std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
   sharded->runners_.reserve(config.num_shards);
   sharded->pending_.resize(config.num_shards);
@@ -77,18 +84,88 @@ void ShardedEngine::ApplyUpdate(uint32_t shard, uint32_t cell,
 Status ShardedEngine::EndTick() {
   TP_CHECK(in_tick_);
   in_tick_ = false;
+  // While a cut is armed the stagger scheduler stands down up to and
+  // including the cut tick, so no regular start can collide with (or
+  // delay) the cut generation; afterward the fixed schedule resumes its
+  // arithmetic and the adaptive plan is realigned below.
+  const bool cut_tick_now = cut_.IsCutTick(tick_);
+  const bool suppress_schedule = cut_.SuppressesScheduledStart(tick_);
   // Every shard gets its batch even if a sibling already failed: no shard
   // is ever left mid-tick, and the fleet tick advances exactly once.
   for (uint32_t i = 0; i < runners_.size(); ++i) {
     ShardTickBatch batch;
     batch.tick = tick_;
-    batch.start_checkpoint = scheduler_.ShouldCheckpoint(i, tick_);
+    batch.cut_checkpoint = cut_tick_now;
+    batch.start_checkpoint =
+        cut_tick_now ||
+        (!suppress_schedule && scheduler_.ShouldCheckpoint(i, tick_));
     batch.updates = std::move(pending_[i]);
     pending_[i].clear();
     runners_[i]->SubmitTick(std::move(batch));
   }
+  if (cut_tick_now) scheduler_.RealignAfterCut(tick_);
   ++tick_;
   return PollShardError();
+}
+
+StatusOr<uint64_t> ShardedEngine::RequestConsistentCut() {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  if (failed_) return first_error_;
+  TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
+                      cut_.Arm(tick_, config_.cut_lead_ticks));
+  cut_armed_at_ = std::chrono::steady_clock::now();
+  return cut_tick;
+}
+
+Status ShardedEngine::CommitConsistentCut() {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  if (!cut_.armed()) {
+    return Status::FailedPrecondition("no consistent cut in flight");
+  }
+  const uint64_t cut_tick = cut_.cut_tick();
+  if (tick_ <= cut_tick) {
+    return Status::FailedPrecondition(
+        "cut tick " + std::to_string(cut_tick) +
+        " has not been submitted yet (fleet tick " + std::to_string(tick_) +
+        ")");
+  }
+  // Gather the acks: the barrier parks every runner past the cut tick, at
+  // which point each shard's cut checkpoint record is final and durable
+  // (the cut EndTick wrote it synchronously).
+  const Status barrier = WaitForIdle();
+  if (!barrier.ok()) {
+    cut_.Disarm();
+    return barrier;
+  }
+  std::vector<CutShardRecord> acks;
+  acks.reserve(runners_.size());
+  double max_stall = 0.0;
+  for (uint32_t i = 0; i < runners_.size(); ++i) {
+    const auto& records = runners_[i]->engine().metrics().checkpoints;
+    const EngineCheckpointRecord* ack = nullptr;
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (it->cut && it->start_tick == cut_tick) {
+        ack = &*it;
+        break;
+      }
+    }
+    if (ack == nullptr) {
+      cut_.Disarm();
+      return Status::Internal("shard " + std::to_string(i) +
+                              " produced no cut checkpoint at tick " +
+                              std::to_string(cut_tick));
+    }
+    acks.push_back(CutShardRecord{ack->seq, ack->consistent_ticks});
+    max_stall = std::max(max_stall, ack->cut_stall_seconds);
+  }
+  TP_RETURN_NOT_OK(cut_.Commit(acks));
+  last_cut_report_.cut_tick = cut_tick;
+  last_cut_report_.commit_latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cut_armed_at_)
+          .count();
+  last_cut_report_.max_shard_stall_seconds = max_stall;
+  return Status::OK();
 }
 
 Status ShardedEngine::PollShardError() {

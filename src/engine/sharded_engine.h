@@ -18,14 +18,21 @@
 // Fleet-level barriers exist only where the API demands a consistent view:
 // Shutdown, SimulateCrash, and WaitForIdle drain every runner to the
 // facade tick before acting.
+//
+// RequestConsistentCut/CommitConsistentCut layer the two-phase fleet-wide
+// cut protocol (consistent_cut.h) on top: every shard checkpoints at one
+// coordinator-chosen tick T, and a committed cut manifest lets
+// RecoverShardedToCut restore the whole fleet to exactly T.
 #ifndef TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 #define TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/consistent_cut.h"
 #include "engine/engine.h"
 #include "engine/shard_runner.h"
 #include "engine/stagger_scheduler.h"
@@ -56,6 +63,10 @@ struct ShardedEngineConfig {
   /// Threaded mode: max ticks a shard's mailbox may lag behind the facade
   /// before EndTick blocks (bounds memory under a slow shard).
   uint64_t max_queue_ticks = 64;
+  /// How far ahead of the fleet tick RequestConsistentCut places the cut
+  /// tick T: enough lead for every shard to reach T in stride instead of
+  /// stalling on a barrier.
+  uint64_t cut_lead_ticks = 2;
 
   StaggerConfig ToStaggerConfig() const {
     StaggerConfig config;
@@ -75,6 +86,15 @@ struct ShardedCheckpointStats {
   double max_total_seconds = 0.0;
   double avg_sync_seconds = 0.0;
   double avg_async_seconds = 0.0;
+};
+
+/// Outcome of the last committed consistent cut (bench/monitoring).
+struct ConsistentCutReport {
+  uint64_t cut_tick = 0;
+  /// Wall time from RequestConsistentCut to the manifest rename.
+  double commit_latency_seconds = 0.0;
+  /// Slowest shard's mutator block inside the cut tick's EndTick.
+  double max_shard_stall_seconds = 0.0;
 };
 
 /// A fleet of K engines sharing one disk. The facade itself is driven by
@@ -110,6 +130,34 @@ class ShardedEngine {
   /// then returns the fleet's sticky error. After it returns OK, per-shard
   /// engines are quiescent and safe to inspect from this thread.
   Status WaitForIdle();
+
+  // ---- Fleet-wide consistent cut (see consistent_cut.h) ----
+
+  /// Phase 1: arms a consistent cut at tick T = current_tick +
+  /// cut_lead_ticks and returns T. From now through tick T the stagger
+  /// scheduler stands down; at tick T every shard drains to T and
+  /// checkpoints exactly there (the shard acks by completing that
+  /// checkpoint before consuming another tick). The caller keeps driving
+  /// ticks as usual and, once the fleet tick has passed T, calls
+  /// CommitConsistentCut. Only one cut may be in flight.
+  StatusOr<uint64_t> RequestConsistentCut();
+
+  /// Phase 2: barriers the fleet (WaitForIdle), verifies every shard
+  /// produced its cut checkpoint, and atomically commits the fleet cut
+  /// manifest. A crash before this commit -- even with all shards acked --
+  /// leaves no manifest, and recovery falls back to per-shard exactness.
+  /// FailedPrecondition if no cut is armed or tick T has not run yet. On
+  /// any error the cut is abandoned (no manifest).
+  Status CommitConsistentCut();
+
+  /// True between RequestConsistentCut and CommitConsistentCut.
+  bool cut_in_flight() const { return cut_.armed(); }
+  /// The armed cut tick (meaningful while cut_in_flight()).
+  uint64_t pending_cut_tick() const { return cut_.cut_tick(); }
+  /// Timing of the last committed cut.
+  const ConsistentCutReport& last_cut_report() const {
+    return last_cut_report_;
+  }
 
   /// Graceful stop of every shard (drains mailboxes and in-flight
   /// checkpoints).
@@ -151,6 +199,9 @@ class ShardedEngine {
 
   ShardedEngineConfig config_;
   StaggerScheduler scheduler_;
+  ConsistentCutCoordinator cut_;
+  std::chrono::steady_clock::time_point cut_armed_at_;
+  ConsistentCutReport last_cut_report_;
   std::vector<std::unique_ptr<ShardRunner>> runners_;
   /// Per-shard updates buffered during the open tick.
   std::vector<std::vector<CellUpdate>> pending_;

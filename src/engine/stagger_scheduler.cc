@@ -95,6 +95,16 @@ void StaggerScheduler::ObserveCheckpointEnd(uint32_t shard, uint64_t end_tick,
   plan.ewma_seconds = ewma(plan.ewma_seconds, write_seconds);
 }
 
+void StaggerScheduler::RealignAfterCut(uint64_t cut_tick) {
+  if (!config_.adaptive) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t shard = 0; shard < config_.num_shards; ++shard) {
+    ShardPlan& plan = plans_[shard];
+    plan.next_start =
+        std::max(plan.next_start, cut_tick + 1 + OffsetTicks(shard));
+  }
+}
+
 uint64_t StaggerScheduler::EstimateTicksLocked(uint32_t shard) const {
   const ShardPlan& plan = plans_[shard];
   if (plan.ewma_ticks > 0.0) {

@@ -87,6 +87,14 @@ class StaggerScheduler {
   void ObserveCheckpointEnd(uint32_t shard, uint64_t end_tick,
                             double write_seconds);
 
+  /// A consistent cut just checkpointed EVERY shard at `cut_tick`, outside
+  /// this scheduler's plan. Re-seeds each adaptive next-start at
+  /// cut_tick + 1 + OffsetTicks(shard) (keeping any later planned start),
+  /// so the staggered cadence resumes instead of every shard coming due at
+  /// once right after the cut. No-op in fixed mode, whose arithmetic
+  /// schedule resumes by itself. Thread-safe.
+  void RealignAfterCut(uint64_t cut_tick);
+
   // ---- Introspection (tests, benches) ----
 
   /// Checkpoints currently holding a disk-budget reservation.

@@ -1,6 +1,7 @@
 #include "util/io.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -169,6 +170,15 @@ Status EnsureDirectory(const std::string& path) {
   std::error_code ec;
   std::filesystem::create_directories(path, ec);
   if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", path);
   return Status::OK();
 }
 

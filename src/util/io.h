@@ -83,6 +83,9 @@ bool FileExists(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
 /// Creates a directory (and parents) if missing.
 Status EnsureDirectory(const std::string& path);
+/// fsyncs a directory so renames/creates/unlinks inside it are durable
+/// (the other half of the tmp-file + rename commit idiom).
+Status SyncDirectory(const std::string& path);
 
 }  // namespace tickpoint
 

@@ -2,6 +2,7 @@
 // the full lifecycle of a durable MMO shard.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "engine/engine.h"
@@ -378,6 +379,257 @@ TEST_F(DurabilityTest, FallsBackWhenNewestBackupCorrupted) {
   ASSERT_TRUE(result.ok());
   EXPECT_LT(result->image_seq, newest_seq);
   EXPECT_EQ(recovered.Digest(), lost);
+}
+
+// ---- The resume bootstrap handoff (the dribble resume-cycle flake) ----
+//
+// OpenResumed truncates the logical log BEFORE writing its bootstrap
+// checkpoint, so from that moment every checkpoint of the previous
+// incarnation is poison: restoring one would skip the ticks between its
+// consistent tick and the resume tick. These tests pin the required
+// handoff ordering -- bootstrap durable first, stale state demoted second,
+// and the bootstrap numbered ABOVE everything stale -- by crashing
+// immediately after the resume, when the bootstrap is the only correct
+// recovery source. Pre-fix, dribble's bootstrap restarted generation
+// numbering at 0 under the stale pre-crash generations, and recovery's
+// newest-generation scan silently rewound the shard (the ~2/30
+// ResumeCycleTest dribble divergence: whether the stale generation
+// outnumbered the resumed run's depended on writer-thread timing).
+
+namespace {
+
+/// Drives `engine` with the deterministic workload until it has finalized
+/// `target` checkpoints (manual mode: each checkpoint is scheduled here and
+/// completes while later ticks run). Returns the tick reached.
+uint64_t RunUntilCheckpoints(Engine* engine, uint64_t target,
+                             uint64_t updates_per_tick) {
+  const uint64_t num_cells = engine->config().layout.num_cells();
+  uint64_t scheduled = 0;
+  for (int guard = 0; guard < 4096; ++guard) {
+    if (engine->metrics().checkpoints.size() >= target) break;
+    if (scheduled == engine->metrics().checkpoints.size() &&
+        !engine->checkpoint_in_flight()) {
+      engine->ScheduleCheckpoint();
+      ++scheduled;
+    }
+    const uint64_t tick = engine->current_tick();
+    engine->BeginTick();
+    for (uint64_t i = 0; i < updates_per_tick; ++i) {
+      const uint32_t cell = WorkloadCell(0, tick, i, num_cells);
+      engine->ApplyUpdate(cell, WorkloadValue(tick, cell, i));
+    }
+    EXPECT_TRUE(engine->EndTick().ok());
+  }
+  EXPECT_GE(engine->metrics().checkpoints.size(), target);
+  return engine->current_tick();
+}
+
+}  // namespace
+
+TEST_F(DurabilityTest, ResumeBootstrapOutranksStaleLogGenerations) {
+  const StateLayout layout = StateLayout::Small(1024, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = AlgorithmKind::kDribble;  // every checkpoint = new gen
+  config.dir = dir_;
+  config.fsync = false;
+  config.manual_checkpoints = true;  // pin the checkpoint count exactly
+
+  uint64_t crash_tick = 0;
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok());
+    // Exactly 3 completed checkpoints = dribble generations 0, 1, 2 on
+    // disk: a bootstrap restarting at generation 0 is guaranteed to be
+    // shadowed by a stale higher generation.
+    crash_tick = RunUntilCheckpoints(engine_or.value().get(), 3, 150);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  {
+    auto store_or = LogStore::Open(dir_, layout, false);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_GE(store_or.value()->NextFreshGeneration(), 2u);
+  }
+
+  StateTable recovered(layout);
+  {
+    auto result = Recover(config, &recovered);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->recovered_ticks, crash_tick);
+  }
+  // Resume and crash before a single tick runs: the bootstrap image is now
+  // the ONLY durable source that reaches the resume tick.
+  {
+    auto engine_or = Engine::OpenResumed(config, recovered, crash_tick);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  StateTable after(layout);
+  auto result = Recover(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->recovered_ticks, crash_tick)
+      << "recovery preferred a stale pre-resume generation";
+  EXPECT_TRUE(after.ContentEquals(recovered));
+}
+
+TEST_F(DurabilityTest, ResumeBootstrapOutranksStaleBackupImages) {
+  // The double-backup twin: the bootstrap must claim a seq above both
+  // stale images and invalidate the sibling slot, or a crash in the window
+  // before the first resumed checkpoint overwrites it would recover the
+  // higher-seq pre-crash image instead of the bootstrap.
+  const StateLayout layout = StateLayout::Small(1024, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = AlgorithmKind::kCopyOnUpdate;
+  config.dir = dir_;
+  config.fsync = false;
+  config.manual_checkpoints = true;
+
+  uint64_t crash_tick = 0;
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok());
+    // Exactly 3 completed checkpoints: seqs 0, 2 in slot 0 and seq 1 in
+    // slot 1, so the newest STALE image sits in the slot the bootstrap
+    // overwrites and the surviving sibling (seq 1) outnumbers a bootstrap
+    // that naively restarts at seq 0.
+    crash_tick = RunUntilCheckpoints(engine_or.value().get(), 3, 150);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  {
+    auto store_or = BackupStore::Open(dir_, layout, false);
+    ASSERT_TRUE(store_or.ok());
+    uint64_t max_seq = 0;
+    for (int index = 0; index < 2; ++index) {
+      auto info = store_or.value()->Inspect(index);
+      ASSERT_TRUE(info.ok());
+      if (info->valid) max_seq = std::max(max_seq, info->seq);
+    }
+    ASSERT_GE(max_seq, 1u);
+  }
+
+  StateTable recovered(layout);
+  {
+    auto result = Recover(config, &recovered);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->recovered_ticks, crash_tick);
+  }
+  {
+    auto engine_or = Engine::OpenResumed(config, recovered, crash_tick);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  StateTable after(layout);
+  auto result = Recover(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->recovered_ticks, crash_tick)
+      << "recovery preferred a stale pre-resume backup image";
+  EXPECT_TRUE(after.ContentEquals(recovered));
+}
+
+TEST_F(DurabilityTest, DeathInsideOpenResumedAfterBootstrapStaysRecoverable) {
+  // The crash window INSIDE OpenResumed: the bootstrap must be made
+  // durable BEFORE the previous incarnation's logical log is truncated.
+  // This test forges the state a death between those two steps leaves
+  // behind -- bootstrap committed, OLD logical log still on disk -- by
+  // restoring a pre-resume copy of logical.log over the truncated one, and
+  // proves recovery still lands exactly on the resume tick (the bootstrap
+  // outranks everything; the old log's ticks all precede it and replay to
+  // nothing). Under the pre-fix ordering (log truncated first, bootstrap
+  // second) this window instead recovered a stale pre-resume image with
+  // the intervening ticks silently missing.
+  const StateLayout layout = StateLayout::Small(1024, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = AlgorithmKind::kDribble;
+  config.dir = dir_;
+  config.fsync = false;
+  config.manual_checkpoints = true;
+
+  uint64_t crash_tick = 0;
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok());
+    crash_tick = RunUntilCheckpoints(engine_or.value().get(), 3, 150);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  const std::string log_path = Engine::LogicalLogPath(dir_);
+  const std::string saved_log = dir_ + "/logical.log.pre-resume";
+  std::error_code ec;
+  std::filesystem::copy_file(log_path, saved_log, ec);
+  ASSERT_FALSE(ec);
+
+  StateTable recovered(layout);
+  {
+    auto result = Recover(config, &recovered);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->recovered_ticks, crash_tick);
+  }
+  {
+    auto engine_or = Engine::OpenResumed(config, recovered, crash_tick);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  // Forge the mid-OpenResumed state: bootstrap durable, old log present.
+  std::filesystem::copy_file(saved_log, log_path,
+                             std::filesystem::copy_options::overwrite_existing,
+                             ec);
+  ASSERT_FALSE(ec);
+
+  StateTable after(layout);
+  auto result = Recover(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->restored_from_checkpoint);
+  EXPECT_EQ(result->recovered_ticks, crash_tick);
+  EXPECT_TRUE(after.ContentEquals(recovered));
+}
+
+TEST_P(ResumeCycleTest, FreshOpenOverDirtyDirDiscardsStaleCheckpoints) {
+  // The fresh-open sibling of the resume handoff: Engine::Open over a
+  // directory a previous incarnation crashed in truncates the logical log,
+  // so the stale checkpoints must be wiped -- otherwise an early crash of
+  // the NEW run recovers a pre-crash image whose ticks the new log no
+  // longer covers.
+  const AlgorithmKind kind = GetParam();
+  const StateLayout layout = StateLayout::Small(1024, 10);
+  EngineConfig config;
+  config.layout = layout;
+  config.algorithm = kind;
+  config.dir = dir_;
+  config.fsync = false;
+  config.manual_checkpoints = true;
+
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok());
+    RunUntilCheckpoints(engine_or.value().get(), 3, 150);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  // New incarnation from tick 0 over the dirty directory: run ONE tick
+  // with no checkpoint, crash. The only durable source reaching tick 1 is
+  // the new logical log.
+  StateTable reference(layout);
+  {
+    auto engine_or = Engine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    Engine& engine = *engine_or.value();
+    const uint64_t num_cells = layout.num_cells();
+    engine.BeginTick();
+    for (uint64_t i = 0; i < 150; ++i) {
+      const uint32_t cell = WorkloadCell(0, 0, i, num_cells);
+      engine.ApplyUpdate(cell, WorkloadValue(0, cell, i));
+      reference.WriteCell(cell, WorkloadValue(0, cell, i));
+    }
+    ASSERT_TRUE(engine.EndTick().ok());
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  StateTable recovered(layout);
+  auto result = Recover(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->restored_from_checkpoint)
+      << "recovery restored a stale pre-incarnation checkpoint";
+  EXPECT_EQ(result->recovered_ticks, 1u);
+  EXPECT_TRUE(recovered.ContentEquals(reference));
 }
 
 TEST_F(DurabilityTest, RepeatedCrashesAtEveryEarlyTick) {

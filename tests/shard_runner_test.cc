@@ -1,0 +1,127 @@
+// Direct ShardRunner unit tests: the mailbox backpressure bound and the
+// sticky-error drain contract, previously exercised only through the
+// ShardedEngine facade.
+#include "engine/shard_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace tickpoint {
+namespace {
+
+class ShardRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    dir_ = (std::filesystem::temp_directory_path() / ("tp_runner_" + name))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Engine> OpenEngine() {
+    EngineConfig config;
+    config.layout = StateLayout::Small(512, 10);
+    config.algorithm = AlgorithmKind::kCopyOnUpdate;
+    config.dir = dir_;
+    config.fsync = false;
+    config.manual_checkpoints = true;
+    auto engine_or = Engine::Open(config);
+    EXPECT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    return std::move(engine_or.value());
+  }
+
+  static ShardTickBatch MakeBatch(uint64_t tick, uint64_t updates) {
+    ShardTickBatch batch;
+    batch.tick = tick;
+    batch.updates.reserve(updates);
+    for (uint64_t i = 0; i < updates; ++i) {
+      batch.updates.push_back(
+          CellUpdate{static_cast<uint32_t>((tick * 31 + i) % 512),
+                     static_cast<int32_t>(tick * 1000 + i)});
+    }
+    return batch;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardRunnerTest, BackpressureBoundsTheMailboxLag) {
+  // The contract: SubmitTick blocks while the mailbox holds
+  // max_queue_ticks batches, so after ANY SubmitTick returns the producer
+  // leads the runner by at most max_queue_ticks queued batches plus the
+  // one batch popped and mid-application. The batches are heavy (2000
+  // updates each) and the submit loop is free-running, so the producer
+  // genuinely outruns the consumer and the bound does real work.
+  constexpr uint64_t kMaxQueue = 4;
+  constexpr uint64_t kTicks = 200;
+  ShardRunner runner(0, OpenEngine(), /*threaded=*/true, kMaxQueue, nullptr);
+  for (uint64_t tick = 0; tick < kTicks; ++tick) {
+    runner.SubmitTick(MakeBatch(tick, 2000));
+    const uint64_t submitted = tick + 1;
+    EXPECT_GE(runner.ticks_completed() + kMaxQueue + 1, submitted)
+        << "mailbox exceeded its bound at tick " << tick;
+  }
+  ASSERT_TRUE(runner.Drain().ok());
+  EXPECT_EQ(runner.ticks_completed(), kTicks);
+  runner.Stop();
+  EXPECT_EQ(runner.engine().current_tick(), kTicks);
+  ASSERT_TRUE(runner.engine().Shutdown().ok());
+}
+
+TEST_F(ShardRunnerTest, StickyErrorFreezesTheEngineButDrainsTheMailbox) {
+  ShardRunner runner(0, OpenEngine(), /*threaded=*/true, /*max_queue_ticks=*/8,
+                     nullptr);
+  for (uint64_t tick = 0; tick < 3; ++tick) {
+    runner.SubmitTick(MakeBatch(tick, 50));
+  }
+  ASSERT_TRUE(runner.Drain().ok());
+  EXPECT_FALSE(runner.has_error());
+
+  // Inject on the parked runner (Drain quiesced it), then keep submitting:
+  // tick 3 fails, ticks 4..8 must be discarded-but-accounted so Drain and
+  // Stop still terminate, and the engine stays frozen at its failure tick.
+  runner.engine().InjectEndTickErrorForTest(Status::IOError("injected"));
+  for (uint64_t tick = 3; tick < 9; ++tick) {
+    runner.SubmitTick(MakeBatch(tick, 50));
+  }
+  const Status drain = runner.Drain();
+  EXPECT_EQ(drain.code(), StatusCode::kIOError);
+  EXPECT_TRUE(runner.has_error());
+  EXPECT_EQ(runner.ticks_completed(), 9u);  // every batch accounted
+  EXPECT_EQ(runner.engine().current_tick(), 3u);  // frozen at the failure
+
+  // The first error is sticky across further submissions and drains.
+  runner.SubmitTick(MakeBatch(9, 50));
+  EXPECT_EQ(runner.Drain(), drain);
+  EXPECT_EQ(runner.status(), drain);
+  runner.Stop();
+  runner.Stop();  // idempotent
+  ASSERT_TRUE(runner.engine().Shutdown().ok());
+}
+
+TEST_F(ShardRunnerTest, InlineModeAppliesSynchronously) {
+  ShardRunner runner(0, OpenEngine(), /*threaded=*/false,
+                     /*max_queue_ticks=*/4, nullptr);
+  for (uint64_t tick = 0; tick < 5; ++tick) {
+    runner.SubmitTick(MakeBatch(tick, 50));
+    // Inline: the batch is applied before SubmitTick returns.
+    EXPECT_EQ(runner.ticks_completed(), tick + 1);
+    EXPECT_EQ(runner.engine().current_tick(), tick + 1);
+  }
+  ASSERT_TRUE(runner.Drain().ok());
+  runner.Stop();
+  ASSERT_TRUE(runner.engine().Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace tickpoint

@@ -9,12 +9,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
+#include <random>
 #include <set>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "engine/consistent_cut.h"
 #include "engine/mutator.h"
 #include "engine/recovery.h"
 #include "engine/stagger_scheduler.h"
@@ -171,6 +177,54 @@ TEST(StaggerSchedulerTest, AdaptiveHonorsLargerBudgets) {
       RunAdaptiveSim(&scheduler, 6, 600, /*duration=*/7);
   EXPECT_LE(result.max_concurrent, 2u);
   EXPECT_LE(scheduler.max_concurrent_starts(), 2u);
+}
+
+TEST(StaggerSchedulerTest, AdaptiveFifoGrantsSlotsInClaimAgeOrderAtBudgetOne) {
+  // Direct coverage of the FIFO anti-starvation rule (previously only
+  // implied by the per-shard start counts): on a disk oversubscribed to a
+  // budget of 1 (writes of 7 ticks vs period/K slots of 2), a freed slot
+  // must go to the OLDEST due claim -- in particular, shard 0 coming due
+  // again must yield to shards 2 and 3, which have been waiting since
+  // their first offsets. Without the yield, the per-tick index-order scan
+  // hands every slot to shard 0 and starves the tail.
+  StaggerConfig config{4, 8, /*staggered=*/true};
+  config.adaptive = true;
+  config.disk_budget = 1;
+  StaggerScheduler scheduler(config);
+
+  constexpr uint64_t kDuration = 7;
+  std::vector<uint32_t> start_order;
+  std::vector<uint64_t> start_ticks;
+  std::vector<uint64_t> busy_until(4, 0);
+  std::vector<bool> inflight(4, false);
+  for (uint64_t tick = 0; tick < 48; ++tick) {
+    for (uint32_t shard = 0; shard < 4; ++shard) {
+      if (inflight[shard] && tick >= busy_until[shard]) {
+        scheduler.ObserveCheckpointEnd(shard, tick, 0.001 * kDuration);
+        inflight[shard] = false;
+      }
+    }
+    for (uint32_t shard = 0; shard < 4; ++shard) {
+      if (scheduler.ShouldCheckpoint(shard, tick)) {
+        inflight[shard] = true;
+        busy_until[shard] = tick + kDuration;
+        start_order.push_back(shard);
+        start_ticks.push_back(tick);
+      }
+    }
+  }
+  // One write drains every 7 ticks, and each grant goes to the oldest
+  // claim: strict round-robin 0,1,2,3,0,1 -- shard 0's second claim (due
+  // at tick 8) waits behind shards 2 and 3 until tick 28.
+  ASSERT_GE(start_order.size(), 6u);
+  const std::vector<uint32_t> expected_order = {0, 1, 2, 3, 0, 1};
+  const std::vector<uint64_t> expected_ticks = {0, 7, 14, 21, 28, 35};
+  for (size_t i = 0; i < expected_order.size(); ++i) {
+    EXPECT_EQ(start_order[i], expected_order[i]) << "start " << i;
+    EXPECT_EQ(start_ticks[i], expected_ticks[i]) << "start " << i;
+  }
+  EXPECT_EQ(scheduler.max_concurrent_starts(), 1u);
+  EXPECT_GT(scheduler.deferrals(), 0u);
 }
 
 TEST(StaggerSchedulerTest, AdaptiveNarrowsBackToThePeriodWhenWritesAreFast) {
@@ -617,6 +671,333 @@ std::string ShardedCrashCaseName(
 INSTANTIATE_TEST_SUITE_P(FleetCrashPoints, ShardedCrashRecoveryTest,
                          ::testing::ValuesIn(AllShardedCrashCases()),
                          ShardedCrashCaseName);
+
+// ---- The fleet-wide consistent cut ----
+
+/// Deep-copies a fleet of reference tables (StateTable is move-only).
+std::vector<StateTable> SnapshotTables(const std::vector<StateTable>& from) {
+  std::vector<StateTable> snapshot;
+  snapshot.reserve(from.size());
+  for (const StateTable& table : from) {
+    snapshot.emplace_back(table.layout());
+    std::memcpy(snapshot.back().mutable_data(), table.data(),
+                table.buffer_bytes());
+  }
+  return snapshot;
+}
+
+struct CutCrashCase {
+  AlgorithmKind kind;
+  uint32_t num_shards;
+  uint64_t crash_tick;
+  bool threaded;
+};
+
+class ConsistentCutCrashRecoveryTest
+    : public ShardedEngineTest,
+      public ::testing::WithParamInterface<CutCrashCase> {};
+
+// The central tentpole property: with the cut requested at fleet tick 2
+// (cut tick T = 4), a crash at ANY tick either recovers the whole fleet to
+// exactly T from the committed manifest (crash after the commit, however
+// many staggered checkpoints landed since), or falls back to per-shard
+// exactness (crash before the commit -- including the crash BETWEEN the
+// last shard ack and the manifest commit, which is exactly the
+// crash_tick == T case: every shard's cut checkpoint is durable but
+// CommitConsistentCut never ran).
+TEST_P(ConsistentCutCrashRecoveryTest, FleetRecoversExactlyToTheCut) {
+  const CutCrashCase param = GetParam();
+  auto config = Config(param.kind, param.num_shards);
+  config.threaded = param.threaded;
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+
+  constexpr uint64_t kRequestAt = 2;
+  std::vector<StateTable> reference;
+  std::vector<StateTable> reference_at_cut;
+  uint64_t cut_tick = 0;
+  bool armed = false;
+  bool committed = false;
+  for (uint64_t t = 0; t <= param.crash_tick; ++t) {
+    if (!armed && engine.current_tick() == kRequestAt) {
+      auto cut_or = engine.RequestConsistentCut();
+      ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
+      cut_tick = cut_or.value();
+      ASSERT_EQ(cut_tick, kRequestAt + config.cut_lead_ticks);
+      armed = true;
+    }
+    RunTicks(&engine, 1, &reference);
+    if (armed && !committed && engine.current_tick() == cut_tick + 1) {
+      reference_at_cut = SnapshotTables(reference);
+      if (param.crash_tick > cut_tick) {
+        const Status commit = engine.CommitConsistentCut();
+        ASSERT_TRUE(commit.ok()) << commit.ToString();
+        committed = true;
+        EXPECT_EQ(engine.last_cut_report().cut_tick, cut_tick);
+      }
+      // crash_tick == cut_tick: fall through WITHOUT committing -- the
+      // ack/commit gap case.
+    }
+  }
+  ASSERT_TRUE(engine.SimulateCrash().ok());
+
+  std::vector<StateTable> recovered;
+  auto result = RecoverShardedToCut(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(recovered.size(), param.num_shards);
+  if (committed) {
+    EXPECT_TRUE(result->used_manifest);
+    EXPECT_EQ(result->cut_tick, cut_tick);
+    EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
+    EXPECT_EQ(result->fleet.max_recovered_ticks, cut_tick + 1);
+    for (uint32_t i = 0; i < param.num_shards; ++i) {
+      EXPECT_TRUE(recovered[i].ContentEquals(reference_at_cut[i]))
+          << AlgorithmName(param.kind) << " K=" << param.num_shards
+          << " crash@" << param.crash_tick << ": shard " << i
+          << " diverges from the cut state";
+    }
+  } else {
+    EXPECT_FALSE(result->used_manifest);
+    EXPECT_EQ(result->fleet.min_recovered_ticks, param.crash_tick + 1);
+    EXPECT_EQ(result->fleet.max_recovered_ticks, param.crash_tick + 1);
+    for (uint32_t i = 0; i < param.num_shards; ++i) {
+      EXPECT_TRUE(recovered[i].ContentEquals(reference[i]))
+          << AlgorithmName(param.kind) << " K=" << param.num_shards
+          << " crash@" << param.crash_tick << ": shard " << i
+          << " diverges in the per-shard fallback";
+    }
+  }
+}
+
+std::vector<CutCrashCase> AllCutCrashCases() {
+  constexpr uint64_t kTicks = 18;  // well past the cut: later staggered
+                                   // checkpoints overwrite the cut images
+  std::vector<CutCrashCase> cases;
+  // Double-backup organization: crash at EVERY tick, K in {2, 4},
+  // threaded and inline.
+  for (bool threaded : {true, false}) {
+    for (uint32_t num_shards : {2u, 4u}) {
+      for (uint64_t tick = 0; tick < kTicks; ++tick) {
+        cases.push_back(
+            {AlgorithmKind::kCopyOnUpdate, num_shards, tick, threaded});
+      }
+    }
+  }
+  // Log organization: cut segments live inside generations that later full
+  // flushes retire, forcing the zero+bounded-replay path.
+  for (uint32_t num_shards : {2u, 4u}) {
+    for (uint64_t tick = 0; tick < kTicks; ++tick) {
+      cases.push_back({AlgorithmKind::kCopyOnUpdatePartialRedo, num_shards,
+                       tick, /*threaded=*/true});
+    }
+  }
+  // Dribble: every checkpoint is a fresh all-objects generation.
+  for (uint64_t tick : {0ull, 4ull, 9ull, 16ull}) {
+    cases.push_back({AlgorithmKind::kDribble, 2, tick, /*threaded=*/true});
+  }
+  return cases;
+}
+
+std::string CutCrashCaseName(
+    const ::testing::TestParamInfo<CutCrashCase>& info) {
+  std::string name = std::string(GetTraits(info.param.kind).short_name) +
+                     "_k" + std::to_string(info.param.num_shards) + "_tick" +
+                     std::to_string(info.param.crash_tick) +
+                     (info.param.threaded ? "" : "_inline");
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(CutCrashPoints, ConsistentCutCrashRecoveryTest,
+                         ::testing::ValuesIn(AllCutCrashCases()),
+                         CutCrashCaseName);
+
+TEST_F(ShardedEngineTest, ConsistentCutProtocolGuards) {
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+  std::vector<StateTable> reference;
+
+  // Commit with nothing armed.
+  EXPECT_EQ(engine.CommitConsistentCut().code(),
+            StatusCode::kFailedPrecondition);
+
+  auto cut_or = engine.RequestConsistentCut();
+  ASSERT_TRUE(cut_or.ok());
+  const uint64_t cut_tick = cut_or.value();
+  EXPECT_TRUE(engine.cut_in_flight());
+  EXPECT_EQ(engine.pending_cut_tick(), cut_tick);
+  // Only one cut may be in flight.
+  EXPECT_EQ(engine.RequestConsistentCut().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Committing before tick T has been driven is refused.
+  EXPECT_EQ(engine.CommitConsistentCut().code(),
+            StatusCode::kFailedPrecondition);
+
+  RunTicks(&engine, cut_tick + 1, &reference);
+  ASSERT_TRUE(engine.CommitConsistentCut().ok());
+  EXPECT_FALSE(engine.cut_in_flight());
+  EXPECT_GT(engine.last_cut_report().commit_latency_seconds, 0.0);
+
+  // The committed manifest is well-formed: one ack per shard, each at
+  // exactly the cut tick's end.
+  auto manifest_or = ReadCutManifest(config.shard.dir);
+  ASSERT_TRUE(manifest_or.ok()) << manifest_or.status().ToString();
+  EXPECT_EQ(manifest_or->cut_tick, cut_tick);
+  ASSERT_EQ(manifest_or->shards.size(), 2u);
+  for (const CutShardRecord& shard : manifest_or->shards) {
+    EXPECT_EQ(shard.consistent_ticks, cut_tick + 1);
+  }
+
+  // A second cut after the first committed is legal and replaces the
+  // manifest.
+  auto second_or = engine.RequestConsistentCut();
+  ASSERT_TRUE(second_or.ok());
+  RunTicks(&engine, second_or.value() + 1 - engine.current_tick() + 1,
+           &reference);
+  ASSERT_TRUE(engine.CommitConsistentCut().ok());
+  auto second_manifest_or = ReadCutManifest(config.shard.dir);
+  ASSERT_TRUE(second_manifest_or.ok());
+  EXPECT_EQ(second_manifest_or->cut_tick, second_or.value());
+  ASSERT_TRUE(engine.Shutdown().ok());
+}
+
+TEST_F(ShardedEngineTest, TornCutManifestFallsBackToPerShardRecovery) {
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  auto engine_or = ShardedEngine::Open(config);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ShardedEngine& engine = *engine_or.value();
+  std::vector<StateTable> reference;
+  RunTicks(&engine, 2, &reference);
+  auto cut_or = engine.RequestConsistentCut();
+  ASSERT_TRUE(cut_or.ok());
+  RunTicks(&engine, cut_or.value() + 1 - engine.current_tick(), &reference);
+  ASSERT_TRUE(engine.CommitConsistentCut().ok());
+  RunTicks(&engine, 3, &reference);
+  const uint64_t crash_ticks = engine.current_tick();
+  ASSERT_TRUE(engine.SimulateCrash().ok());
+
+  // Tear the committed manifest (crash-during-publish damage model): the
+  // cut must be ignored, not half-applied.
+  const std::string manifest_path = CutManifestPath(config.shard.dir);
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(manifest_path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(manifest_path, size / 2, ec);
+  ASSERT_FALSE(ec);
+
+  std::vector<StateTable> recovered;
+  auto result = RecoverShardedToCut(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->used_manifest);
+  EXPECT_EQ(result->fleet.min_recovered_ticks, crash_ticks);
+  EXPECT_EQ(result->fleet.max_recovered_ticks, crash_ticks);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+// ---- Seeded randomized fleet crash injection ----
+
+// One fuzz iteration's shape, fully derived from the seed so a failure
+// line names everything needed to replay it.
+struct FuzzShape {
+  AlgorithmKind kind;
+  uint32_t num_shards;
+  bool threaded;
+  uint64_t crash_tick;
+  bool with_cut;
+  uint64_t request_at;
+};
+
+TEST_F(ShardedEngineTest, SeededRandomizedFleetCrashInjection) {
+  // Randomized sweep over (algorithm, shard count, threaded/inline, crash
+  // tick, cut-in-flight-or-not). The seed is printed via SCOPED_TRACE on
+  // any failure; set TP_FLEET_FUZZ_SEED to replay a reported failure
+  // exactly.
+  uint64_t seed;
+  if (const char* env = std::getenv("TP_FLEET_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  } else {
+    std::random_device device;
+    seed = (static_cast<uint64_t>(device()) << 32) ^ device();
+  }
+  SCOPED_TRACE("replay with TP_FLEET_FUZZ_SEED=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  const AlgorithmKind kinds[] = {
+      AlgorithmKind::kNaiveSnapshot, AlgorithmKind::kCopyOnUpdate,
+      AlgorithmKind::kDribble, AlgorithmKind::kCopyOnUpdatePartialRedo};
+
+  constexpr int kIterations = 6;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    FuzzShape shape;
+    shape.kind = kinds[rng() % std::size(kinds)];
+    shape.num_shards = 2 + static_cast<uint32_t>(rng() % 3);
+    shape.threaded = (rng() & 1) != 0;
+    shape.crash_tick = rng() % 20;
+    shape.with_cut = (rng() & 1) != 0;
+    shape.request_at = rng() % (shape.crash_tick + 1);
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " +
+                 std::string(AlgorithmName(shape.kind)) + " K=" +
+                 std::to_string(shape.num_shards) +
+                 (shape.threaded ? " threaded" : " inline") + " crash@" +
+                 std::to_string(shape.crash_tick) +
+                 (shape.with_cut
+                      ? " cut-requested@" + std::to_string(shape.request_at)
+                      : " no-cut"));
+
+    auto config = Config(shape.kind, shape.num_shards);
+    config.shard.dir = dir_ + "/iter" + std::to_string(iter);
+    config.threaded = shape.threaded;
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+
+    std::vector<StateTable> reference;
+    std::vector<StateTable> reference_at_cut;
+    uint64_t cut_tick = 0;
+    bool armed = false;
+    bool committed = false;
+    for (uint64_t t = 0; t <= shape.crash_tick; ++t) {
+      if (shape.with_cut && !armed &&
+          engine.current_tick() == shape.request_at) {
+        auto cut_or = engine.RequestConsistentCut();
+        ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
+        cut_tick = cut_or.value();
+        armed = true;
+      }
+      RunTicks(&engine, 1, &reference);
+      if (armed && !committed && engine.current_tick() == cut_tick + 1) {
+        reference_at_cut = SnapshotTables(reference);
+        if (shape.crash_tick > cut_tick) {
+          const Status commit = engine.CommitConsistentCut();
+          ASSERT_TRUE(commit.ok()) << commit.ToString();
+          committed = true;
+        }
+      }
+    }
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+
+    std::vector<StateTable> recovered;
+    auto result = RecoverShardedToCut(config, &recovered);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(recovered.size(), shape.num_shards);
+    const std::vector<StateTable>& expected =
+        committed ? reference_at_cut : reference;
+    const uint64_t expected_ticks =
+        committed ? cut_tick + 1 : shape.crash_tick + 1;
+    EXPECT_EQ(result->used_manifest, committed);
+    EXPECT_EQ(result->fleet.min_recovered_ticks, expected_ticks);
+    EXPECT_EQ(result->fleet.max_recovered_ticks, expected_ticks);
+    for (uint32_t i = 0; i < shape.num_shards; ++i) {
+      EXPECT_TRUE(recovered[i].ContentEquals(expected[i])) << "shard " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace tickpoint
