@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "engine/checkpoint_store.h"
 #include "engine/consistent_cut.h"
@@ -209,10 +210,25 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
     EngineConfig shard_config = config.shard;
     shard_config.dir = ShardedEngine::ShardDir(config.shard.dir, i);
     out->emplace_back(shard_config.layout);
-    TP_ASSIGN_OR_RETURN(
-        const RecoveryResult shard_result,
-        RecoverToTick(shard_config, manifest.cut_tick, &out->back()));
-    AccumulateShard(shard_result, i, &result.fleet);
+    auto shard_or = RecoverToTick(shard_config, manifest.cut_tick,
+                                  &out->back());
+    if (!shard_or.ok()) {
+      if (shard_or.status().code() == StatusCode::kCorruption) {
+        // The manifest is committed but its cut is no longer reproducible
+        // from this shard's durable sources -- e.g. a death during
+        // ShardedEngine::OpenResumed after this shard's bootstrap
+        // truncated the logical log the (older) cut depended on. Same
+        // treatment as a torn manifest: per-shard exact fallback
+        // (RecoverSharded clears and refills `out`).
+        ShardedCutRecoveryResult fallback;
+        auto fallback_or = RecoverSharded(config, out);
+        if (!fallback_or.ok()) return fallback_or.status();
+        fallback.fleet = std::move(fallback_or).value();
+        return fallback;
+      }
+      return shard_or.status();
+    }
+    AccumulateShard(shard_or.value(), i, &result.fleet);
   }
   return result;
 }

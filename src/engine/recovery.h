@@ -77,9 +77,12 @@ StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
 /// Outcome of a whole-fleet recovery to a consistent cut.
 struct ShardedCutRecoveryResult {
   /// True: a committed cut manifest was found and every shard below is at
-  /// exactly `cut_tick`. False: no committed manifest existed (never cut,
-  /// crash before the commit, or a torn manifest file) and `fleet` holds
-  /// the per-shard exact fallback, each shard at its own crash tick.
+  /// exactly `cut_tick`. False: no usable cut -- no committed manifest
+  /// (never cut, crash before the commit, a torn manifest file), or the
+  /// manifest's cut is no longer reproducible from some shard's durable
+  /// sources (a death mid-ShardedEngine::OpenResumed can truncate a log
+  /// an older cut depended on) -- and `fleet` holds the per-shard exact
+  /// fallback, each shard at its own crash tick.
   bool used_manifest = false;
   uint64_t cut_tick = 0;
   ShardedRecoveryResult fleet;
@@ -89,7 +92,8 @@ struct ShardedCutRecoveryResult {
 /// committed consistent cut: each shard lands at exactly the manifest's
 /// cut tick, however far past it the shard's own staggered checkpoints
 /// got. Falls back to RecoverSharded (per-shard exactness, no common tick)
-/// when no committed manifest is found or the manifest is torn.
+/// when no committed manifest is found, the manifest is torn, or a shard
+/// can no longer reproduce the cut from its durable sources.
 StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
     const ShardedEngineConfig& config, std::vector<StateTable>* out);
 

@@ -16,8 +16,9 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
       scheduler_(config.ToStaggerConfig()),
       cut_(config.shard.dir, config.num_shards, config.shard.fsync) {}
 
-StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
-    const ShardedEngineConfig& config) {
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
+    const ShardedEngineConfig& config,
+    const std::vector<StateTable>* initial, uint64_t first_tick) {
   if (config.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
@@ -35,12 +36,23 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     // StaggerScheduler, whose TP_CHECK would abort instead of returning.
     return Status::InvalidArgument("disk_budget must be positive");
   }
+  if (initial != nullptr && initial->size() != config.num_shards) {
+    return Status::InvalidArgument(
+        "OpenResumed with " + std::to_string(initial->size()) +
+        " shard tables for a " + std::to_string(config.num_shards) +
+        "-shard fleet");
+  }
   TP_RETURN_NOT_OK(EnsureDirectory(config.shard.dir));
-  // A fresh fleet truncates every shard's logical log, so a cut manifest
-  // left by a previous incarnation points at state this run can no longer
-  // reproduce: retire it before the first tick.
-  TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
+  if (initial == nullptr) {
+    // A fresh fleet truncates every shard's logical log and wipes the
+    // stale checkpoints, so a cut manifest left by a previous incarnation
+    // points at state this run can no longer reproduce: retire it before
+    // the first shard opens. The RESUME path must NOT retire it yet -- see
+    // the ordering note before the second removal below.
+    TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
+  }
   std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
+  sharded->tick_ = first_tick;
   sharded->runners_.reserve(config.num_shards);
   sharded->pending_.resize(config.num_shards);
   // Measured checkpoint completions feed the adaptive stagger; in threaded
@@ -55,12 +67,42 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     EngineConfig shard_config = config.shard;
     shard_config.dir = ShardDir(config.shard.dir, i);
     shard_config.manual_checkpoints = true;
-    TP_ASSIGN_OR_RETURN(auto engine, Engine::Open(shard_config));
+    StatusOr<std::unique_ptr<Engine>> engine_or =
+        initial == nullptr
+            ? Engine::Open(shard_config)
+            : Engine::OpenResumed(shard_config, (*initial)[i], first_tick);
+    TP_ASSIGN_OR_RETURN(auto engine, std::move(engine_or));
     sharded->runners_.push_back(std::make_unique<ShardRunner>(
         i, std::move(engine), config.threaded, config.max_queue_ticks,
         observer));
   }
+  if (initial != nullptr) {
+    // Resume ordering: the pre-crash cut manifest is retired only AFTER
+    // every shard's bootstrap checkpoint is durable. A death anywhere
+    // inside the resume loop above therefore leaves the manifest in
+    // place: when the fleet was resumed from the cut itself (first_tick
+    // == cut_tick + 1, the RecoverShardedToCut workflow), each
+    // already-resumed shard's bootstrap IS a valid image at the cut and
+    // the untouched shards still carry their pre-crash sources, so
+    // RecoverShardedToCut reproduces the fleet-consistent state at the
+    // cut exactly. When the manifest's cut is older than first_tick, the
+    // resumed shards can no longer reproduce it and recovery falls back
+    // to per-shard exactness (see RecoverShardedToCut) -- but the
+    // restore point is never destroyed while it was still reachable.
+    TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
+  }
   return sharded;
+}
+
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const ShardedEngineConfig& config) {
+  return OpenImpl(config, /*initial=*/nullptr, /*first_tick=*/0);
+}
+
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenResumed(
+    const ShardedEngineConfig& config, const std::vector<StateTable>& initial,
+    uint64_t first_tick) {
+  return OpenImpl(config, &initial, first_tick);
 }
 
 ShardedEngine::~ShardedEngine() {

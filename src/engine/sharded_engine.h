@@ -105,6 +105,26 @@ class ShardedEngine {
   static StatusOr<std::unique_ptr<ShardedEngine>> Open(
       const ShardedEngineConfig& config);
 
+  /// Fleet restart: re-opens every shard from recovered state -- the
+  /// output of RecoverSharded or RecoverShardedToCut, one table per shard
+  /// in shard order -- and resumes the fleet tick counter at `first_tick`
+  /// (crash recovery: the crash fleet's recovered_ticks; cut recovery:
+  /// cut_tick + 1). Each shard runs Engine::OpenResumed, so per shard a
+  /// synchronous bootstrap checkpoint is written, numbered above every
+  /// stale pre-crash image, before the new logical log starts: a crash at
+  /// ANY later point -- including before the fleet's first resumed tick --
+  /// recovers to at least `first_tick`. Blocks for K sequential bootstrap
+  /// writes; this is fleet restart downtime, not gameplay latency. The
+  /// previous incarnation's cut manifest (if any) is retired only AFTER
+  /// every shard's bootstrap is durable, so a death mid-resume never
+  /// destroys a cut restore point while it is still reachable: resuming
+  /// from the cut itself (first_tick == cut_tick + 1) keeps the fleet
+  /// recoverable to exactly the cut throughout the resume, and an older
+  /// cut degrades to the per-shard fallback inside RecoverShardedToCut.
+  static StatusOr<std::unique_ptr<ShardedEngine>> OpenResumed(
+      const ShardedEngineConfig& config,
+      const std::vector<StateTable>& initial, uint64_t first_tick);
+
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -193,6 +213,13 @@ class ShardedEngine {
 
  private:
   explicit ShardedEngine(const ShardedEngineConfig& config);
+
+  /// Shared Open/OpenResumed body: `initial` == nullptr opens fresh
+  /// engines at tick 0; otherwise every shard resumes from its table at
+  /// `first_tick`.
+  static StatusOr<std::unique_ptr<ShardedEngine>> OpenImpl(
+      const ShardedEngineConfig& config,
+      const std::vector<StateTable>* initial, uint64_t first_tick);
 
   /// First sticky error across runners (polled without blocking).
   Status PollShardError();

@@ -1,0 +1,272 @@
+#include "game/shard_adapter.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/random.h"
+
+namespace tickpoint {
+namespace game {
+
+/// Captures one zone's attribute writes during a world tick: the cell
+/// deltas mailed to the zone's shard, plus the kill events feeding the
+/// cross-zone tally. One sink per zone, so parallel zone stepping shares
+/// no mutable state.
+struct GameShardAdapter::ZoneSink : public UpdateSink {
+  const UnitTable* units = nullptr;
+  std::vector<CellUpdate> updates;
+  uint64_t kills[2] = {0, 0};
+
+  void BeginWorldTick() {
+    updates.clear();
+    kills[0] = kills[1] = 0;
+  }
+
+  void OnUpdate(UnitId unit, uint32_t attr, int32_t value) override {
+    updates.push_back(
+        CellUpdate{static_cast<uint32_t>(unit * kNumAttributes + attr),
+                   value});
+    // kAttrKills only ever increments by one, so each write is one kill
+    // event; the team lookup is why the sink holds the unit table.
+    if (attr == kAttrKills) ++kills[units->team(unit) == 0 ? 0 : 1];
+  }
+};
+
+GameShardAdapter::GameShardAdapter(const GameShardAdapterConfig& config)
+    : config_(config) {}
+
+GameShardAdapter::~GameShardAdapter() = default;
+
+StateLayout GameShardAdapter::ZoneLayout(const WorldConfig& zone_world) {
+  return StateLayout{.rows = zone_world.num_units,
+                     .cols = kNumAttributes,
+                     .cell_size = 4,
+                     .object_size = 512};
+}
+
+uint64_t GameShardAdapter::ZoneSeed(uint64_t fleet_seed, uint32_t zone) {
+  // SplitMix64 of (seed, zone): decorrelates the zone battles while
+  // keeping every zone a pure function of the explicit fleet seed.
+  uint64_t state =
+      fleet_seed ^ (0x632be59bd9b4e019ULL * (static_cast<uint64_t>(zone) + 1));
+  return SplitMix64(&state);
+}
+
+void GameShardAdapter::SpawnZones() {
+  const uint32_t zones = config_.engine.num_shards;
+  zones_.reserve(zones);
+  sinks_.reserve(zones);
+  for (uint32_t z = 0; z < zones; ++z) {
+    WorldConfig zone_config = config_.zone_world;
+    zone_config.seed = ZoneSeed(config_.zone_world.seed, z);
+    zones_.push_back(std::make_unique<World>(zone_config));
+    auto sink = std::make_unique<ZoneSink>();
+    sink->units = &zones_.back()->units();
+    sinks_.push_back(std::move(sink));
+  }
+}
+
+StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::Open(
+    const GameShardAdapterConfig& config) {
+  if (config.zone_world.num_units < 16) {
+    return Status::InvalidArgument(
+        "zone_world.num_units must be at least 16 per zone");
+  }
+  GameShardAdapterConfig resolved = config;
+  resolved.engine.shard.layout = ZoneLayout(config.zone_world);
+  std::unique_ptr<GameShardAdapter> adapter(new GameShardAdapter(resolved));
+  TP_ASSIGN_OR_RETURN(adapter->engine_, ShardedEngine::Open(resolved.engine));
+  adapter->SpawnZones();
+  return adapter;
+}
+
+Status GameShardAdapter::BulkLoadTick() {
+  // A fresh engine starts zeroed; the spawned worlds do not. Feed the
+  // entire initial state through the update path so the first checkpoint
+  // and the logical log can reproduce it (the durability contract treats
+  // tick 0 like any other tick).
+  if (engine_ == nullptr) return Status::OK();
+  engine_->BeginTick();
+  for (uint32_t z = 0; z < num_zones(); ++z) {
+    const UnitTable& units = zones_[z]->units();
+    for (UnitId u = 0; u < units.num_units(); ++u) {
+      for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
+        engine_->ApplyUpdate(z, u * kNumAttributes + attr,
+                             units.Get(u, attr));
+      }
+    }
+  }
+  return engine_->EndTick();
+}
+
+void GameShardAdapter::StepWorldTick() {
+  for (uint32_t z = 0; z < num_zones(); ++z) {
+    sinks_[z]->BeginWorldTick();
+    zones_[z]->set_sink(sinks_[z].get());
+  }
+  // Cross-zone resolution happens BEFORE the zones fork: last tick's
+  // fleet-wide kill tally is already final, the writes land through the
+  // instrumented tables (so they flow into this tick's shard batches), and
+  // parallel stepping stays bit-identical to sequential.
+  if (config_.cross_zone && last_tick_kills_[0] != last_tick_kills_[1]) {
+    const int32_t trailing =
+        last_tick_kills_[0] < last_tick_kills_[1] ? 0 : 1;
+    for (uint32_t z = 0; z < num_zones(); ++z) {
+      World& world = *zones_[z];
+      uint32_t heralds = 0;
+      for (UnitId u : world.active_units()) {
+        if (heralds >= kCrossZoneHeralds) break;
+        if (world.units().team(u) != trailing ||
+            world.units().health(u) <= 0) {
+          continue;
+        }
+        const int32_t morale = world.units().Get(u, kAttrMorale);
+        if (morale > 0) world.units().Set(u, kAttrMorale, morale - 1);
+        ++heralds;
+      }
+    }
+  }
+  if (config_.parallel_step && zones_.size() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(zones_.size() - 1);
+    for (uint32_t z = 1; z < num_zones(); ++z) {
+      workers.emplace_back([world = zones_[z].get()] { world->Tick(); });
+    }
+    zones_[0]->Tick();
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (uint32_t z = 0; z < num_zones(); ++z) zones_[z]->Tick();
+  }
+  last_tick_kills_[0] = last_tick_kills_[1] = 0;
+  for (uint32_t z = 0; z < num_zones(); ++z) {
+    zones_[z]->set_sink(nullptr);
+    last_tick_kills_[0] += sinks_[z]->kills[0];
+    last_tick_kills_[1] += sinks_[z]->kills[1];
+  }
+}
+
+Status GameShardAdapter::SubmitTickToEngine() {
+  if (engine_ == nullptr) return Status::OK();
+  engine_->BeginTick();
+  for (uint32_t z = 0; z < num_zones(); ++z) {
+    for (const CellUpdate& update : sinks_[z]->updates) {
+      engine_->ApplyUpdate(z, update.cell, update.value);
+    }
+    game_updates_ += sinks_[z]->updates.size();
+  }
+  return engine_->EndTick();
+}
+
+Status GameShardAdapter::Tick() {
+  if (engine_ticks_ == 0) {
+    TP_RETURN_NOT_OK(BulkLoadTick());
+    ++engine_ticks_;
+    return Status::OK();
+  }
+  StepWorldTick();
+  TP_RETURN_NOT_OK(SubmitTickToEngine());
+  ++engine_ticks_;
+  return Status::OK();
+}
+
+Status GameShardAdapter::RunTicks(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    TP_RETURN_NOT_OK(Tick());
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<uint64_t>> GameShardAdapter::GoldenZoneDigests(
+    const GameShardAdapterConfig& config, uint64_t world_ticks) {
+  GameShardAdapter golden(config);  // no engine: pure world replay
+  golden.SpawnZones();
+  std::vector<std::vector<uint64_t>> digests;
+  digests.reserve(world_ticks + 1);
+  const auto snapshot = [&golden, &digests] {
+    std::vector<uint64_t> row;
+    row.reserve(golden.num_zones());
+    for (uint32_t z = 0; z < golden.num_zones(); ++z) {
+      row.push_back(golden.ZoneDigest(z));
+    }
+    digests.push_back(std::move(row));
+  };
+  snapshot();
+  for (uint64_t t = 0; t < world_ticks; ++t) {
+    golden.StepWorldTick();
+    snapshot();
+  }
+  return digests;
+}
+
+uint64_t TableStateDigest(const StateTable& table, uint32_t num_units) {
+  TP_CHECK(static_cast<uint64_t>(num_units) * kNumAttributes <=
+           table.layout().num_cells());
+  uint64_t digest = 0;
+  int32_t attrs[kNumAttributes];
+  for (UnitId u = 0; u < num_units; ++u) {
+    for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
+      attrs[attr] = table.ReadCell(static_cast<uint64_t>(u) * kNumAttributes +
+                                   attr);
+    }
+    digest += HashUnitState(u, attrs);
+  }
+  return digest;
+}
+
+StatusOr<GameFleetBenchResult> MeasureGameFleet(
+    const GameShardAdapterConfig& config, uint64_t engine_ticks,
+    double tick_hz) {
+  using Clock = std::chrono::steady_clock;
+  TP_ASSIGN_OR_RETURN(auto adapter, GameShardAdapter::Open(config));
+  GameFleetBenchResult result;
+  const auto start = Clock::now();
+  const std::chrono::duration<double> tick_period(
+      tick_hz > 0 ? 1.0 / tick_hz : 0.0);
+  double tick_sum = 0.0;
+  uint64_t measured = 0;
+  for (uint64_t tick = 0; tick < engine_ticks; ++tick) {
+    const auto tick_start = Clock::now();
+    TP_RETURN_NOT_OK(adapter->Tick());
+    const double tick_seconds =
+        std::chrono::duration<double>(Clock::now() - tick_start).count();
+    if (tick >= 1) {
+      // The bulk-load tick is restart cost, not gameplay: exclude it from
+      // the steady-state tick timing the same way CheckpointStats skips
+      // each shard's cold first checkpoint.
+      tick_sum += tick_seconds;
+      ++measured;
+      if (tick_seconds > result.max_tick_seconds) {
+        result.max_tick_seconds = tick_seconds;
+      }
+    }
+    if (tick_hz > 0) {
+      std::this_thread::sleep_until(start + (tick + 1) * tick_period);
+    }
+  }
+  if (measured > 0) {
+    result.avg_tick_seconds = tick_sum / static_cast<double>(measured);
+  }
+  result.updates = adapter->game_updates();
+  TP_RETURN_NOT_OK(adapter->engine()->SimulateCrash());
+  result.checkpoints = adapter->engine()->CheckpointStats(/*skip_first=*/true);
+
+  const auto recovery_start = Clock::now();
+  std::vector<StateTable> recovered;
+  auto recovery_or = RecoverSharded(adapter->config().engine, &recovered);
+  if (!recovery_or.ok()) return recovery_or.status();
+  result.recovery_seconds =
+      std::chrono::duration<double>(Clock::now() - recovery_start).count();
+  result.recovered_ticks = recovery_or->min_recovered_ticks;
+  result.digests_match = recovery_or->min_recovered_ticks == engine_ticks;
+  for (uint32_t z = 0; z < adapter->num_zones(); ++z) {
+    result.digests_match =
+        result.digests_match &&
+        TableStateDigest(recovered[z], config.zone_world.num_units) ==
+            adapter->ZoneDigest(z);
+  }
+  return result;
+}
+
+}  // namespace game
+}  // namespace tickpoint

@@ -1,0 +1,186 @@
+// GameShardAdapter: the bridge that finally runs the paper's ACTUAL
+// workload -- the Knights-and-Archers game -- on the sharded checkpoint
+// fleet (ROADMAP: "Wire the game workload through ShardedEngine").
+//
+// The world is partitioned spatially into K zones, the way an MMO shards
+// its map: each zone is its own battle arena (own map, own disjoint unit
+// population, own deterministic simulation loop) realized as one
+// game::World per shard. The adapter steps the K zone worlds each tick
+// (optionally in parallel, one thread per zone -- the zone-server pacing
+// the fleet was built for), captures every attribute write through a
+// per-zone UpdateSink, and mails each zone's delta to its shard through
+// the ShardedEngine facade: one fleet tick per world tick, cell = local
+// unit * 13 + attribute. The per-shard engines then tick, log, and
+// checkpoint on their own mutator/writer threads exactly as they do for
+// synthetic workloads.
+//
+// Cross-zone interactions are resolved at tick boundaries, never mid-tick:
+// after all zones finish world tick t, the adapter tallies each team's
+// kill events across the whole fleet; at the start of tick t+1 "war news"
+// reaches every zone and the trailing team's foremost active units lose
+// one morale. The writes go through the instrumented UnitTable, so
+// cross-zone traffic flows into the shard batches and logical logs like
+// any other game update -- and must survive recovery like any other.
+//
+// Tick mapping (the contract every conformance test leans on):
+//   engine tick 0      = bulk load of the spawned worlds (the initial
+//                        state enters the engines as updates, since a
+//                        fresh engine starts zeroed)
+//   engine tick e >= 1 = world tick e of every zone
+// so after a crash with recovered_ticks = R, each recovered partition must
+// digest-equal the golden (uncrashed) run's zone after R - 1 world ticks.
+//
+// Determinism: zone worlds are seeded from the fleet seed by ZoneSeed and
+// never from wall-clock; parallel and sequential stepping produce
+// bit-identical worlds (zones share no mutable state and cross-zone
+// effects are applied before the zones fork); the engines are passive
+// observers of the deltas. World::StateDigest() therefore turns recovery
+// correctness into an exact 64-bit equality check.
+#ifndef TICKPOINT_GAME_SHARD_ADAPTER_H_
+#define TICKPOINT_GAME_SHARD_ADAPTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/recovery.h"
+#include "engine/sharded_engine.h"
+#include "engine/state_table.h"
+#include "game/world.h"
+
+namespace tickpoint {
+namespace game {
+
+/// Adapter construction parameters.
+struct GameShardAdapterConfig {
+  /// Per-ZONE world template: num_units is the population of ONE zone, and
+  /// `seed` is the FLEET seed (zone z actually runs with
+  /// ZoneSeed(seed, z)).
+  WorldConfig zone_world;
+  /// The fleet: engine.num_shards is K, the number of zones.
+  /// engine.shard.layout is overwritten with ZoneLayout(zone_world).
+  ShardedEngineConfig engine;
+  /// Step the K zone worlds on one thread per zone (fork-join per tick).
+  /// false = step sequentially on the caller's thread; both orders are
+  /// bit-identical (asserted by the conformance suite).
+  bool parallel_step = true;
+  /// Resolve cross-zone "war news" morale effects at tick boundaries.
+  bool cross_zone = true;
+};
+
+/// How many units per zone receive the cross-zone morale effect per tick.
+constexpr uint32_t kCrossZoneHeralds = 8;
+
+/// The K-zone game world driving a sharded checkpoint fleet.
+class GameShardAdapter {
+ public:
+  /// Opens the fleet (ShardedEngine::Open) and spawns the K zone worlds.
+  static StatusOr<std::unique_ptr<GameShardAdapter>> Open(
+      const GameShardAdapterConfig& config);
+
+  ~GameShardAdapter();
+
+  GameShardAdapter(const GameShardAdapter&) = delete;
+  GameShardAdapter& operator=(const GameShardAdapter&) = delete;
+
+  /// Runs one fleet tick (see the tick mapping in the header comment).
+  Status Tick();
+
+  /// Runs `n` fleet ticks.
+  Status RunTicks(uint64_t n);
+
+  /// Fleet ticks driven so far (== the engine's current_tick()).
+  uint64_t engine_ticks() const { return engine_ticks_; }
+  /// World ticks each zone has run (engine_ticks - 1 after the bulk load).
+  uint64_t world_ticks() const {
+    return engine_ticks_ == 0 ? 0 : engine_ticks_ - 1;
+  }
+
+  uint32_t num_zones() const { return static_cast<uint32_t>(zones_.size()); }
+  const World& zone(uint32_t z) const { return *zones_[z]; }
+  /// Digest of zone z's live entity state (the recovery oracle).
+  uint64_t ZoneDigest(uint32_t z) const { return zones_[z]->StateDigest(); }
+
+  /// The underlying fleet. Null only inside GoldenZoneDigests replays.
+  ShardedEngine* engine() { return engine_.get(); }
+
+  /// Game updates mailed to the engines so far (bulk load excluded).
+  uint64_t game_updates() const { return game_updates_; }
+
+  /// The resolved configuration (engine.shard.layout filled in): what
+  /// recovery of this fleet's directory must be run with.
+  const GameShardAdapterConfig& config() const { return config_; }
+
+  /// The per-shard state layout of one zone (num_units x 13 attributes).
+  static StateLayout ZoneLayout(const WorldConfig& zone_world);
+
+  /// Deterministic per-zone seed derived from the fleet seed. Zone 0 of a
+  /// K=1 fleet therefore plays a DIFFERENT battle than a bare
+  /// World(zone_world) -- the fleet namespace is its own world.
+  static uint64_t ZoneSeed(uint64_t fleet_seed, uint32_t zone);
+
+  /// Golden-run oracle: replays the K zone worlds (no engine, no disk)
+  /// and returns digests[t][z] = zone z's StateDigest after t world
+  /// ticks, for t in [0, world_ticks]. Index with recovered_ticks - 1:
+  /// a fleet recovered to R engine ticks must match digests[R - 1].
+  static std::vector<std::vector<uint64_t>> GoldenZoneDigests(
+      const GameShardAdapterConfig& config, uint64_t world_ticks);
+
+ private:
+  struct ZoneSink;
+
+  explicit GameShardAdapter(const GameShardAdapterConfig& config);
+
+  /// Builds the zone worlds (shared by Open and GoldenZoneDigests).
+  void SpawnZones();
+  /// Engine tick 0: every cell of every zone enters its shard as an update.
+  Status BulkLoadTick();
+  /// Applies the previous tick's cross-zone result, then runs world tick
+  /// t on every zone (parallel or sequential), filling the zone sinks.
+  void StepWorldTick();
+  /// Mails each zone's captured delta to its shard as one fleet tick.
+  Status SubmitTickToEngine();
+
+  GameShardAdapterConfig config_;
+  std::vector<std::unique_ptr<World>> zones_;
+  std::vector<std::unique_ptr<ZoneSink>> sinks_;
+  std::unique_ptr<ShardedEngine> engine_;  // null in golden replays
+  uint64_t engine_ticks_ = 0;
+  uint64_t game_updates_ = 0;
+  /// Fleet-wide kill events per team during the previous world tick.
+  uint64_t last_tick_kills_[2] = {0, 0};
+};
+
+/// Digest of a recovered shard partition, computed cell-by-cell with the
+/// same per-unit hash as UnitTable::StateDigest: equality against
+/// ZoneDigest/GoldenZoneDigests proves exact recovery of that zone.
+uint64_t TableStateDigest(const StateTable& table, uint32_t num_units);
+
+/// One row of the game-workload fleet benchmark (the Table 5 analogue per
+/// shard count): run the game on a K-shard fleet, crash it, recover.
+struct GameFleetBenchResult {
+  /// Steady-state checkpoint timing (each shard's cold bootstrap skipped).
+  ShardedCheckpointStats checkpoints;
+  /// Per-fleet-tick wall time over the world ticks (bulk load excluded).
+  double avg_tick_seconds = 0.0;
+  double max_tick_seconds = 0.0;
+  /// Game updates mailed to the engines (bulk load excluded).
+  uint64_t updates = 0;
+  /// Timed RecoverSharded after the end-of-run SimulateCrash.
+  double recovery_seconds = 0.0;
+  uint64_t recovered_ticks = 0;
+  /// Every recovered partition digest-matched its live zone world.
+  bool digests_match = false;
+};
+
+/// Runs the game workload on a fleet for `engine_ticks` fleet ticks (paced
+/// to `tick_hz` when > 0), crashes it, and times the recovery. Shared by
+/// bench_table5_game_trace and bench_sharded_engine.
+StatusOr<GameFleetBenchResult> MeasureGameFleet(
+    const GameShardAdapterConfig& config, uint64_t engine_ticks,
+    double tick_hz);
+
+}  // namespace game
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_GAME_SHARD_ADAPTER_H_

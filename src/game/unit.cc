@@ -1,5 +1,7 @@
 #include "game/unit.h"
 
+#include "util/random.h"
+
 namespace tickpoint {
 namespace game {
 
@@ -7,6 +9,30 @@ UnitTable::UnitTable(uint32_t num_units)
     : num_units_(num_units),
       values_(static_cast<size_t>(num_units) * kNumAttributes, 0) {
   TP_CHECK(num_units > 0);
+}
+
+uint64_t HashUnitState(UnitId unit, const int32_t* attrs) {
+  // SplitMix64 chain over (unit, attr0..attr12): each value perturbs the
+  // running state, so any single-attribute difference flips the result.
+  // Callers combine the per-unit hashes with wrap-around '+', which is why
+  // this mixer (not the raw values) must already be avalanche-quality:
+  // plain sums would cancel symmetric differences between units.
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(unit) + 1);
+  uint64_t digest = SplitMix64(&state);
+  for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
+    state ^= static_cast<uint64_t>(static_cast<uint32_t>(attrs[attr])) +
+             0x9e3779b97f4a7c15ULL * (attr + 1);
+    digest += SplitMix64(&state);
+  }
+  return digest;
+}
+
+uint64_t UnitTable::StateDigest() const {
+  uint64_t digest = 0;
+  for (UnitId u = 0; u < num_units_; ++u) {
+    digest += HashUnitState(u, &values_[Index(u, 0)]);
+  }
+  return digest;
 }
 
 }  // namespace game

@@ -12,6 +12,13 @@
 namespace tickpoint {
 namespace game {
 
+/// Mixes one unit's id and its 13 attributes into a 64-bit value.
+/// Deterministic across platforms and shared by UnitTable::StateDigest and
+/// the StateTable-side digest in game/shard_adapter.h, so a recovered
+/// checkpoint partition can be compared against a live World without
+/// reconstructing one.
+uint64_t HashUnitState(UnitId unit, const int32_t* attrs);
+
 /// Row-major unit/attribute table with write instrumentation.
 ///
 /// Writes go through Set(), which forwards to the installed UpdateSink
@@ -70,6 +77,13 @@ class UnitTable {
     const int64_t dy = y(a) - y(b);
     return dx * dx + dy * dy;
   }
+
+  /// Order-independent 64-bit digest of the full entity state: the
+  /// wrap-around sum of HashUnitState over every unit. Two tables are
+  /// digest-equal iff every unit's 13 attributes match (modulo hash
+  /// collisions), regardless of the order units are visited in -- the
+  /// recovery oracle for the game workload.
+  uint64_t StateDigest() const;
 
  private:
   size_t Index(UnitId unit, uint32_t attr) const {

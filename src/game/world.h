@@ -32,6 +32,12 @@ struct WorldConfig {
   double rotation_probability = 0.05;
   int32_t map_size = 4096;
   int32_t bucket_shift = 6;  // 64-unit buckets
+  /// RNG seed for spawn jitter and active-set rotation. ALWAYS explicit and
+  /// fixed -- never derived from wall-clock or std::random_device -- so a
+  /// golden (uncrashed) run and a recovery re-execution produce
+  /// bit-identical worlds and StateDigest() is a valid recovery oracle.
+  /// Every construction site (tests, benches, the shard adapter) passes a
+  /// seed rather than relying on this default.
   uint64_t seed = 7;
   /// Spawn disc radius around each team's home base.
   int32_t spawn_radius = 1400;
@@ -56,6 +62,14 @@ class World {
   /// Installs an update sink receiving every attribute write (see
   /// UnitTable::Set).
   void set_sink(UpdateSink* sink) { units_.set_sink(sink); }
+
+  /// Order-independent 64-bit digest of the checkpointable entity state
+  /// (every unit's 13 attributes; see UnitTable::StateDigest). Simulation
+  /// bookkeeping that is NOT part of the durable state table -- the RNG,
+  /// the active set, the tick counter -- is deliberately excluded: the
+  /// digest answers "would a recovered partition equal this world's state
+  /// table", which is exactly what checkpoint recovery guarantees.
+  uint64_t StateDigest() const { return units_.StateDigest(); }
 
   /// The trace-table layout corresponding to this world
   /// (num_units rows x 13 columns).

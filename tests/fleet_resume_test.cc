@@ -1,0 +1,465 @@
+// Fleet-level resume: ShardedEngine::OpenResumed restarts a whole K-shard
+// fleet from RecoverSharded/RecoverShardedToCut output in one call -- the
+// workflow tests previously had to hand-roll per engine. The lifecycle
+// under test: run -> crash -> recover -> fleet resume -> more ticks ->
+// crash again -> recover again, with the final state byte-compared against
+// an uninterrupted reference execution.
+#include "engine/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/mutator.h"
+#include "engine/recovery.h"
+#include "fleet_test_util.h"
+
+namespace tickpoint {
+namespace {
+
+StateLayout ShardLayout() { return StateLayout::Small(512, 10); }  // 40 objects
+
+constexpr uint64_t kUpdatesPerTick = 150;
+
+class FleetResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string name(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    for (auto& c : name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = (std::filesystem::temp_directory_path() / ("tp_resume_" + name))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ShardedEngineConfig Config(AlgorithmKind kind, uint32_t num_shards,
+                             bool threaded = true) {
+    ShardedEngineConfig config;
+    config.shard.layout = ShardLayout();
+    config.shard.algorithm = kind;
+    config.shard.dir = dir_;
+    config.shard.fsync = false;  // simulated crashes: page cache is durable
+    config.shard.full_flush_period = 3;
+    config.num_shards = num_shards;
+    config.checkpoint_period_ticks = 5;
+    config.threaded = threaded;
+    return config;
+  }
+
+  /// Drives `ticks` fleet ticks of the deterministic workload from the
+  /// engine's CURRENT tick (so the same helper serves the original and the
+  /// resumed incarnation), mirroring every update into `reference`.
+  void RunTicks(ShardedEngine* engine, uint64_t ticks,
+                std::vector<StateTable>* reference) {
+    const uint64_t num_cells = ShardLayout().num_cells();
+    if (reference->empty()) {
+      for (uint32_t i = 0; i < engine->num_shards(); ++i) {
+        reference->emplace_back(ShardLayout());
+      }
+    }
+    for (uint64_t t = 0; t < ticks; ++t) {
+      const uint64_t tick = engine->current_tick();
+      engine->BeginTick();
+      for (uint32_t shard = 0; shard < engine->num_shards(); ++shard) {
+        for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
+          const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
+          const int32_t value = WorkloadValue(tick, cell, i);
+          engine->ApplyUpdate(shard, cell, value);
+          (*reference)[shard].WriteCell(cell, value);
+        }
+      }
+      ASSERT_TRUE(engine->EndTick().ok());
+    }
+  }
+
+  std::string dir_;
+};
+
+struct ResumeCase {
+  AlgorithmKind kind;
+  bool threaded;
+};
+
+class FleetResumeRoundTripTest
+    : public FleetResumeTest,
+      public ::testing::WithParamInterface<ResumeCase> {};
+
+TEST_P(FleetResumeRoundTripTest, CrashResumeCrashRecover) {
+  const ResumeCase param = GetParam();
+  const auto config = Config(param.kind, 3, param.threaded);
+  constexpr uint64_t kFirstCrash = 13;
+  constexpr uint64_t kSecondCrash = 27;
+
+  // Phase 1: run from scratch, crash after kFirstCrash + 1 fleet ticks.
+  std::vector<StateTable> reference;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    RunTicks(engine_or.value().get(), kFirstCrash + 1, &reference);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+
+  // Phase 2: whole-fleet recovery, then the one-call fleet resume.
+  std::vector<StateTable> recovered;
+  {
+    auto result = RecoverSharded(config, &recovered);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->min_recovered_ticks, kFirstCrash + 1);
+    ASSERT_EQ(result->max_recovered_ticks, kFirstCrash + 1);
+  }
+  {
+    auto engine_or =
+        ShardedEngine::OpenResumed(config, recovered, kFirstCrash + 1);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    EXPECT_EQ(engine.current_tick(), kFirstCrash + 1);
+    ASSERT_TRUE(engine.WaitForIdle().ok());
+    for (uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(engine.shard(i).current_tick(), kFirstCrash + 1)
+          << "shard " << i;
+      EXPECT_TRUE(engine.shard(i).state().ContentEquals(reference[i]))
+          << "shard " << i;
+    }
+    // Phase 3: continue the same deterministic workload, crash again.
+    RunTicks(&engine, kSecondCrash - kFirstCrash, &reference);
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+
+  // Phase 4: recover again; the fleet must equal the uninterrupted
+  // reference execution through kSecondCrash + 1 ticks.
+  std::vector<StateTable> final_state;
+  auto result = RecoverSharded(config, &final_state);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->min_recovered_ticks, kSecondCrash + 1);
+  EXPECT_EQ(result->max_recovered_ticks, kSecondCrash + 1);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(final_state[i].ContentEquals(reference[i]))
+        << AlgorithmName(param.kind) << " shard " << i
+        << " diverged after the resume";
+  }
+}
+
+std::string ResumeCaseName(const ::testing::TestParamInfo<ResumeCase>& info) {
+  std::string name = std::string(GetTraits(info.param.kind).short_name) +
+                     (info.param.threaded ? "" : "_inline");
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, FleetResumeRoundTripTest,
+    ::testing::ValuesIn(std::vector<ResumeCase>{
+        {AlgorithmKind::kCopyOnUpdate, true},
+        {AlgorithmKind::kCopyOnUpdate, false},
+        {AlgorithmKind::kCopyOnUpdatePartialRedo, true},
+        {AlgorithmKind::kDribble, true},
+        {AlgorithmKind::kNaiveSnapshot, true},
+    }),
+    ResumeCaseName);
+
+TEST_F(FleetResumeTest, CrashImmediatelyAfterResumeRecoversTheBootstrap) {
+  // The fleet twin of ResumeBootstrapOutranksStale*: crash before the
+  // resumed fleet runs a single tick. Each shard's bootstrap checkpoint is
+  // then the ONLY durable source reaching the resume tick -- a shard that
+  // restarted its seq/generation numbering under the stale pre-crash files
+  // would silently rewind.
+  const auto config = Config(AlgorithmKind::kDribble, 2);
+  std::vector<StateTable> reference;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    RunTicks(engine_or.value().get(), 12, &reference);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  std::vector<StateTable> recovered;
+  ASSERT_TRUE(RecoverSharded(config, &recovered).ok());
+  {
+    auto engine_or = ShardedEngine::OpenResumed(config, recovered, 12);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  std::vector<StateTable> after;
+  auto result = RecoverSharded(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->min_recovered_ticks, 12u);
+  EXPECT_EQ(result->max_recovered_ticks, 12u);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+TEST_F(FleetResumeTest, ResumesFromAConsistentCut) {
+  // Cut recovery + fleet resume: restore the whole fleet to the committed
+  // cut tick T (discarding everything after it), resume at T + 1, and
+  // re-run the discarded ticks. Because the workload is deterministic, the
+  // re-run must land exactly on the uninterrupted reference.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
+  std::vector<StateTable> reference;
+  uint64_t cut_tick = 0;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    RunTicks(&engine, 2, &reference);
+    auto cut_or = engine.RequestConsistentCut();
+    ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
+    cut_tick = cut_or.value();
+    RunTicks(&engine, cut_tick + 1 - engine.current_tick(), &reference);
+    ASSERT_TRUE(engine.CommitConsistentCut().ok());
+    RunTicks(&engine, 5, &reference);  // ticks the cut restore discards
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  const uint64_t crash_ticks = cut_tick + 1 + 5;
+
+  std::vector<StateTable> at_cut;
+  {
+    auto result = RecoverShardedToCut(config, &at_cut);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->used_manifest);
+    ASSERT_EQ(result->cut_tick, cut_tick);
+    ASSERT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
+  }
+  // Resume at T + 1 and replay the deterministic ticks the restore
+  // discarded, then a few more.
+  std::vector<StateTable> resumed_reference = SnapshotTables(at_cut);
+  {
+    auto engine_or = ShardedEngine::OpenResumed(config, at_cut, cut_tick + 1);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    EXPECT_EQ(engine.current_tick(), cut_tick + 1);
+    RunTicks(&engine, crash_ticks - (cut_tick + 1) + 3, &resumed_reference);
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  std::vector<StateTable> final_state;
+  auto result = RecoverSharded(config, &final_state);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->min_recovered_ticks, crash_ticks + 3);
+  EXPECT_EQ(result->max_recovered_ticks, crash_ticks + 3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    // The resumed run's own mirror and recovery agree...
+    EXPECT_TRUE(final_state[i].ContentEquals(resumed_reference[i]))
+        << "shard " << i;
+  }
+  // ...and the re-run of the discarded ticks reproduced the original
+  // timeline exactly (reference holds the uninterrupted execution through
+  // crash_ticks; the resumed run replayed those same ticks).
+  // Rebuild the uninterrupted reference at crash_ticks + 3 by extending
+  // the mirror deterministically.
+  std::vector<StateTable> original_at_crash = SnapshotTables(reference);
+  for (uint64_t tick = crash_ticks; tick < crash_ticks + 3; ++tick) {
+    MirrorWorkloadTick(tick, kUpdatesPerTick, &original_at_crash);
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(final_state[i].ContentEquals(original_at_crash[i]))
+        << "shard " << i << " diverged from the uninterrupted timeline";
+  }
+}
+
+TEST_F(FleetResumeTest, ResumedFleetCanCutAgain) {
+  // A resumed fleet is a full citizen: it can arm and commit a NEW
+  // consistent cut, and cut recovery then lands on the new cut, not any
+  // pre-crash state.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  std::vector<StateTable> reference;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    RunTicks(engine_or.value().get(), 8, &reference);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  std::vector<StateTable> recovered;
+  ASSERT_TRUE(RecoverSharded(config, &recovered).ok());
+
+  uint64_t cut_tick = 0;
+  std::vector<StateTable> reference_at_cut;
+  {
+    auto engine_or = ShardedEngine::OpenResumed(config, recovered, 8);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    auto cut_or = engine.RequestConsistentCut();
+    ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
+    cut_tick = cut_or.value();
+    EXPECT_GE(cut_tick, 8u);
+    RunTicks(&engine, cut_tick + 1 - engine.current_tick(), &reference);
+    reference_at_cut = SnapshotTables(reference);
+    ASSERT_TRUE(engine.CommitConsistentCut().ok());
+    RunTicks(&engine, 4, &reference);
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  std::vector<StateTable> at_cut;
+  auto result = RecoverShardedToCut(config, &at_cut);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->used_manifest);
+  EXPECT_EQ(result->cut_tick, cut_tick);
+  EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(at_cut[i].ContentEquals(reference_at_cut[i]))
+        << "shard " << i;
+  }
+}
+
+TEST_F(FleetResumeTest, OpenResumedValidatesTheShardCount) {
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
+  std::vector<StateTable> two_tables;
+  two_tables.emplace_back(ShardLayout());
+  two_tables.emplace_back(ShardLayout());
+  auto engine_or = ShardedEngine::OpenResumed(config, two_tables, 5);
+  EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetResumeTest, CrashMidResumePreservesTheCutRestorePoint) {
+  // The mid-resume death window: OpenResumed retires the cut manifest
+  // only after EVERY shard's bootstrap is durable. Forge a death between
+  // shard 0's bootstrap and shard 1's (resume shard 0 by hand, leave
+  // shard 1 and the manifest untouched): because the fleet was being
+  // resumed from the cut itself, shard 0's bootstrap IS a valid image at
+  // the cut, and RecoverShardedToCut must still reproduce the
+  // fleet-consistent state at the cut exactly. Pre-fix, the manifest was
+  // removed before any bootstrap, so this window silently downgraded the
+  // fleet to inconsistent per-shard recovery.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  std::vector<StateTable> reference;
+  uint64_t cut_tick = 0;
+  std::vector<StateTable> reference_at_cut;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    RunTicks(&engine, 1, &reference);
+    auto cut_or = engine.RequestConsistentCut();
+    ASSERT_TRUE(cut_or.ok());
+    cut_tick = cut_or.value();
+    RunTicks(&engine, cut_tick + 1 - engine.current_tick(), &reference);
+    reference_at_cut = SnapshotTables(reference);
+    ASSERT_TRUE(engine.CommitConsistentCut().ok());
+    RunTicks(&engine, 4, &reference);
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  std::vector<StateTable> at_cut;
+  {
+    auto result = RecoverShardedToCut(config, &at_cut);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->used_manifest);
+  }
+  {
+    // Drive the REAL OpenResumed into a mid-loop abort: shard 0's table is
+    // correct (its bootstrap gets written), shard 1's has the wrong layout
+    // (its Engine::OpenResumed fails), so OpenImpl dies between the two
+    // bootstraps -- the same on-disk state a process death there leaves.
+    std::vector<StateTable> doctored;
+    doctored.push_back(std::move(at_cut[0]));  // at_cut is not used again
+    doctored.emplace_back(StateLayout::Small(256, 10));  // wrong layout
+    auto engine_or =
+        ShardedEngine::OpenResumed(config, doctored, cut_tick + 1);
+    ASSERT_FALSE(engine_or.ok());
+    EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::vector<StateTable> recovered;
+  auto result = RecoverShardedToCut(config, &recovered);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->used_manifest)
+      << "the cut restore point was destroyed mid-resume";
+  EXPECT_EQ(result->cut_tick, cut_tick);
+  EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
+  EXPECT_EQ(result->fleet.max_recovered_ticks, cut_tick + 1);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(recovered[i].ContentEquals(reference_at_cut[i]))
+        << "shard " << i;
+  }
+}
+
+TEST_F(FleetResumeTest, MidResumeCrashWithOlderCutFallsBackPerShard) {
+  // The other mid-resume window: the fleet is resumed from a PLAIN crash
+  // recovery (first_tick past the committed cut), so an already-resumed
+  // shard's truncated log can no longer reproduce the older cut. The
+  // still-present manifest must degrade to the per-shard exact fallback
+  // -- not half-apply, and not surface Corruption.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  std::vector<StateTable> reference;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    RunTicks(&engine, 1, &reference);
+    auto cut_or = engine.RequestConsistentCut();
+    ASSERT_TRUE(cut_or.ok());
+    RunTicks(&engine, cut_or.value() + 1 - engine.current_tick(), &reference);
+    ASSERT_TRUE(engine.CommitConsistentCut().ok());
+    RunTicks(&engine, 5, &reference);  // well past the cut
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  std::vector<StateTable> recovered;
+  auto crash_result = RecoverSharded(config, &recovered);
+  ASSERT_TRUE(crash_result.ok());
+  const uint64_t resume_tick = crash_result->min_recovered_ticks;
+  {
+    // Shard 0 resumes at the crash tick (not the cut), then death before
+    // shard 1 starts.
+    EngineConfig shard0 = config.shard;
+    shard0.dir = ShardedEngine::ShardDir(config.shard.dir, 0);
+    shard0.manual_checkpoints = true;
+    auto engine_or = Engine::OpenResumed(shard0, recovered[0], resume_tick);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  std::vector<StateTable> after;
+  auto result = RecoverShardedToCut(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->used_manifest);
+  EXPECT_EQ(result->fleet.min_recovered_ticks, resume_tick);
+  EXPECT_EQ(result->fleet.max_recovered_ticks, resume_tick);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+TEST_F(FleetResumeTest, ResumeRetiresThePreCrashCutManifest) {
+  // A cut committed BEFORE the crash must not survive the resume: the
+  // resumed incarnation truncates the logical logs that cut depended on,
+  // so RecoverShardedToCut after a post-resume crash must fall back to
+  // per-shard exactness instead of half-applying the stale manifest.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  std::vector<StateTable> reference;
+  {
+    auto engine_or = ShardedEngine::Open(config);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ShardedEngine& engine = *engine_or.value();
+    RunTicks(&engine, 1, &reference);
+    auto cut_or = engine.RequestConsistentCut();
+    ASSERT_TRUE(cut_or.ok());
+    RunTicks(&engine, cut_or.value() + 1 - engine.current_tick(), &reference);
+    ASSERT_TRUE(engine.CommitConsistentCut().ok());
+    RunTicks(&engine, 3, &reference);
+    ASSERT_TRUE(engine.SimulateCrash().ok());
+  }
+  std::vector<StateTable> recovered;
+  auto crash_result = RecoverSharded(config, &recovered);
+  ASSERT_TRUE(crash_result.ok());
+  const uint64_t resume_tick = crash_result->min_recovered_ticks;
+  {
+    auto engine_or =
+        ShardedEngine::OpenResumed(config, recovered, resume_tick);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    RunTicks(engine_or.value().get(), 2, &reference);
+    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  }
+  std::vector<StateTable> after;
+  auto result = RecoverShardedToCut(config, &after);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->used_manifest)
+      << "recovery honored a cut manifest from before the resume";
+  EXPECT_EQ(result->fleet.min_recovered_ticks, resume_tick + 2);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tickpoint

@@ -10,7 +10,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <random>
@@ -24,6 +23,7 @@
 #include "engine/mutator.h"
 #include "engine/recovery.h"
 #include "engine/stagger_scheduler.h"
+#include "fleet_test_util.h"
 
 namespace tickpoint {
 namespace {
@@ -673,18 +673,6 @@ INSTANTIATE_TEST_SUITE_P(FleetCrashPoints, ShardedCrashRecoveryTest,
                          ShardedCrashCaseName);
 
 // ---- The fleet-wide consistent cut ----
-
-/// Deep-copies a fleet of reference tables (StateTable is move-only).
-std::vector<StateTable> SnapshotTables(const std::vector<StateTable>& from) {
-  std::vector<StateTable> snapshot;
-  snapshot.reserve(from.size());
-  for (const StateTable& table : from) {
-    snapshot.emplace_back(table.layout());
-    std::memcpy(snapshot.back().mutable_data(), table.data(),
-                table.buffer_bytes());
-  }
-  return snapshot;
-}
 
 struct CutCrashCase {
   AlgorithmKind kind;
