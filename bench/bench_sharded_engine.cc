@@ -13,11 +13,13 @@
 //                synchronized vs fixed-staggered starts
 //   adaptive  -- threaded + the measured-write-time stagger planner, which
 //                keeps concurrent flushes within --budget
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "engine/fleet.h"
 #include "engine/mutator.h"
 #include "engine/sharded_engine.h"
 #include "game/shard_adapter.h"
@@ -127,6 +129,122 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
   TP_RETURN_NOT_OK(engine->Shutdown());
   result.stats = engine->CheckpointStats(/*skip_first=*/true);
   result.deferrals = engine->scheduler().deferrals();
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+/// One zone-migration run on the Fleet API: workload to the halfway tick,
+/// consistent cut, MigratePartition(0 -> K) at the committed cut, workload
+/// to the end, clean shutdown, then a timed no-config Fleet::Open round
+/// trip (recover + resume) of the migrated topology.
+struct MigrationRunResult {
+  ConsistentCutReport cut;
+  MigrationReport move;
+  /// Fleet::Open on the migrated root: recovery + per-shard bootstrap.
+  double reopen_seconds = 0.0;
+  /// Steady-state checkpoint stats before the move (skip_first applied)
+  /// and for the post-move remainder of the run.
+  ShardedCheckpointStats pre;
+  ShardedCheckpointStats post;
+};
+
+StatusOr<MigrationRunResult> RunMigrationFleet(const std::string& dir,
+                                               const RunParams& params,
+                                               uint32_t num_shards) {
+  std::filesystem::remove_all(dir);
+  ShardedEngineConfig config;
+  config.shard.layout = params.layout;
+  config.shard.algorithm = params.algorithm;
+  config.shard.fsync = params.fsync;
+  config.num_shards = num_shards;
+  config.checkpoint_period_ticks = params.period_ticks;
+  config.disk_budget = params.disk_budget;
+  TP_ASSIGN_OR_RETURN(auto fleet, Fleet::Create(dir, config));
+
+  const uint64_t num_cells = params.layout.num_cells();
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> tick_period(
+      params.tick_hz > 0 ? 1.0 / params.tick_hz : 0.0);
+  MigrationRunResult result;
+  const uint64_t request_cut_at = params.ticks / 2;
+  uint64_t cut_tick = 0;
+  bool cut_armed = false;
+  for (uint64_t tick = 0; tick < params.ticks; ++tick) {
+    if (!cut_armed && tick == request_cut_at) {
+      TP_ASSIGN_OR_RETURN(cut_tick, fleet->RequestConsistentCut());
+      cut_armed = true;
+    }
+    fleet->BeginTick();
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      for (uint64_t i = 0; i < params.updates_per_tick; ++i) {
+        const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
+        fleet->ApplyUpdate(shard, cell,
+                           static_cast<int32_t>(tick * 131 + i));
+      }
+    }
+    TP_RETURN_NOT_OK(fleet->EndTick());
+    if (cut_armed && tick == cut_tick) {
+      // The hand-off: commit the cut and move partition 0 to the fresh
+      // slot K, all before the next tick runs.
+      TP_RETURN_NOT_OK(fleet->CommitConsistentCut());
+      result.cut = fleet->engine().last_cut_report();
+      TP_RETURN_NOT_OK(fleet->MigratePartition(0, num_shards));
+      result.move = fleet->last_migration_report();
+    }
+    if (params.tick_hz > 0) {
+      std::this_thread::sleep_until(start + (tick + 1) * tick_period);
+    }
+  }
+  TP_RETURN_NOT_OK(fleet->Shutdown());
+  // Steady-state write times on either side of the epoch boundary, split
+  // by checkpoint start tick. Each original shard's cold first record and
+  // the synchronous cut records are excluded; the migrated partition's
+  // records all come from its post-move engine (the pre-move ones died
+  // with the source engine, which is fine -- its post side is the
+  // interesting one).
+  double pre_sum = 0.0;
+  double post_sum = 0.0;
+  for (uint32_t p = 0; p < num_shards; ++p) {
+    const auto& records =
+        fleet->engine().shard(p).metrics().checkpoints;
+    for (size_t r = 0; r < records.size(); ++r) {
+      const EngineCheckpointRecord& record = records[r];
+      if (record.cut || (r == 0 && record.all_objects)) continue;
+      const double total = record.TotalSeconds();
+      if (record.start_tick <= cut_tick) {
+        ++result.pre.checkpoints;
+        pre_sum += total;
+        result.pre.max_total_seconds =
+            std::max(result.pre.max_total_seconds, total);
+      } else {
+        ++result.post.checkpoints;
+        post_sum += total;
+        result.post.max_total_seconds =
+            std::max(result.post.max_total_seconds, total);
+      }
+    }
+  }
+  if (result.pre.checkpoints > 0) {
+    result.pre.avg_total_seconds =
+        pre_sum / static_cast<double>(result.pre.checkpoints);
+  }
+  if (result.post.checkpoints > 0) {
+    result.post.avg_total_seconds =
+        post_sum / static_cast<double>(result.post.checkpoints);
+  }
+  fleet.reset();
+
+  // The no-config reopen: recovery + per-shard bootstrap from the
+  // manifest alone, landing on the migrated topology.
+  const auto reopen_start = std::chrono::steady_clock::now();
+  auto reopened_or = Fleet::Open(dir);
+  if (!reopened_or.ok()) return reopened_or.status();
+  auto reopened = std::move(reopened_or).value();
+  result.reopen_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    reopen_start)
+          .count();
+  TP_RETURN_NOT_OK(reopened->Shutdown());
   std::filesystem::remove_all(dir);
   return result;
 }
@@ -291,6 +409,44 @@ int main(int argc, char** argv) {
       "write blocking); expect the max stall to stay within a handful of "
       "tick periods of the staggered baseline's worst tick, and commit "
       "latency ~ cut lead + slowest shard's write\n");
+
+  // ---- Zone migration at a committed cut (the rebalance cost row) ----
+  //
+  // Partition 0 moves to the fresh shard slot K at the halfway cut:
+  // "commit" is the cut's commit latency, "move" the MigratePartition wall
+  // time (source drain + destination bootstrap + epoch-manifest commit),
+  // and "reopen" a full no-config Fleet::Open (recover + resume) of the
+  // migrated root afterwards. "pre/post write" compare steady-state
+  // checkpoint times on either side of the epoch boundary -- rebalancing
+  // must not degrade the write path.
+  TablePrinter migration_table({"shards", "cut commit", "move", "reopen",
+                                "pre ckpts", "pre write", "post ckpts",
+                                "post write"});
+  for (const uint32_t shards : {2u, 4u}) {
+    auto result_or = RunMigrationFleet(dir, params, shards);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "migration run failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    const MigrationRunResult& row = result_or.value();
+    migration_table.AddRow(
+        {std::to_string(shards), bench::Sec(row.cut.commit_latency_seconds),
+         bench::Sec(row.move.move_seconds), bench::Sec(row.reopen_seconds),
+         std::to_string(row.pre.checkpoints),
+         bench::Sec(row.pre.avg_total_seconds),
+         std::to_string(row.post.checkpoints),
+         bench::Sec(row.post.avg_total_seconds)});
+  }
+  std::printf("\n");
+  bench::Emit(migration_table, ctx.csv());
+  std::printf(
+      "\n# migration: the move is dominated by one synchronous full write "
+      "of the partition into its new shard directory (the destination "
+      "bootstrap); expect it near the solo checkpoint write time, commit "
+      "latency to match the cut table, and post-move checkpoint times to "
+      "stay at the pre-move level (the topology change is metadata, not a "
+      "new write path)\n");
 
   std::printf(
       "\n# reading: synchronized starts make all K writer threads flush at "

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "engine/paths.h"
 #include "util/crc32.h"
 
 namespace tickpoint {
@@ -53,7 +54,7 @@ BackupStore::BackupStore(const StateLayout& layout, bool fsync_enabled)
 
 std::string BackupStore::ImageFileName(int index) {
   TP_CHECK(index == 0 || index == 1);
-  return "backup" + std::to_string(index) + ".img";
+  return paths::BackupImageFileName(index);
 }
 
 StatusOr<std::unique_ptr<BackupStore>> BackupStore::Open(
@@ -161,10 +162,7 @@ LogStore::LogStore(std::string dir, const StateLayout& layout,
 
 bool LogStore::ParseGenerationFileName(const std::string& name,
                                        uint64_t* gen) {
-  if (name.rfind("log-", 0) != 0) return false;
-  if (name.find(".img") == std::string::npos) return false;
-  *gen = std::strtoull(name.c_str() + 4, nullptr, 10);
-  return true;
+  return paths::ParseLogGenerationFileName(name, gen);
 }
 
 StatusOr<std::unique_ptr<LogStore>> LogStore::Open(const std::string& dir,
@@ -187,7 +185,7 @@ StatusOr<std::unique_ptr<LogStore>> LogStore::Open(const std::string& dir,
 }
 
 std::string LogStore::GenPath(uint64_t gen) const {
-  return dir_ + "/log-" + std::to_string(gen) + ".img";
+  return dir_ + "/" + paths::LogGenerationFileName(gen);
 }
 
 Status LogStore::BeginGeneration(uint64_t gen) {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "engine/paths.h"
 #include "util/crc32.h"
 #include "util/io.h"
 
@@ -23,7 +24,7 @@ static_assert(sizeof(ManifestHeader) == 24);
 }  // namespace
 
 std::string CutManifestPath(const std::string& root) {
-  return root + "/cut-manifest.bin";
+  return paths::CutManifestPath(root);
 }
 
 Status WriteCutManifest(const std::string& root, const CutManifest& manifest,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 
+#include "engine/paths.h"
 #include "util/crc32.h"
 
 namespace tickpoint {
@@ -44,7 +45,7 @@ Status RemoveStaleCheckpointFiles(const std::string& dir) {
 }  // namespace
 
 std::string Engine::LogicalLogPath(const std::string& dir) {
-  return dir + "/logical.log";
+  return paths::LogicalLogPath(dir);
 }
 
 Engine::Engine(const EngineConfig& config)

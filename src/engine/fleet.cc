@@ -1,0 +1,93 @@
+#include "engine/fleet.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "engine/paths.h"
+
+namespace tickpoint {
+namespace {
+
+/// True when `root` holds shard directories from a pre-manifest fleet
+/// (created by the deprecated direct ShardedEngine::Open, which wrote no
+/// superblock): data Create must refuse to clobber even though no
+/// manifest announces it.
+bool HasShardDirs(const std::string& root) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    uint32_t slot = 0;
+    if (paths::ParseShardDirName(entry.path().filename().string(), &slot)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Fleet>> RecoveredFleet::Resume() {
+  const ShardedEngineConfig config = ConfigFromManifest(manifest_, root_);
+  TP_ASSIGN_OR_RETURN(
+      auto engine,
+      ShardedEngine::OpenResumed(config, tables_, resume_tick()));
+  return std::unique_ptr<Fleet>(new Fleet(root_, std::move(engine)));
+}
+
+StatusOr<std::unique_ptr<Fleet>> Fleet::Create(
+    const std::string& root, const ShardedEngineConfig& config) {
+  if (!config.shard.dir.empty() && config.shard.dir != root) {
+    return Status::InvalidArgument(
+        "Fleet::Create: config.shard.dir (" + config.shard.dir +
+        ") disagrees with root (" + root + "); leave it empty");
+  }
+  if (!ListFleetManifestEpochs(root).empty()) {
+    return Status::FailedPrecondition(
+        root + " already holds a fleet manifest; Fleet::Create never "
+               "clobbers an existing fleet (use Fleet::Open)");
+  }
+  if (HasShardDirs(root)) {
+    // Shard dirs with NO manifest: a pre-manifest fleet (whose durable
+    // state a "creation" must not truncate) or a Create interrupted
+    // before its manifest commit. Either way refuse -- data safety wins
+    // -- and name the remedies, since Fleet::Open cannot serve this root
+    // (NotFound: no superblock).
+    return Status::FailedPrecondition(
+        root + " holds shard directories but no fleet manifest (a "
+               "pre-manifest fleet, or an interrupted Fleet::Create); "
+               "Fleet::Create never clobbers existing shard data. Resume "
+               "a pre-manifest fleet via the deprecated RecoverSharded + "
+               "ShardedEngine::OpenResumed, or remove the shard-* "
+               "directories to discard them and re-run Create");
+  }
+  ShardedEngineConfig create_config = config;
+  create_config.shard.dir = root;
+  TP_ASSIGN_OR_RETURN(auto engine, ShardedEngine::Open(create_config));
+  return std::unique_ptr<Fleet>(new Fleet(root, std::move(engine)));
+}
+
+StatusOr<std::unique_ptr<Fleet>> Fleet::Open(const std::string& root) {
+  TP_ASSIGN_OR_RETURN(RecoveredFleet recovered, Recover(root));
+  return recovered.Resume();
+}
+
+StatusOr<RecoveredFleet> Fleet::Recover(const std::string& root) {
+  RecoveredFleet recovered;
+  recovered.root_ = root;
+  TP_ASSIGN_OR_RETURN(FleetRecoveryOutcome outcome,
+                      RecoverFleet(root, &recovered.tables_));
+  recovered.manifest_ = std::move(outcome.manifest);
+  recovered.result_ = std::move(outcome.result);
+  return recovered;
+}
+
+StatusOr<RecoveredFleet> Fleet::RecoverToCut(const std::string& root) {
+  RecoveredFleet recovered;
+  recovered.root_ = root;
+  TP_ASSIGN_OR_RETURN(FleetRecoveryOutcome outcome,
+                      RecoverFleetToCut(root, &recovered.tables_));
+  recovered.manifest_ = std::move(outcome.manifest);
+  recovered.result_ = std::move(outcome.result);
+  return recovered;
+}
+
+}  // namespace tickpoint

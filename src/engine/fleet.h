@@ -1,0 +1,150 @@
+// The unified fleet handle: create / open / recover / resume a sharded
+// checkpoint fleet from its ROOT DIRECTORY alone.
+//
+// The paper's recovery model assumes the restarting server knows the
+// crashed server's exact configuration; the pre-manifest API inherited
+// that (RecoverSharded and ShardedEngine::OpenResumed only work when the
+// caller re-supplies a bit-identical ShardedEngineConfig). The Fleet
+// handle retires the assumption: Fleet::Create persists a durable
+// FleetManifest superblock (fleet_manifest.h) next to the data, and
+// Fleet::Open / Fleet::Recover discover topology, layout, algorithm, disk
+// organization, and every knob from it -- the disk tells you.
+//
+// Lifecycle:
+//   Fleet::Create(root, config)  -- a NEW fleet; refuses a root that is
+//                                   already a fleet.
+//   Fleet::Open(root)            -- reopen an existing fleet: recover the
+//                                   newest exact state and resume in one
+//                                   call (Recover + Resume).
+//   Fleet::Recover(root)         -- recovery only: returns a
+//                                   RecoveredFleet holding the manifest,
+//                                   per-partition tables, and recovery
+//                                   stats; .Resume() restarts the fleet.
+//   Fleet::RecoverToCut(root)    -- like Recover, but lands on the
+//                                   committed consistent cut when one is
+//                                   reproducible.
+// The handle forwards the tick/cut API of ShardedEngine and adds
+// MigratePartition -- the zone hand-off at a committed cut that bumps the
+// fleet epoch (see ShardedEngine::MigratePartition for the protocol).
+#ifndef TICKPOINT_ENGINE_FLEET_H_
+#define TICKPOINT_ENGINE_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/fleet_manifest.h"
+#include "engine/recovery.h"
+#include "engine/sharded_engine.h"
+#include "engine/state_table.h"
+
+namespace tickpoint {
+
+class Fleet;
+
+/// The output of Fleet::Recover/RecoverToCut: everything read back from
+/// disk, ready to inspect or to Resume() into a live fleet.
+class RecoveredFleet {
+ public:
+  /// The durable fleet description recovery ran under.
+  const FleetManifest& manifest() const { return manifest_; }
+  /// Per-partition recovery stats; result().used_manifest distinguishes a
+  /// cut landing from the per-shard fallback.
+  const ShardedCutRecoveryResult& result() const { return result_; }
+  /// True when this recovery landed on a committed consistent cut.
+  bool at_cut() const { return result_.used_manifest; }
+  /// The recovered per-partition state, indexed by partition.
+  std::vector<StateTable>& tables() { return tables_; }
+  const std::vector<StateTable>& tables() const { return tables_; }
+  /// First tick a resumed incarnation will run: cut_tick + 1 after a cut
+  /// landing, otherwise the fleet's minimum recovered tick.
+  uint64_t resume_tick() const {
+    return at_cut() ? result_.cut_tick + 1
+                    : result_.fleet.min_recovered_ticks;
+  }
+
+  /// Restarts the fleet from this recovered state (the
+  /// ShardedEngine::OpenResumed workflow: per-partition synchronous
+  /// bootstrap checkpoints, stale state retired). Consumes the tables.
+  StatusOr<std::unique_ptr<Fleet>> Resume();
+
+ private:
+  friend class Fleet;
+  std::string root_;
+  FleetManifest manifest_;
+  ShardedCutRecoveryResult result_;
+  std::vector<StateTable> tables_;
+};
+
+/// A live sharded checkpoint fleet bound to its self-describing root.
+class Fleet {
+ public:
+  /// Creates a NEW fleet under `root` and commits its epoch-0 manifest.
+  /// `config.shard.dir` may be empty or equal to `root` (it is overwritten
+  /// with `root`). FailedPrecondition if `root` already holds a fleet
+  /// manifest OR shard directories (a pre-manifest fleet) -- creation
+  /// never silently clobbers existing fleet data (use Open to reopen one).
+  static StatusOr<std::unique_ptr<Fleet>> Create(
+      const std::string& root, const ShardedEngineConfig& config);
+
+  /// Reopens an existing fleet from its root alone: reads the manifest,
+  /// recovers the newest exact per-partition state, and resumes. NotFound
+  /// when `root` is not a fleet.
+  static StatusOr<std::unique_ptr<Fleet>> Open(const std::string& root);
+
+  /// Recovery without resuming (inspect, verify, or hand the tables to a
+  /// different process model). No config argument: the manifest is the
+  /// source of truth.
+  static StatusOr<RecoveredFleet> Recover(const std::string& root);
+
+  /// Like Recover, but lands on the committed consistent cut when one is
+  /// reproducible (per-shard exact fallback otherwise).
+  static StatusOr<RecoveredFleet> RecoverToCut(const std::string& root);
+
+  // ---- Forwarded tick/cut/migration API (see sharded_engine.h) ----
+
+  void BeginTick() { engine_->BeginTick(); }
+  void ApplyUpdate(uint32_t partition, uint32_t cell, int32_t value) {
+    engine_->ApplyUpdate(partition, cell, value);
+  }
+  Status EndTick() { return engine_->EndTick(); }
+  Status WaitForIdle() { return engine_->WaitForIdle(); }
+  StatusOr<uint64_t> RequestConsistentCut() {
+    return engine_->RequestConsistentCut();
+  }
+  Status CommitConsistentCut() { return engine_->CommitConsistentCut(); }
+  Status MigratePartition(uint32_t partition, uint32_t to_slot) {
+    return engine_->MigratePartition(partition, to_slot);
+  }
+  Status Shutdown() { return engine_->Shutdown(); }
+  Status SimulateCrash() { return engine_->SimulateCrash(); }
+
+  const std::string& root() const { return root_; }
+  uint64_t epoch() const { return engine_->epoch(); }
+  const FleetManifest& manifest() const { return engine_->manifest(); }
+  uint32_t num_partitions() const { return engine_->num_shards(); }
+  uint64_t current_tick() const { return engine_->current_tick(); }
+  const MigrationReport& last_migration_report() const {
+    return engine_->last_migration_report();
+  }
+
+  /// The underlying engine (for stats, per-shard inspection, and the
+  /// not-yet-migrated call sites).
+  ShardedEngine& engine() { return *engine_; }
+  const ShardedEngine& engine() const { return *engine_; }
+
+ private:
+  friend class RecoveredFleet;
+
+  Fleet(std::string root, std::unique_ptr<ShardedEngine> engine)
+      : root_(std::move(root)), engine_(std::move(engine)) {}
+
+  std::string root_;
+  std::unique_ptr<ShardedEngine> engine_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_FLEET_H_

@@ -1,0 +1,301 @@
+#include "engine/fleet_manifest.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+
+#include "engine/paths.h"
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace tickpoint {
+namespace {
+
+constexpr uint64_t kFleetMagic = 0x544B5054464C5431ULL;  // "TKPTFLT1"
+constexpr uint32_t kFleetVersion = 1;
+/// Defensive bound on K when reading untrusted bytes: a corrupt
+/// num_partitions must not drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxPartitions = 65536;
+
+/// The fixed-size half of the on-disk format. Field order is chosen so the
+/// struct has no padding holes (static_assert below): the CRC covers raw
+/// bytes, so every byte must be deterministic.
+struct ManifestHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_partitions = 0;
+  uint64_t epoch = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint64_t object_size = 0;
+  uint32_t cell_size = 0;
+  uint32_t algorithm = 0;
+  uint32_t disk_organization = 0;
+  uint32_t disk_budget = 0;
+  uint64_t full_flush_period = 0;
+  uint64_t logical_sync_every = 0;
+  uint64_t checkpoint_period_ticks = 0;
+  uint64_t max_queue_ticks = 0;
+  uint64_t cut_lead_ticks = 0;
+  uint8_t fsync = 0;
+  uint8_t checksum_state = 0;
+  uint8_t staggered = 0;
+  uint8_t adaptive = 0;
+  uint8_t threaded = 0;
+  uint8_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(ManifestHeader) == 112,
+              "ManifestHeader must stay padding-free: the CRC covers raw "
+              "bytes");
+
+Status ValidateManifest(const FleetManifest& manifest,
+                        const std::string& path) {
+  if (manifest.num_partitions == 0 ||
+      manifest.num_partitions > kMaxPartitions) {
+    return Status::Corruption("fleet manifest " + path +
+                              " records an implausible partition count " +
+                              std::to_string(manifest.num_partitions));
+  }
+  if (manifest.assignment.size() != manifest.num_partitions) {
+    return Status::Corruption("fleet manifest " + path +
+                              " assignment size mismatch");
+  }
+  std::unordered_set<uint32_t> slots;
+  for (const uint32_t slot : manifest.assignment) {
+    if (!slots.insert(slot).second) {
+      return Status::Corruption("fleet manifest " + path +
+                                " assigns two partitions to shard slot " +
+                                std::to_string(slot));
+    }
+  }
+  if (!manifest.layout.Valid()) {
+    return Status::Corruption("fleet manifest " + path +
+                              " records an invalid state layout");
+  }
+  if (manifest.algorithm > AlgorithmKind::kCopyOnUpdatePartialRedo) {
+    return Status::Corruption("fleet manifest " + path +
+                              " records an unknown algorithm");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FleetManifest::PartitionDir(const std::string& root,
+                                        uint32_t partition) const {
+  TP_CHECK(partition < assignment.size());
+  return paths::ShardDir(root, assignment[partition]);
+}
+
+bool FleetManifest::IsIdentityAssignment() const {
+  for (uint32_t p = 0; p < assignment.size(); ++p) {
+    if (assignment[p] != p) return false;
+  }
+  return true;
+}
+
+Status WriteFleetManifest(const std::string& root,
+                          const FleetManifest& manifest, bool fsync) {
+  const std::string path = paths::FleetManifestPath(root, manifest.epoch);
+  const std::string tmp = path + ".tmp";
+  {
+    FileWriter writer;
+    TP_RETURN_NOT_OK(writer.Open(tmp));
+    ManifestHeader header;
+    header.magic = kFleetMagic;
+    header.version = kFleetVersion;
+    header.num_partitions = manifest.num_partitions;
+    header.epoch = manifest.epoch;
+    header.rows = manifest.layout.rows;
+    header.cols = manifest.layout.cols;
+    header.object_size = manifest.layout.object_size;
+    header.cell_size = manifest.layout.cell_size;
+    header.algorithm = static_cast<uint32_t>(manifest.algorithm);
+    header.disk_organization =
+        static_cast<uint32_t>(GetTraits(manifest.algorithm).disk);
+    header.disk_budget = manifest.disk_budget;
+    header.full_flush_period = manifest.full_flush_period;
+    header.logical_sync_every = manifest.logical_sync_every;
+    header.checkpoint_period_ticks = manifest.checkpoint_period_ticks;
+    header.max_queue_ticks = manifest.max_queue_ticks;
+    header.cut_lead_ticks = manifest.cut_lead_ticks;
+    header.fsync = manifest.fsync ? 1 : 0;
+    header.checksum_state = manifest.checksum_state ? 1 : 0;
+    header.staggered = manifest.staggered ? 1 : 0;
+    header.adaptive = manifest.adaptive ? 1 : 0;
+    header.threaded = manifest.threaded ? 1 : 0;
+    TP_RETURN_NOT_OK(writer.Append(&header, sizeof(header)));
+    uint32_t crc = Crc32(&header, sizeof(header));
+    for (const uint32_t slot : manifest.assignment) {
+      TP_RETURN_NOT_OK(writer.Append(&slot, sizeof(slot)));
+      crc = Crc32(&slot, sizeof(slot), crc);
+    }
+    TP_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
+    TP_RETURN_NOT_OK(fsync ? writer.Sync() : writer.Flush());
+    TP_RETURN_NOT_OK(writer.Close());
+  }
+  // The rename is the epoch's commit point; the directory fsync makes the
+  // commit itself durable. The PREVIOUS epoch's file is untouched here --
+  // retirement is a separate, later step, so a crash in between leaves
+  // both epochs readable and recovery picks the newest.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("commit fleet manifest " + path + ": " +
+                           ec.message());
+  }
+  if (fsync) {
+    TP_RETURN_NOT_OK(SyncDirectory(root));
+  }
+  return Status::OK();
+}
+
+StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
+  if (!FileExists(path)) {
+    return Status::NotFound("no fleet manifest at " + path);
+  }
+  FileReader reader;
+  TP_RETURN_NOT_OK(reader.Open(path));
+  TP_ASSIGN_OR_RETURN(const uint64_t size, reader.Size());
+  ManifestHeader header;
+  if (size < sizeof(header) + sizeof(uint32_t)) {
+    return Status::Corruption("fleet manifest " + path + " is truncated");
+  }
+  TP_RETURN_NOT_OK(reader.ReadExact(&header, sizeof(header)));
+  if (header.magic != kFleetMagic) {
+    return Status::Corruption("fleet manifest " + path + " has a bad magic");
+  }
+  if (header.version > kFleetVersion) {
+    // Deliberately NOT Corruption: recovery must refuse, not fall back to
+    // an older epoch, when the fleet was written by a newer binary.
+    return Status::FailedPrecondition(
+        "fleet manifest " + path + " has format version " +
+        std::to_string(header.version) + "; this binary understands up to " +
+        std::to_string(kFleetVersion));
+  }
+  if (header.version == 0) {
+    return Status::Corruption("fleet manifest " + path +
+                              " has version 0 (torn header?)");
+  }
+  if (header.num_partitions == 0 || header.num_partitions > kMaxPartitions) {
+    return Status::Corruption("fleet manifest " + path +
+                              " records an implausible partition count " +
+                              std::to_string(header.num_partitions));
+  }
+  const uint64_t expected = sizeof(header) +
+                            header.num_partitions * sizeof(uint32_t) +
+                            sizeof(uint32_t);
+  if (size < expected) {
+    return Status::Corruption("fleet manifest " + path + " is truncated");
+  }
+  uint32_t crc = Crc32(&header, sizeof(header));
+  FleetManifest manifest;
+  manifest.epoch = header.epoch;
+  manifest.num_partitions = header.num_partitions;
+  manifest.layout.rows = header.rows;
+  manifest.layout.cols = header.cols;
+  manifest.layout.object_size = header.object_size;
+  manifest.layout.cell_size = header.cell_size;
+  manifest.algorithm = static_cast<AlgorithmKind>(header.algorithm);
+  manifest.disk_budget = header.disk_budget;
+  manifest.full_flush_period = header.full_flush_period;
+  manifest.logical_sync_every = header.logical_sync_every;
+  manifest.checkpoint_period_ticks = header.checkpoint_period_ticks;
+  manifest.max_queue_ticks = header.max_queue_ticks;
+  manifest.cut_lead_ticks = header.cut_lead_ticks;
+  manifest.fsync = header.fsync != 0;
+  manifest.checksum_state = header.checksum_state != 0;
+  manifest.staggered = header.staggered != 0;
+  manifest.adaptive = header.adaptive != 0;
+  manifest.threaded = header.threaded != 0;
+  manifest.assignment.resize(header.num_partitions);
+  for (uint32_t& slot : manifest.assignment) {
+    TP_RETURN_NOT_OK(reader.ReadExact(&slot, sizeof(slot)));
+    crc = Crc32(&slot, sizeof(slot), crc);
+  }
+  uint32_t stored;
+  TP_RETURN_NOT_OK(reader.ReadExact(&stored, sizeof(stored)));
+  if (stored != crc) {
+    return Status::Corruption("fleet manifest " + path + " fails its CRC");
+  }
+  TP_RETURN_NOT_OK(ValidateManifest(manifest, path));
+  if (header.disk_organization !=
+      static_cast<uint32_t>(GetTraits(manifest.algorithm).disk)) {
+    return Status::Corruption(
+        "fleet manifest " + path +
+        " records a disk organization inconsistent with its algorithm");
+  }
+  return manifest;
+}
+
+std::vector<uint64_t> ListFleetManifestEpochs(const std::string& root) {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    uint64_t epoch = 0;
+    if (paths::ParseFleetManifestFileName(entry.path().filename().string(),
+                                          &epoch)) {
+      epochs.push_back(epoch);
+    }
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  return epochs;
+}
+
+StatusOr<FleetManifest> ReadNewestFleetManifest(const std::string& root) {
+  const std::vector<uint64_t> epochs = ListFleetManifestEpochs(root);
+  if (epochs.empty()) {
+    return Status::NotFound("no fleet manifest under " + root +
+                            " (not a fleet root, or created before the "
+                            "manifest was introduced)");
+  }
+  Status newest_error = Status::OK();
+  for (const uint64_t epoch : epochs) {
+    auto manifest_or =
+        ReadFleetManifestFile(paths::FleetManifestPath(root, epoch));
+    if (manifest_or.ok()) return manifest_or;
+    if (manifest_or.status().code() == StatusCode::kFailedPrecondition) {
+      // Future-version fleet: refusing is the only safe answer; silently
+      // recovering an older epoch would resurrect a pre-upgrade topology.
+      return manifest_or.status();
+    }
+    if (newest_error.ok()) newest_error = manifest_or.status();
+    // Torn/corrupt: fall back to the previous epoch (the crash window
+    // between an interrupted epoch commit and its retirement).
+  }
+  return newest_error;
+}
+
+Status RetireFleetManifestsBefore(const std::string& root, uint64_t epoch) {
+  for (const uint64_t found : ListFleetManifestEpochs(root)) {
+    if (found < epoch) {
+      TP_RETURN_NOT_OK(
+          RemoveFileIfExists(paths::FleetManifestPath(root, found)));
+    }
+  }
+  // Also sweep manifest temp files: a crash inside WriteFleetManifest
+  // (before its rename) orphans fleet-manifest-<E>.bin.tmp, which the
+  // epoch scan above cannot see. Any tmp present when a retirement runs
+  // is stale -- the single-process commit protocol never retires while a
+  // write is in flight.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr char kTmpSuffix[] = ".tmp";
+    constexpr size_t kTmpSuffixLen = sizeof(kTmpSuffix) - 1;
+    if (name.size() <= kTmpSuffixLen ||
+        name.compare(name.size() - kTmpSuffixLen, kTmpSuffixLen,
+                     kTmpSuffix) != 0) {
+      continue;
+    }
+    uint64_t tmp_epoch = 0;
+    if (paths::ParseFleetManifestFileName(
+            name.substr(0, name.size() - kTmpSuffixLen), &tmp_epoch)) {
+      TP_RETURN_NOT_OK(RemoveFileIfExists(entry.path().string()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tickpoint

@@ -1,0 +1,94 @@
+// Single owner of every on-disk name the fleet writes or scans: shard
+// directories, checkpoint images, log generations, the logical log, and
+// the cut/fleet manifests. Engine, the checkpoint stores, recovery, and
+// the manifests all delegate here, so the writer of a file and the scanner
+// that must find it again after a crash can never drift apart.
+#ifndef TICKPOINT_ENGINE_PATHS_H_
+#define TICKPOINT_ENGINE_PATHS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace tickpoint {
+namespace paths {
+
+/// Checkpoint/log directory of shard slot `slot` under the fleet root.
+inline std::string ShardDir(const std::string& root, uint32_t slot) {
+  return root + "/shard-" + std::to_string(slot);
+}
+
+/// True if the bare directory name `name` is a shard slot ("shard-N"),
+/// storing N in *slot.
+inline bool ParseShardDirName(const std::string& name, uint32_t* slot) {
+  if (name.rfind("shard-", 0) != 0) return false;
+  const char* digits = name.c_str() + 6;
+  if (*digits == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(digits, &end, 10);
+  if (end == digits || *end != '\0') return false;
+  *slot = static_cast<uint32_t>(parsed);
+  return true;
+}
+
+/// The logical (redo) log of one engine directory.
+inline std::string LogicalLogPath(const std::string& dir) {
+  return dir + "/logical.log";
+}
+
+/// Bare filename of double-backup image `index` ("backup0.img").
+inline std::string BackupImageFileName(int index) {
+  return "backup" + std::to_string(index) + ".img";
+}
+
+/// Bare filename of checkpoint-log generation `gen` ("log-N.img").
+inline std::string LogGenerationFileName(uint64_t gen) {
+  return "log-" + std::to_string(gen) + ".img";
+}
+
+/// True if the bare filename `name` is a generation file, storing N in
+/// *gen.
+inline bool ParseLogGenerationFileName(const std::string& name,
+                                       uint64_t* gen) {
+  if (name.rfind("log-", 0) != 0) return false;
+  if (name.find(".img") == std::string::npos) return false;
+  *gen = std::strtoull(name.c_str() + 4, nullptr, 10);
+  return true;
+}
+
+/// The committed consistent-cut manifest under the fleet root.
+inline std::string CutManifestPath(const std::string& root) {
+  return root + "/cut-manifest.bin";
+}
+
+/// Bare filename of the fleet manifest for `epoch`
+/// ("fleet-manifest-N.bin").
+inline std::string FleetManifestFileName(uint64_t epoch) {
+  return "fleet-manifest-" + std::to_string(epoch) + ".bin";
+}
+
+/// The fleet manifest (superblock) for `epoch` under the fleet root.
+inline std::string FleetManifestPath(const std::string& root,
+                                     uint64_t epoch) {
+  return root + "/" + FleetManifestFileName(epoch);
+}
+
+/// True if the bare filename `name` is a fleet manifest, storing its epoch
+/// in *epoch.
+inline bool ParseFleetManifestFileName(const std::string& name,
+                                       uint64_t* epoch) {
+  constexpr char kPrefix[] = "fleet-manifest-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  const char* digits = name.c_str() + kPrefixLen;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(digits, &end, 10);
+  if (end == digits || std::string(end) != ".bin") return false;
+  *epoch = parsed;
+  return true;
+}
+
+}  // namespace paths
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_PATHS_H_

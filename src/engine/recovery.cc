@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <utility>
 
 #include "engine/checkpoint_store.h"
 #include "engine/consistent_cut.h"
 #include "engine/logical_log.h"
+#include "engine/paths.h"
 
 namespace tickpoint {
 namespace {
@@ -125,24 +127,74 @@ Status ValidateShardedConfig(const ShardedEngineConfig& config) {
   return Status::OK();
 }
 
-}  // namespace
+/// Identity partition assignment for the deprecated config-supplying
+/// entry points.
+std::vector<uint32_t> IdentityAssignment(uint32_t num_shards) {
+  std::vector<uint32_t> assignment(num_shards);
+  for (uint32_t p = 0; p < num_shards; ++p) assignment[p] = p;
+  return assignment;
+}
 
-StatusOr<ShardedRecoveryResult> RecoverSharded(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
-  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
+/// The deprecated shims assume partition p lives in shard-p. If the
+/// durable manifest says otherwise -- the fleet migrated partitions, or
+/// was created with a different K -- recovering by that assumption would
+/// silently rebuild stale directories; refuse instead.
+Status GuardLegacyAssignment(const ShardedEngineConfig& config) {
+  auto manifest_or = ReadNewestFleetManifest(config.shard.dir);
+  if (!manifest_or.ok()) {
+    if (manifest_or.status().code() == StatusCode::kNotFound) {
+      // Pre-manifest directory: the caller-supplied config is the only
+      // source of truth there is -- keep the legacy behavior.
+      return Status::OK();
+    }
+    // Anything else PROVES a manifest-era fleet whose topology this
+    // binary cannot learn: a future version may describe a migration it
+    // cannot parse, and a corrupt superblock may hide one (stale
+    // pre-migration directories can linger after a best-effort retire).
+    // Recovering by the identity assumption could silently resurrect
+    // stale state; refuse, exactly as the manifest-driven path does.
+    return manifest_or.status();
+  }
+  const FleetManifest& manifest = manifest_or.value();
+  if (manifest.num_partitions != config.num_shards ||
+      !manifest.IsIdentityAssignment()) {
+    return Status::FailedPrecondition(
+        "fleet manifest under " + config.shard.dir + " (epoch " +
+        std::to_string(manifest.epoch) +
+        ") records a topology the deprecated config-supplying recovery "
+        "cannot reproduce; use Fleet::Recover / RecoverFleet");
+  }
+  return Status::OK();
+}
+
+/// Shared per-partition crash-recovery loop: partition p restores from the
+/// shard directory `assignment[p]` names.
+StatusOr<ShardedRecoveryResult> RecoverShardedImpl(
+    const ShardedEngineConfig& config,
+    const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
   ShardedRecoveryResult result;
   result.shards.reserve(config.num_shards);
   out->clear();
   out->reserve(config.num_shards);
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir = ShardedEngine::ShardDir(config.shard.dir, i);
+    shard_config.dir = paths::ShardDir(config.shard.dir, assignment[i]);
     out->emplace_back(shard_config.layout);
     TP_ASSIGN_OR_RETURN(const RecoveryResult shard_result,
                         Recover(shard_config, &out->back()));
     AccumulateShard(shard_result, i, &result);
   }
   return result;
+}
+
+}  // namespace
+
+StatusOr<ShardedRecoveryResult> RecoverSharded(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
+  TP_RETURN_NOT_OK(GuardLegacyAssignment(config));
+  return RecoverShardedImpl(config, IdentityAssignment(config.num_shards),
+                            out);
 }
 
 StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
@@ -172,9 +224,12 @@ StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
   return result;
 }
 
-StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
-  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
+namespace {
+
+/// Shared cut-recovery body, parameterized by the partition assignment.
+StatusOr<ShardedCutRecoveryResult> RecoverShardedToCutImpl(
+    const ShardedEngineConfig& config,
+    const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
   ShardedCutRecoveryResult result;
   auto manifest_or = ReadCutManifest(config.shard.dir);
   if (!manifest_or.ok()) {
@@ -188,14 +243,15 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
     }
   }
   if (!manifest_or.ok()) {
-    TP_ASSIGN_OR_RETURN(result.fleet, RecoverSharded(config, out));
+    TP_ASSIGN_OR_RETURN(result.fleet,
+                        RecoverShardedImpl(config, assignment, out));
     return result;
   }
   const CutManifest& manifest = manifest_or.value();
   if (manifest.shards.size() != config.num_shards) {
-    // A committed manifest that disagrees with the caller's fleet geometry
-    // is a misconfiguration, not a missing cut: surface it instead of
-    // silently recovering a partial fleet.
+    // A committed manifest that disagrees with the fleet geometry is a
+    // misconfiguration, not a missing cut: surface it instead of silently
+    // recovering a partial fleet.
     return Status::InvalidArgument(
         "cut manifest in " + config.shard.dir + " records " +
         std::to_string(manifest.shards.size()) + " shards, config expects " +
@@ -208,7 +264,7 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
   out->reserve(config.num_shards);
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir = ShardedEngine::ShardDir(config.shard.dir, i);
+    shard_config.dir = paths::ShardDir(config.shard.dir, assignment[i]);
     out->emplace_back(shard_config.layout);
     auto shard_or = RecoverToTick(shard_config, manifest.cut_tick,
                                   &out->back());
@@ -219,9 +275,9 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
         // ShardedEngine::OpenResumed after this shard's bootstrap
         // truncated the logical log the (older) cut depended on. Same
         // treatment as a torn manifest: per-shard exact fallback
-        // (RecoverSharded clears and refills `out`).
+        // (clears and refills `out`).
         ShardedCutRecoveryResult fallback;
-        auto fallback_or = RecoverSharded(config, out);
+        auto fallback_or = RecoverShardedImpl(config, assignment, out);
         if (!fallback_or.ok()) return fallback_or.status();
         fallback.fleet = std::move(fallback_or).value();
         return fallback;
@@ -231,6 +287,63 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
     AccumulateShard(shard_or.value(), i, &result.fleet);
   }
   return result;
+}
+
+/// Shared manifest-reading front half of RecoverFleet/RecoverFleetToCut:
+/// reads the newest intact manifest and verifies the directory layout it
+/// describes actually exists.
+StatusOr<FleetManifest> ReadManifestForRecovery(const std::string& root) {
+  TP_ASSIGN_OR_RETURN(FleetManifest manifest, ReadNewestFleetManifest(root));
+  for (uint32_t p = 0; p < manifest.num_partitions; ++p) {
+    const std::string dir = manifest.PartitionDir(root, p);
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) {
+      // The superblock and the directory tree disagree: surface it as
+      // corruption instead of "recovering" partition p to zeroed state
+      // from a directory that is not there.
+      return Status::Corruption(
+          "fleet manifest (epoch " + std::to_string(manifest.epoch) +
+          ") assigns partition " + std::to_string(p) + " to " + dir +
+          ", which does not exist");
+    }
+  }
+  return manifest;
+}
+
+}  // namespace
+
+StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
+    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
+  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
+  TP_RETURN_NOT_OK(GuardLegacyAssignment(config));
+  return RecoverShardedToCutImpl(config,
+                                 IdentityAssignment(config.num_shards), out);
+}
+
+StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
+                                            std::vector<StateTable>* out) {
+  FleetRecoveryOutcome outcome;
+  TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
+  const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
+                                                        root);
+  auto fleet_or = RecoverShardedImpl(config, outcome.manifest.assignment,
+                                     out);
+  if (!fleet_or.ok()) return fleet_or.status();
+  outcome.result.fleet = std::move(fleet_or).value();
+  return outcome;
+}
+
+StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(
+    const std::string& root, std::vector<StateTable>* out) {
+  FleetRecoveryOutcome outcome;
+  TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
+  const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
+                                                        root);
+  auto cut_or = RecoverShardedToCutImpl(config, outcome.manifest.assignment,
+                                        out);
+  if (!cut_or.ok()) return cut_or.status();
+  outcome.result = std::move(cut_or).value();
+  return outcome;
 }
 
 }  // namespace tickpoint

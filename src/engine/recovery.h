@@ -1,12 +1,24 @@
 // Crash recovery (paper Sections 3.1 and 4.2): restore the newest complete
 // checkpoint, then replay the logical log to the crash tick.
+//
+// Fleet-level recovery comes in two generations:
+//   - RecoverFleet/RecoverFleetToCut read the durable fleet manifest and
+//     need only the fleet ROOT -- topology, layout, algorithm, and every
+//     knob come from disk (the Fleet API builds on these);
+//   - RecoverSharded/RecoverShardedToCut are the DEPRECATED config-
+//     supplying shims: they assume the identity partition assignment and
+//     refuse (FailedPrecondition) when the manifest shows the fleet has
+//     migrated partitions, instead of silently recovering stale
+//     directories.
 #ifndef TICKPOINT_ENGINE_RECOVERY_H_
 #define TICKPOINT_ENGINE_RECOVERY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/fleet_manifest.h"
 #include "engine/sharded_engine.h"
 #include "engine/state_table.h"
 
@@ -96,6 +108,33 @@ struct ShardedCutRecoveryResult {
 /// can no longer reproduce the cut from its durable sources.
 StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
     const ShardedEngineConfig& config, std::vector<StateTable>* out);
+
+/// Outcome of a manifest-driven fleet recovery: what the disk said the
+/// fleet IS, plus the per-partition recovery results.
+struct FleetRecoveryOutcome {
+  /// The newest intact fleet manifest (epoch, assignment, every knob).
+  FleetManifest manifest;
+  /// Plain recovery: used_manifest is false and `fleet` holds each
+  /// partition at its own crash tick. Cut recovery: as documented on
+  /// ShardedCutRecoveryResult.
+  ShardedCutRecoveryResult result;
+};
+
+/// Manifest-driven whole-fleet recovery to the newest recoverable state:
+/// reads the fleet manifest under `root` (no config argument -- the disk
+/// tells you), verifies every assigned shard directory exists, and
+/// recovers each partition from the shard slot the manifest assigns it.
+/// NotFound when `root` holds no manifest; Corruption when the manifest is
+/// unreadable or disagrees with the directory layout; FailedPrecondition
+/// for a future-version manifest.
+StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
+                                            std::vector<StateTable>* out);
+
+/// Like RecoverFleet, but lands the fleet on the committed consistent cut
+/// when one is reproducible (RecoverShardedToCut semantics, with the
+/// partition assignment read from the fleet manifest).
+StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(const std::string& root,
+                                                 std::vector<StateTable>* out);
 
 }  // namespace tickpoint
 

@@ -1,15 +1,89 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <utility>
 
+#include "engine/paths.h"
 #include "util/io.h"
 
 namespace tickpoint {
 
 std::string ShardedEngine::ShardDir(const std::string& root, uint32_t shard) {
-  return root + "/shard-" + std::to_string(shard);
+  return paths::ShardDir(root, shard);
 }
+
+FleetManifest ManifestFromConfig(const ShardedEngineConfig& config) {
+  FleetManifest manifest;
+  manifest.epoch = 0;
+  manifest.num_partitions = config.num_shards;
+  manifest.assignment.resize(config.num_shards);
+  for (uint32_t p = 0; p < config.num_shards; ++p) manifest.assignment[p] = p;
+  manifest.layout = config.shard.layout;
+  manifest.algorithm = config.shard.algorithm;
+  manifest.full_flush_period = config.shard.full_flush_period;
+  manifest.logical_sync_every = config.shard.logical_sync_every;
+  manifest.fsync = config.shard.fsync;
+  manifest.checksum_state = config.shard.checksum_state;
+  manifest.checkpoint_period_ticks = config.checkpoint_period_ticks;
+  manifest.staggered = config.staggered;
+  manifest.adaptive = config.adaptive;
+  manifest.disk_budget = config.disk_budget;
+  manifest.threaded = config.threaded;
+  manifest.max_queue_ticks = config.max_queue_ticks;
+  manifest.cut_lead_ticks = config.cut_lead_ticks;
+  return manifest;
+}
+
+ShardedEngineConfig ConfigFromManifest(const FleetManifest& manifest,
+                                       const std::string& root) {
+  ShardedEngineConfig config;
+  config.shard.layout = manifest.layout;
+  config.shard.algorithm = manifest.algorithm;
+  config.shard.dir = root;
+  config.shard.full_flush_period = manifest.full_flush_period;
+  config.shard.logical_sync_every = manifest.logical_sync_every;
+  config.shard.fsync = manifest.fsync;
+  config.shard.checksum_state = manifest.checksum_state;
+  config.num_shards = manifest.num_partitions;
+  config.checkpoint_period_ticks = manifest.checkpoint_period_ticks;
+  config.staggered = manifest.staggered;
+  config.adaptive = manifest.adaptive;
+  config.disk_budget = manifest.disk_budget;
+  config.threaded = manifest.threaded;
+  config.max_queue_ticks = manifest.max_queue_ticks;
+  config.cut_lead_ticks = manifest.cut_lead_ticks;
+  return config;
+}
+
+namespace {
+
+/// Fresh opens only: a previous incarnation that migrated partitions may
+/// have left shard directories at slots the identity assignment no longer
+/// references; wipe them so their stale checkpoints can never be confused
+/// for live partitions.
+Status RemoveUnassignedShardDirs(const std::string& root,
+                                 uint32_t num_shards) {
+  std::error_code iter_ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root, iter_ec)) {
+    uint32_t slot = 0;
+    if (!paths::ParseShardDirName(entry.path().filename().string(), &slot)) {
+      continue;
+    }
+    if (slot < num_shards) continue;
+    std::error_code ec;
+    std::filesystem::remove_all(entry.path(), ec);
+    if (ec) {
+      return Status::IOError("remove stale " + entry.path().string() + ": " +
+                             ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
     : config_(config),
@@ -31,6 +105,12 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
   if (config.max_queue_ticks == 0) {
     return Status::InvalidArgument("max_queue_ticks must be positive");
   }
+  if (config.cut_lead_ticks == 0) {
+    // Caught here, not in the coordinator: Arm would happily pick T ==
+    // current_tick and the cut checkpoint would race the tick being
+    // assembled.
+    return Status::InvalidArgument("cut_lead_ticks must be positive");
+  }
   if (config.disk_budget == 0) {
     // Checked here, before the member initializer constructs the
     // StaggerScheduler, whose TP_CHECK would abort instead of returning.
@@ -43,38 +123,64 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
         "-shard fleet");
   }
   TP_RETURN_NOT_OK(EnsureDirectory(config.shard.dir));
+  std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
+  sharded->manifest_ = ManifestFromConfig(config);
+  bool write_manifest_after_open = false;
   if (initial == nullptr) {
     // A fresh fleet truncates every shard's logical log and wipes the
     // stale checkpoints, so a cut manifest left by a previous incarnation
     // points at state this run can no longer reproduce: retire it before
     // the first shard opens. The RESUME path must NOT retire it yet -- see
-    // the ordering note before the second removal below.
+    // the ordering note before the second removal below. Stale fleet
+    // manifests and unassigned shard directories (a migrated past
+    // incarnation) die with it; this run's own epoch-0 manifest is
+    // committed only after every shard opened.
     TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
+    TP_RETURN_NOT_OK(
+        RetireFleetManifestsBefore(config.shard.dir, UINT64_MAX));
+    TP_RETURN_NOT_OK(
+        RemoveUnassignedShardDirs(config.shard.dir, config.num_shards));
+    write_manifest_after_open = true;
+  } else {
+    // Resume: the durable manifest -- not the caller -- knows which shard
+    // slot hosts each partition (the fleet may have migrated partitions
+    // since it was created). A fleet from before the manifest era resumes
+    // as identity and gains a manifest below.
+    auto manifest_or = ReadNewestFleetManifest(config.shard.dir);
+    if (manifest_or.ok()) {
+      if (manifest_or.value().num_partitions != config.num_shards) {
+        return Status::InvalidArgument(
+            "fleet manifest under " + config.shard.dir + " records " +
+            std::to_string(manifest_or.value().num_partitions) +
+            " partitions, config expects " +
+            std::to_string(config.num_shards));
+      }
+      // Adopt the WHOLE on-disk manifest, not just epoch + assignment:
+      // the runtime still honors the caller's config (legacy contract),
+      // but any future manifest write (a migration's epoch bump) must
+      // re-commit the fleet's durable description, not whatever knobs
+      // this caller happened to pass -- Fleet::Open reads the disk.
+      sharded->manifest_ = std::move(manifest_or).value();
+    } else if (manifest_or.status().code() == StatusCode::kNotFound) {
+      write_manifest_after_open = true;
+    } else {
+      return manifest_or.status();
+    }
   }
-  std::unique_ptr<ShardedEngine> sharded(new ShardedEngine(config));
   sharded->tick_ = first_tick;
   sharded->runners_.reserve(config.num_shards);
   sharded->pending_.resize(config.num_shards);
-  // Measured checkpoint completions feed the adaptive stagger; in threaded
-  // mode the callbacks arrive on runner threads (the scheduler locks).
-  auto observer = [fleet = sharded.get()](
-                      uint32_t shard, const EngineCheckpointRecord& record,
-                      uint64_t completion_tick) {
-    fleet->scheduler_.ObserveCheckpointEnd(shard, completion_tick,
-                                           record.TotalSeconds());
-  };
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir = ShardDir(config.shard.dir, i);
+    shard_config.dir =
+        ShardDir(config.shard.dir, sharded->manifest_.assignment[i]);
     shard_config.manual_checkpoints = true;
     StatusOr<std::unique_ptr<Engine>> engine_or =
         initial == nullptr
             ? Engine::Open(shard_config)
             : Engine::OpenResumed(shard_config, (*initial)[i], first_tick);
     TP_ASSIGN_OR_RETURN(auto engine, std::move(engine_or));
-    sharded->runners_.push_back(std::make_unique<ShardRunner>(
-        i, std::move(engine), config.threaded, config.max_queue_ticks,
-        observer));
+    sharded->runners_.push_back(sharded->MakeRunner(i, std::move(engine)));
   }
   if (initial != nullptr) {
     // Resume ordering: the pre-crash cut manifest is retired only AFTER
@@ -91,7 +197,29 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
     // restore point is never destroyed while it was still reachable.
     TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
   }
+  if (write_manifest_after_open) {
+    // The manifest commit is the last step of fleet creation: a crash
+    // before it leaves shard directories without a superblock, which
+    // Fleet::Open reports as NotFound instead of guessing a topology.
+    TP_RETURN_NOT_OK(WriteFleetManifest(config.shard.dir, sharded->manifest_,
+                                        config.shard.fsync));
+  }
   return sharded;
+}
+
+std::unique_ptr<ShardRunner> ShardedEngine::MakeRunner(
+    uint32_t partition, std::unique_ptr<Engine> engine) {
+  // Measured checkpoint completions feed the adaptive stagger; in threaded
+  // mode the callbacks arrive on runner threads (the scheduler locks).
+  auto observer = [this](uint32_t shard,
+                         const EngineCheckpointRecord& record,
+                         uint64_t completion_tick) {
+    scheduler_.ObserveCheckpointEnd(shard, completion_tick,
+                                    record.TotalSeconds());
+  };
+  return std::make_unique<ShardRunner>(partition, std::move(engine),
+                                       config_.threaded,
+                                       config_.max_queue_ticks, observer);
 }
 
 StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
@@ -201,12 +329,113 @@ Status ShardedEngine::CommitConsistentCut() {
     max_stall = std::max(max_stall, ack->cut_stall_seconds);
   }
   TP_RETURN_NOT_OK(cut_.Commit(acks));
+  last_committed_cut_tick_ = cut_tick;
   last_cut_report_.cut_tick = cut_tick;
   last_cut_report_.commit_latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     cut_armed_at_)
           .count();
   last_cut_report_.max_shard_stall_seconds = max_stall;
+  return Status::OK();
+}
+
+Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  if (failed_) return first_error_;
+  if (cut_.armed()) {
+    return Status::FailedPrecondition(
+        "MigratePartition with a consistent cut still in flight (tick " +
+        std::to_string(cut_.cut_tick()) + ")");
+  }
+  if (partition >= config_.num_shards) {
+    return Status::InvalidArgument(
+        "MigratePartition of unknown partition " + std::to_string(partition) +
+        " (fleet has " + std::to_string(config_.num_shards) + ")");
+  }
+  for (uint32_t p = 0; p < config_.num_shards; ++p) {
+    if (manifest_.assignment[p] == to_slot) {
+      return Status::InvalidArgument(
+          "shard slot " + std::to_string(to_slot) +
+          " already hosts partition " + std::to_string(p));
+    }
+  }
+  if (last_committed_cut_tick_ == UINT64_MAX ||
+      last_committed_cut_tick_ + 1 != tick_) {
+    // The quiesced live state must EQUAL the durable cut image, which
+    // holds only when the cut tick was the last tick the fleet ran.
+    // Migrating several partitions back-to-back at the same cut satisfies
+    // this too (no tick runs in between).
+    return Status::FailedPrecondition(
+        "MigratePartition requires a consistent cut committed at the "
+        "previous tick (fleet tick " +
+        std::to_string(tick_) + ", last committed cut " +
+        (last_committed_cut_tick_ == UINT64_MAX
+             ? std::string("none")
+             : std::to_string(last_committed_cut_tick_)) +
+        ")");
+  }
+  const auto move_start = std::chrono::steady_clock::now();
+  TP_RETURN_NOT_OK(WaitForIdle());
+  const uint32_t from_slot = manifest_.assignment[partition];
+  // Fallible work first, destructive work last: until the new epoch's
+  // manifest commits, nothing the old topology needs is touched, so any
+  // error below (or a crash) leaves the fleet recoverable under epoch E --
+  // partition still on its old shard, exact at the current tick.
+  //
+  // The partition's quiesced state is its cut-tick state (precondition
+  // above); bootstrap it into the destination slot. Engine::OpenResumed
+  // writes the synchronous bootstrap checkpoint before starting the
+  // destination's logical log.
+  StateTable moved(config_.shard.layout);
+  std::memcpy(moved.mutable_data(),
+              runners_[partition]->engine().state().data(),
+              moved.buffer_bytes());
+  EngineConfig dest_config = config_.shard;
+  dest_config.dir = ShardDir(config_.shard.dir, to_slot);
+  dest_config.manual_checkpoints = true;
+  TP_ASSIGN_OR_RETURN(auto dest_engine,
+                      Engine::OpenResumed(dest_config, moved, tick_));
+  // Commit the new topology: fleet-manifest-<E+1> via tmp + rename + dir
+  // fsync. This rename is the migration's commit point.
+  FleetManifest next = manifest_;
+  next.epoch = manifest_.epoch + 1;
+  next.assignment[partition] = to_slot;
+  TP_RETURN_NOT_OK(
+      WriteFleetManifest(config_.shard.dir, next, config_.shard.fsync));
+  // The committed cut manifest stays: the destination bootstrap IS the
+  // partition's image at the cut (consistent tick == cut + 1), so cut
+  // recovery keeps working across the epoch boundary.
+  manifest_ = std::move(next);
+  // Swap the live engine. The old engine's directory is now unreferenced
+  // garbage; a shutdown error here means its writer died earlier, which
+  // hard-fails the fleet like any shard error (the migration itself is
+  // already committed on disk).
+  runners_[partition]->Stop();
+  const Status source_shutdown = runners_[partition]->engine().Shutdown();
+  runners_[partition] = MakeRunner(partition, std::move(dest_engine));
+  last_migration_report_.partition = partition;
+  last_migration_report_.from_slot = from_slot;
+  last_migration_report_.to_slot = to_slot;
+  last_migration_report_.epoch = manifest_.epoch;
+  last_migration_report_.first_tick_on_new_shard = tick_;
+  last_migration_report_.move_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    move_start)
+          .count();
+  if (!source_shutdown.ok()) {
+    failed_ = true;
+    if (first_error_.ok()) first_error_ = source_shutdown;
+    return source_shutdown;
+  }
+  // Retire the old epoch's manifest, then the source directory --
+  // best-effort: the migration is already committed (the manifest rename
+  // above), and anything these sweeps leave behind is unreferenced
+  // garbage recovery ignores (it picks the newest epoch) and the next
+  // fresh Open or migration retires. Failing the committed migration over
+  // a cleanup hiccup would misreport its outcome.
+  (void)RetireFleetManifestsBefore(config_.shard.dir, manifest_.epoch);
+  std::error_code ec;
+  std::filesystem::remove_all(ShardDir(config_.shard.dir, from_slot), ec);
   return Status::OK();
 }
 

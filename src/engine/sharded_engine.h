@@ -34,6 +34,7 @@
 
 #include "engine/consistent_cut.h"
 #include "engine/engine.h"
+#include "engine/fleet_manifest.h"
 #include "engine/shard_runner.h"
 #include "engine/stagger_scheduler.h"
 
@@ -96,6 +97,29 @@ struct ConsistentCutReport {
   /// Slowest shard's mutator block inside the cut tick's EndTick.
   double max_shard_stall_seconds = 0.0;
 };
+
+/// Outcome of the last MigratePartition (bench/monitoring).
+struct MigrationReport {
+  uint32_t partition = 0;
+  uint32_t from_slot = 0;
+  uint32_t to_slot = 0;
+  /// The fleet epoch the migration committed.
+  uint64_t epoch = 0;
+  /// First tick the partition runs on its new shard (== the cut tick + 1).
+  uint64_t first_tick_on_new_shard = 0;
+  /// Wall time of the whole move: source drain + destination bootstrap
+  /// write + epoch-manifest commit.
+  double move_seconds = 0.0;
+};
+
+/// Captures a fleet's durable properties from its open-time config, with
+/// the identity partition assignment and epoch 0.
+FleetManifest ManifestFromConfig(const ShardedEngineConfig& config);
+
+/// Reconstructs the config to reopen the fleet described by `manifest`
+/// under `root` (the Fleet::Open "disk tells you" direction).
+ShardedEngineConfig ConfigFromManifest(const FleetManifest& manifest,
+                                       const std::string& root);
 
 /// A fleet of K engines sharing one disk. The facade itself is driven by
 /// one caller thread; in threaded mode the shards consume its ticks
@@ -179,6 +203,50 @@ class ShardedEngine {
     return last_cut_report_;
   }
 
+  // ---- Zone migration at a committed cut (ROADMAP item) ----
+
+  /// Moves `partition`'s state to the fresh shard slot `to_slot` and
+  /// commits the new topology as fleet epoch + 1. Must run IMMEDIATELY
+  /// after a consistent cut committed at the previous tick (cut tick T ==
+  /// current_tick() - 1, no fleet tick in between): the quiesced live
+  /// state then equals the durable cut image, so the hand-off point is a
+  /// tick every shard agrees on -- the MMOG zone hand-off primitive.
+  ///
+  /// Protocol (each step durable before the next, so a crash ANYWHERE
+  /// lands in a well-defined topology):
+  ///   1. drain the fleet; stop and shut down the partition's engine (its
+  ///      old directory stays intact -- still the epoch-E recovery source);
+  ///   2. bootstrap the partition's state into shard-<to_slot> via
+  ///      Engine::OpenResumed (synchronous checkpoint at the cut);
+  ///   3. commit fleet-manifest-<E+1> (tmp + rename + dir fsync);
+  ///   4. retire the epoch-E manifest, then the source directory
+  ///      (best-effort: the rename in 3 is the commit point, and anything
+  ///      this sweep leaves behind is unreferenced garbage recovery
+  ///      ignores).
+  /// A crash before 3 recovers under epoch E (partition still on its old
+  /// shard, exact at the current tick); after 3, under E+1 (partition on
+  /// the new shard, its bootstrap exact at the same tick). The committed
+  /// cut manifest survives the move: the destination bootstrap IS the
+  /// partition's image at the cut, so cut recovery stays available.
+  ///
+  /// Errors: FailedPrecondition when no cut committed at current_tick()-1
+  /// or a cut is still in flight; InvalidArgument for an unknown partition
+  /// or an occupied destination slot.
+  Status MigratePartition(uint32_t partition, uint32_t to_slot);
+
+  /// Timing/shape of the last committed migration.
+  const MigrationReport& last_migration_report() const {
+    return last_migration_report_;
+  }
+
+  /// The durable fleet description this incarnation maintains: epoch,
+  /// partition -> shard-slot assignment, and every reopen knob.
+  const FleetManifest& manifest() const { return manifest_; }
+  /// Current fleet epoch (bumps on MigratePartition).
+  uint64_t epoch() const { return manifest_.epoch; }
+  /// Shard slot hosting partition `p`.
+  uint32_t SlotOfPartition(uint32_t p) const { return manifest_.assignment[p]; }
+
   /// Graceful stop of every shard (drains mailboxes and in-flight
   /// checkpoints).
   Status Shutdown();
@@ -208,27 +276,39 @@ class ShardedEngine {
   /// Requires a quiesced fleet (see shard()).
   ShardedCheckpointStats CheckpointStats(bool skip_first = false) const;
 
-  /// Checkpoint/log directory of shard `i` under `root`.
+  /// Checkpoint/log directory of shard slot `i` under `root` (delegates to
+  /// paths::ShardDir, the naming's single owner).
   static std::string ShardDir(const std::string& root, uint32_t shard);
 
  private:
   explicit ShardedEngine(const ShardedEngineConfig& config);
 
   /// Shared Open/OpenResumed body: `initial` == nullptr opens fresh
-  /// engines at tick 0; otherwise every shard resumes from its table at
-  /// `first_tick`.
+  /// engines at tick 0 (identity assignment, a new epoch-0 manifest);
+  /// otherwise every shard resumes from its table at `first_tick`, with
+  /// the partition assignment read from the durable manifest.
   static StatusOr<std::unique_ptr<ShardedEngine>> OpenImpl(
       const ShardedEngineConfig& config,
       const std::vector<StateTable>* initial, uint64_t first_tick);
+
+  /// Builds the ShardRunner for `partition` around `engine`.
+  std::unique_ptr<ShardRunner> MakeRunner(uint32_t partition,
+                                          std::unique_ptr<Engine> engine);
 
   /// First sticky error across runners (polled without blocking).
   Status PollShardError();
 
   ShardedEngineConfig config_;
+  /// In-memory twin of the durable superblock (epoch, assignment, knobs).
+  FleetManifest manifest_;
   StaggerScheduler scheduler_;
   ConsistentCutCoordinator cut_;
   std::chrono::steady_clock::time_point cut_armed_at_;
   ConsistentCutReport last_cut_report_;
+  /// Tick of the last cut committed by THIS incarnation, or UINT64_MAX:
+  /// the MigratePartition precondition.
+  uint64_t last_committed_cut_tick_ = UINT64_MAX;
+  MigrationReport last_migration_report_;
   std::vector<std::unique_ptr<ShardRunner>> runners_;
   /// Per-shard updates buffered during the open tick.
   std::vector<std::vector<CellUpdate>> pending_;

@@ -177,6 +177,27 @@ Status GameShardAdapter::RunTicks(uint64_t n) {
   return Status::OK();
 }
 
+Status GameShardAdapter::MigrateZone(uint32_t zone, uint32_t to_slot) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("MigrateZone on a golden replay");
+  }
+  if (zone >= num_zones()) {
+    return Status::InvalidArgument("MigrateZone of unknown zone " +
+                                   std::to_string(zone));
+  }
+  // The hand-off point is a committed consistent cut: the game keeps
+  // playing real ticks until the fleet reaches the cut tick, so the zone
+  // servers never pause for the coordination -- only the migration's own
+  // bootstrap write is downtime.
+  TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
+                      engine_->RequestConsistentCut());
+  while (engine_ticks_ <= cut_tick) {
+    TP_RETURN_NOT_OK(Tick());
+  }
+  TP_RETURN_NOT_OK(engine_->CommitConsistentCut());
+  return engine_->MigratePartition(zone, to_slot);
+}
+
 std::vector<std::vector<uint64_t>> GameShardAdapter::GoldenZoneDigests(
     const GameShardAdapterConfig& config, uint64_t world_ticks) {
   GameShardAdapter golden(config);  // no engine: pure world replay

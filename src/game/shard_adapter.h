@@ -89,6 +89,16 @@ class GameShardAdapter {
   /// Runs `n` fleet ticks.
   Status RunTicks(uint64_t n);
 
+  /// Zone hand-off: moves zone `zone`'s state partition to the fresh shard
+  /// slot `to_slot` at a fleet consistent cut. Arms the cut, drives the
+  /// game through the cut tick (real gameplay ticks -- the zones keep
+  /// simulating while the fleet reaches the hand-off point), commits, and
+  /// migrates. The zone WORLD itself is untouched: zones are addressed by
+  /// partition id, which is stable across migration, so the same World
+  /// keeps feeding the same partition from its new shard directory --
+  /// recovery correctness is still one digest equality per zone.
+  Status MigrateZone(uint32_t zone, uint32_t to_slot);
+
   /// Fleet ticks driven so far (== the engine's current_tick()).
   uint64_t engine_ticks() const { return engine_ticks_; }
   /// World ticks each zone has run (engine_ticks - 1 after the bulk load).

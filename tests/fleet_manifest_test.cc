@@ -1,0 +1,300 @@
+// Robustness of the fleet-manifest superblock (fleet_manifest.h): every
+// way the durable fleet description can be damaged -- torn file, foreign
+// bytes, bit rot, a future format version, an assignment that disagrees
+// with the directory tree -- must surface a clean Status, never UB and
+// never a silent misrecovery. Includes the migration crash window: with
+// both the old and the new epoch's manifest on disk (retirement did not
+// happen yet), recovery picks the newest; with the newest torn, it falls
+// back to the previous epoch.
+#include "engine/fleet_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/fleet.h"
+#include "engine/paths.h"
+#include "util/io.h"
+
+namespace tickpoint {
+namespace {
+
+class FleetManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string name(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    dir_ = (std::filesystem::temp_directory_path() / ("tp_manifest_" + name))
+               .string();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  FleetManifest Sample(uint64_t epoch = 0) {
+    FleetManifest manifest;
+    manifest.epoch = epoch;
+    manifest.num_partitions = 3;
+    manifest.assignment = {0, 4, 2};  // a migrated topology
+    manifest.layout = StateLayout::Small(512, 10);
+    manifest.algorithm = AlgorithmKind::kCopyOnUpdatePartialRedo;
+    manifest.full_flush_period = 5;
+    manifest.logical_sync_every = 2;
+    manifest.fsync = false;
+    manifest.checksum_state = true;
+    manifest.checkpoint_period_ticks = 7;
+    manifest.staggered = false;
+    manifest.adaptive = true;
+    manifest.disk_budget = 3;
+    manifest.threaded = false;
+    manifest.max_queue_ticks = 17;
+    manifest.cut_lead_ticks = 4;
+    return manifest;
+  }
+
+  std::string Path(uint64_t epoch) {
+    return paths::FleetManifestPath(dir_, epoch);
+  }
+
+  /// Truncates the file at `path` to `bytes`.
+  void Truncate(const std::string& path, uint64_t bytes) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+    ASSERT_LT(bytes, contents.size());
+    contents.resize(bytes);
+    ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  }
+
+  /// Flips one byte of the file at `path`.
+  void FlipByte(const std::string& path, uint64_t offset) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+    ASSERT_LT(offset, contents.size());
+    contents[offset] = static_cast<char>(contents[offset] ^ 0x5A);
+    ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FleetManifestTest, RoundTripsEveryField) {
+  const FleetManifest written = Sample(/*epoch=*/9);
+  ASSERT_TRUE(WriteFleetManifest(dir_, written, /*fsync=*/false).ok());
+  auto read_or = ReadFleetManifestFile(Path(9));
+  ASSERT_TRUE(read_or.ok()) << read_or.status().ToString();
+  const FleetManifest& read = read_or.value();
+  EXPECT_EQ(read.epoch, 9u);
+  EXPECT_EQ(read.num_partitions, 3u);
+  EXPECT_EQ(read.assignment, (std::vector<uint32_t>{0, 4, 2}));
+  EXPECT_EQ(read.layout.rows, written.layout.rows);
+  EXPECT_EQ(read.layout.cols, written.layout.cols);
+  EXPECT_EQ(read.layout.cell_size, written.layout.cell_size);
+  EXPECT_EQ(read.layout.object_size, written.layout.object_size);
+  EXPECT_EQ(read.algorithm, written.algorithm);
+  EXPECT_EQ(read.full_flush_period, 5u);
+  EXPECT_EQ(read.logical_sync_every, 2u);
+  EXPECT_FALSE(read.fsync);
+  EXPECT_TRUE(read.checksum_state);
+  EXPECT_EQ(read.checkpoint_period_ticks, 7u);
+  EXPECT_FALSE(read.staggered);
+  EXPECT_TRUE(read.adaptive);
+  EXPECT_EQ(read.disk_budget, 3u);
+  EXPECT_FALSE(read.threaded);
+  EXPECT_EQ(read.max_queue_ticks, 17u);
+  EXPECT_EQ(read.cut_lead_ticks, 4u);
+  EXPECT_FALSE(read.IsIdentityAssignment());
+  EXPECT_EQ(read.PartitionDir(dir_, 1), paths::ShardDir(dir_, 4));
+}
+
+TEST_F(FleetManifestTest, MissingManifestIsNotFound) {
+  EXPECT_EQ(ReadFleetManifestFile(Path(0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadNewestFleetManifest(dir_).status().code(),
+            StatusCode::kNotFound);
+  // A root that does not exist at all is equally NotFound, not UB.
+  EXPECT_EQ(ReadNewestFleetManifest(dir_ + "/nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FleetManifestTest, TornSuperblockIsCorruption) {
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+  // Every prefix is a clean Corruption: inside the header, after the
+  // header but inside the assignment, and just short of the CRC.
+  for (const uint64_t bytes : {5ull, 30ull, 113ull, 123ull}) {
+    SCOPED_TRACE("truncated to " + std::to_string(bytes));
+    ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+    Truncate(Path(0), bytes);
+    EXPECT_EQ(ReadFleetManifestFile(Path(0)).status().code(),
+              StatusCode::kCorruption);
+    EXPECT_EQ(ReadNewestFleetManifest(dir_).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST_F(FleetManifestTest, WrongMagicIsCorruption) {
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+  FlipByte(Path(0), 0);  // inside the magic
+  auto read_or = ReadFleetManifestFile(Path(0));
+  EXPECT_EQ(read_or.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(read_or.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(FleetManifestTest, BitRotFailsTheCrc) {
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+  FlipByte(Path(0), 40);  // a layout field: magic/version stay intact
+  EXPECT_EQ(ReadFleetManifestFile(Path(0)).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FleetManifestTest, FutureVersionIsARefusalNotCorruption) {
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+  // Version lives at offset 8 (after the 8-byte magic). Bump it and fix
+  // nothing else: a future version must be refused BEFORE the CRC check,
+  // since a newer format may have moved the CRC itself.
+  FlipByte(Path(0), 8);
+  auto read_or = ReadFleetManifestFile(Path(0));
+  EXPECT_EQ(read_or.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(read_or.status().message().find("version"), std::string::npos);
+  // And the newest-first scan must NOT silently fall back past it to an
+  // older epoch: a half-upgraded fleet is an operator problem, not a
+  // recovery fallback.
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(0), false).ok());
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(1), false).ok());
+  FlipByte(Path(1), 8);  // the NEWEST epoch claims a future version
+  EXPECT_EQ(ReadNewestFleetManifest(dir_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FleetManifestTest, DuplicateSlotAssignmentIsCorruption) {
+  FleetManifest manifest = Sample();
+  manifest.assignment = {1, 1, 2};  // two partitions on one shard slot
+  ASSERT_TRUE(WriteFleetManifest(dir_, manifest, false).ok());
+  auto read_or = ReadFleetManifestFile(Path(0));
+  EXPECT_EQ(read_or.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(read_or.status().message().find("two partitions"),
+            std::string::npos);
+}
+
+TEST_F(FleetManifestTest, MigrationCrashWindowPicksTheNewestEpoch) {
+  // The commit protocol writes fleet-manifest-<E+1> and only then retires
+  // fleet-manifest-<E>; a crash in between leaves both. Recovery must act
+  // under E+1.
+  FleetManifest old_epoch = Sample(4);
+  FleetManifest new_epoch = Sample(5);
+  new_epoch.assignment = {0, 4, 7};  // the migration epoch 5 committed
+  ASSERT_TRUE(WriteFleetManifest(dir_, old_epoch, false).ok());
+  ASSERT_TRUE(WriteFleetManifest(dir_, new_epoch, false).ok());
+  auto read_or = ReadNewestFleetManifest(dir_);
+  ASSERT_TRUE(read_or.ok()) << read_or.status().ToString();
+  EXPECT_EQ(read_or.value().epoch, 5u);
+  EXPECT_EQ(read_or.value().assignment, (std::vector<uint32_t>{0, 4, 7}));
+  EXPECT_EQ(ListFleetManifestEpochs(dir_),
+            (std::vector<uint64_t>{5, 4}));
+}
+
+TEST_F(FleetManifestTest, TornNewestEpochFallsBackToThePrevious) {
+  // The other half of the window: the new epoch's file is damaged (it can
+  // only be a real corruption -- the tmp+rename publish never leaves a
+  // torn file under the committed name). The previous epoch still
+  // describes a recoverable fleet; use it rather than refusing.
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(4), false).ok());
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(5), false).ok());
+  Truncate(Path(5), 60);
+  auto read_or = ReadNewestFleetManifest(dir_);
+  ASSERT_TRUE(read_or.ok()) << read_or.status().ToString();
+  EXPECT_EQ(read_or.value().epoch, 4u);
+  // With EVERY epoch torn, the newest file's own error surfaces.
+  Truncate(Path(4), 60);
+  EXPECT_EQ(ReadNewestFleetManifest(dir_).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FleetManifestTest, RetireSweepsOnlyOlderEpochs) {
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(1), false).ok());
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(3), false).ok());
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(7), false).ok());
+  ASSERT_TRUE(RetireFleetManifestsBefore(dir_, 7).ok());
+  EXPECT_EQ(ListFleetManifestEpochs(dir_), (std::vector<uint64_t>{7}));
+}
+
+TEST_F(FleetManifestTest, RetireSweepsOrphanedTempFiles) {
+  // A crash inside WriteFleetManifest (before its rename) orphans the
+  // .tmp; the next retirement must sweep it, while unrelated files
+  // survive.
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(5), false).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(Path(4) + ".tmp", "torn half-written manifest")
+          .ok());
+  ASSERT_TRUE(WriteStringToFile(dir_ + "/unrelated.tmp", "keep me").ok());
+  ASSERT_TRUE(RetireFleetManifestsBefore(dir_, 5).ok());
+  EXPECT_FALSE(FileExists(Path(4) + ".tmp"));
+  EXPECT_TRUE(FileExists(dir_ + "/unrelated.tmp"));
+  EXPECT_EQ(ListFleetManifestEpochs(dir_), (std::vector<uint64_t>{5}));
+}
+
+TEST_F(FleetManifestTest, ManifestDirectoryMismatchIsCorruption) {
+  // The superblock says partition 1 lives in shard-4; nothing under the
+  // root does. Fleet recovery must report the disagreement instead of
+  // "recovering" a zeroed partition from a directory that is not there.
+  ASSERT_TRUE(WriteFleetManifest(dir_, Sample(), false).ok());
+  ASSERT_TRUE(EnsureDirectory(paths::ShardDir(dir_, 0)).ok());
+  ASSERT_TRUE(EnsureDirectory(paths::ShardDir(dir_, 2)).ok());
+  auto recovered_or = Fleet::Recover(dir_);
+  ASSERT_FALSE(recovered_or.ok());
+  EXPECT_EQ(recovered_or.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(recovered_or.status().message().find("shard-4"),
+            std::string::npos);
+}
+
+TEST_F(FleetManifestTest, LegacyRecoveryRefusesAFutureVersionManifest) {
+  // Regression: the deprecated config-supplying shims must not treat a
+  // future-version manifest (FailedPrecondition from the read) like a
+  // missing one -- a newer binary may have migrated partitions, and the
+  // identity assumption would silently resurrect pre-migration state.
+  ShardedEngineConfig config;
+  config.shard.layout = StateLayout::Small(256, 10);
+  config.shard.fsync = false;
+  config.num_shards = 2;
+  {
+    auto fleet_or = Fleet::Create(dir_, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
+  }
+  FlipByte(Path(0), 8);  // version byte: now claims a future format
+  config.shard.dir = dir_;
+  std::vector<StateTable> out;
+  EXPECT_EQ(RecoverSharded(config, &out).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(RecoverShardedToCut(config, &out).status().code(),
+            StatusCode::kFailedPrecondition);
+  // A CORRUPT manifest equally proves a manifest-era fleet whose
+  // topology the shims cannot learn (a migration may hide behind the
+  // damage): refuse rather than assume identity.
+  ASSERT_TRUE(
+      WriteFleetManifest(dir_, ManifestFromConfig(config), false).ok());
+  Truncate(Path(0), 60);
+  EXPECT_EQ(RecoverSharded(config, &out).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FleetManifestTest, FleetOpenSurfacesManifestDamageCleanly) {
+  // End-to-end: a real fleet whose superblock is then torn. Open must
+  // fail with Corruption -- not guess a topology, not crash.
+  ShardedEngineConfig config;
+  config.shard.layout = StateLayout::Small(256, 10);
+  config.shard.fsync = false;
+  config.num_shards = 2;
+  {
+    auto fleet_or = Fleet::Create(dir_, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
+  }
+  Truncate(Path(0), 50);
+  EXPECT_EQ(Fleet::Open(dir_).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tickpoint

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/fleet.h"
 #include "engine/recovery.h"
 
 namespace tickpoint {
@@ -241,6 +242,12 @@ TEST_F(GameShardConformanceTest, SoakK2LongRun) {
   // The long-run shard the CI matrix pins at ~200 ticks (TP_GAME_SOAK_TICKS;
   // 60 locally): many staggered checkpoint generations, full flushes, and
   // cross-zone traffic before the crash, then exact recovery of both zones.
+  //
+  // TP_GAME_SOAK_UNITS additionally scales the PER-ZONE population for the
+  // nightly large-world variant (200064/zone makes the K=2 fleet exactly
+  // the paper's Table-5 400,128 units, exercising object-level dirty
+  // tracking under real update skew); the zone geometry grows to the full
+  // Table-5 map so spawn density stays sane.
   uint64_t ticks = 60;
   if (const char* env = std::getenv("TP_GAME_SOAK_TICKS")) {
     const uint64_t parsed = std::strtoull(env, nullptr, 10);
@@ -248,8 +255,17 @@ TEST_F(GameShardConformanceTest, SoakK2LongRun) {
     // bound below; keep the default instead of hanging the suite.
     if (parsed > 0) ticks = parsed;
   }
-  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2,
-                             /*threaded=*/true);
+  auto config = Config(AlgorithmKind::kCopyOnUpdate, 2,
+                       /*threaded=*/true);
+  if (const char* env = std::getenv("TP_GAME_SOAK_UNITS")) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) {
+      config.zone_world.num_units = static_cast<uint32_t>(parsed);
+      config.zone_world.map_size = 4096;
+      config.zone_world.bucket_shift = 6;
+      config.zone_world.spawn_radius = 1400;
+    }
+  }
   auto adapter_or = GameShardAdapter::Open(config);
   ASSERT_TRUE(adapter_or.ok()) << adapter_or.status().ToString();
   GameShardAdapter& adapter = *adapter_or.value();
@@ -270,6 +286,46 @@ TEST_F(GameShardConformanceTest, SoakK2LongRun) {
   // The run produced real checkpoint traffic, not just log replay.
   EXPECT_GE(adapter.engine()->CheckpointStats().checkpoints, 4u);
   EXPECT_GT(adapter.game_updates(), 0u);
+}
+
+// ---- Zone migration on the game workload ----
+
+TEST_F(GameShardConformanceTest, MigrateZoneKeepsRecoveryExact) {
+  // The MMOG zone hand-off: the Knights-and-Archers battle keeps playing
+  // while zone 1's partition moves to a fresh shard slot at a committed
+  // cut. The zone worlds follow their PARTITION (ids are stable across
+  // the move), so recovery correctness stays one digest equality per
+  // zone -- now across a fleet epoch boundary, via the no-config
+  // manifest-driven recovery.
+  const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2,
+                             /*threaded=*/true);
+  auto adapter_or = GameShardAdapter::Open(config);
+  ASSERT_TRUE(adapter_or.ok()) << adapter_or.status().ToString();
+  GameShardAdapter& adapter = *adapter_or.value();
+  ASSERT_TRUE(adapter.RunTicks(4).ok());
+  auto status = adapter.MigrateZone(1, 2);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(adapter.engine()->epoch(), 1u);
+  EXPECT_EQ(adapter.engine()->SlotOfPartition(1), 2u);
+  // The battle continues on the migrated fleet, then crashes.
+  ASSERT_TRUE(adapter.RunTicks(6).ok());
+  const uint64_t ticks = adapter.engine_ticks();
+  ASSERT_TRUE(adapter.engine()->SimulateCrash().ok());
+
+  auto recovered_or = Fleet::Recover(dir_);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  RecoveredFleet& recovered = recovered_or.value();
+  EXPECT_EQ(recovered.manifest().epoch, 1u);
+  EXPECT_EQ(recovered.manifest().assignment,
+            (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(recovered.result().fleet.min_recovered_ticks, ticks);
+  const auto golden = GameShardAdapter::GoldenZoneDigests(config, ticks - 1);
+  for (uint32_t z = 0; z < 2; ++z) {
+    EXPECT_EQ(TableStateDigest(recovered.tables()[z],
+                               config.zone_world.num_units),
+              golden[ticks - 1][z])
+        << "zone " << z << " recovered wrong across the migration";
+  }
 }
 
 // ---- Seeded randomized game-crash fuzz ----

@@ -303,6 +303,43 @@ class ShardedEngineTest : public ::testing::Test {
   std::string dir_;
 };
 
+TEST_F(ShardedEngineTest, OpenValidatesItsConfig) {
+  // Regression: num_shards == 0 and cut_lead_ticks == 0 must be caught at
+  // Open as InvalidArgument, never reach the scheduler/coordinator
+  // unchecked (a zero cut lead would arm a cut at the CURRENT tick and
+  // race the tick being assembled).
+  {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+    config.num_shards = 0;
+    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+    config.cut_lead_ticks = 0;
+    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+    config.checkpoint_period_ticks = 0;
+    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+    config.max_queue_ticks = 0;
+    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
+    config.disk_budget = 0;
+    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
 TEST_F(ShardedEngineTest, RunsAndShutsDownCleanly) {
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
   auto engine_or = ShardedEngine::Open(config);
