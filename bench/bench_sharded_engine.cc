@@ -17,6 +17,7 @@
 #include <chrono>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "engine/fleet.h"
@@ -61,6 +62,18 @@ struct FleetResult {
   /// mutator stall observed around the cut vs. the run's median tick.
   ConsistentCutReport cut;
   double max_tick_seconds = 0.0;
+  /// Mutator-side tick cost: wall time of BeginTick..EndTick (pacing sleep
+  /// excluded), summed over the run. avg/ticks_per_second derive from it.
+  double sum_tick_seconds = 0.0;
+  uint64_t ticks = 0;
+
+  double avg_tick_seconds() const {
+    return ticks > 0 ? sum_tick_seconds / static_cast<double>(ticks) : 0.0;
+  }
+  double ticks_per_second() const {
+    return sum_tick_seconds > 0 ? static_cast<double>(ticks) / sum_tick_seconds
+                                : 0.0;
+  }
 };
 
 /// One full fleet run; returns steady-state checkpoint stats (each shard's
@@ -82,7 +95,7 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
   config.adaptive = schedule == Schedule::kAdaptive;
   config.disk_budget = params.disk_budget;
   config.threaded = threaded;
-  TP_ASSIGN_OR_RETURN(auto engine, ShardedEngine::Open(config));
+  TP_ASSIGN_OR_RETURN(auto fleet, Fleet::Create(dir, config));
 
   const uint64_t num_cells = params.layout.num_cells();
   const auto start = std::chrono::steady_clock::now();
@@ -95,28 +108,30 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
   bool cut_committed = false;
   for (uint64_t tick = 0; tick < params.ticks; ++tick) {
     if (with_cut && !cut_armed && tick == request_cut_at) {
-      TP_ASSIGN_OR_RETURN(cut_tick, engine->RequestConsistentCut());
+      TP_ASSIGN_OR_RETURN(cut_tick, fleet->RequestConsistentCut());
       cut_armed = true;
     }
     const auto tick_start = std::chrono::steady_clock::now();
-    engine->BeginTick();
+    fleet->BeginTick();
     for (uint32_t shard = 0; shard < num_shards; ++shard) {
       for (uint64_t i = 0; i < params.updates_per_tick; ++i) {
         const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
-        engine->ApplyUpdate(shard, cell,
-                            static_cast<int32_t>(tick * 131 + i));
+        fleet->ApplyUpdate(shard, cell,
+                           static_cast<int32_t>(tick * 131 + i));
       }
     }
-    TP_RETURN_NOT_OK(engine->EndTick());
+    TP_RETURN_NOT_OK(fleet->EndTick());
     if (cut_armed && !cut_committed && tick == cut_tick) {
-      TP_RETURN_NOT_OK(engine->CommitConsistentCut());
+      TP_RETURN_NOT_OK(fleet->CommitConsistentCut());
       cut_committed = true;
-      result.cut = engine->last_cut_report();
+      result.cut = fleet->engine().last_cut_report();
     }
     const double tick_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       tick_start)
             .count();
+    result.sum_tick_seconds += tick_seconds;
+    ++result.ticks;
     if (tick_seconds > result.max_tick_seconds) {
       result.max_tick_seconds = tick_seconds;
     }
@@ -126,11 +141,72 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
       std::this_thread::sleep_until(start + (tick + 1) * tick_period);
     }
   }
-  TP_RETURN_NOT_OK(engine->Shutdown());
-  result.stats = engine->CheckpointStats(/*skip_first=*/true);
-  result.deferrals = engine->scheduler().deferrals();
+  TP_RETURN_NOT_OK(fleet->Shutdown());
+  result.stats = fleet->engine().CheckpointStats(/*skip_first=*/true);
+  result.deferrals = fleet->engine().scheduler().deferrals();
   std::filesystem::remove_all(dir);
   return result;
+}
+
+/// Per-tick cost of pushing a tick's batches through every mailbox AND
+/// having the runners consume them: unpaced ticks with the periodic
+/// checkpoint starts pushed past the run, timed from a warmed-up, drained
+/// start until WaitForIdle returns after the last tick. Including the
+/// drain is the point -- the mailboxes are deeper than the run, so a
+/// producer-side-only clock would reward whichever mailbox defers more
+/// runner work past the window instead of measuring pipeline overhead.
+/// Checkpoint stalls made the per-row avg tick noisy on a loaded machine;
+/// medians over `reps` runs keep the residual scheduler noise out too.
+StatusOr<double> MeasureMailboxTick(const std::string& dir,
+                                    const RunParams& params,
+                                    uint32_t num_shards, int reps) {
+  std::vector<double> avgs;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::filesystem::remove_all(dir);
+    ShardedEngineConfig config;
+    config.shard.layout = params.layout;
+    config.shard.algorithm = params.algorithm;
+    config.shard.dir = dir;
+    config.shard.fsync = params.fsync;
+    config.num_shards = num_shards;
+    config.checkpoint_period_ticks = params.ticks * 1000;
+    config.staggered = true;
+    config.threaded = true;
+    config.disk_budget = params.disk_budget;
+    TP_ASSIGN_OR_RETURN(auto fleet, Fleet::Create(dir, config));
+    const uint64_t num_cells = params.layout.num_cells();
+    const auto run_tick = [&](uint64_t tick) -> Status {
+      fleet->BeginTick();
+      for (uint32_t shard = 0; shard < num_shards; ++shard) {
+        for (uint64_t i = 0; i < params.updates_per_tick; ++i) {
+          fleet->ApplyUpdate(shard, WorkloadCell(shard, tick, i, num_cells),
+                             static_cast<int32_t>(tick * 131 + i));
+        }
+      }
+      return fleet->EndTick();
+    };
+    // Warmup absorbs the tick-0 bootstrap checkpoint and cold caches; the
+    // drain puts the clock at a known-empty pipeline state.
+    constexpr uint64_t kWarmupTicks = 8;
+    for (uint64_t tick = 0; tick < kWarmupTicks; ++tick) {
+      TP_RETURN_NOT_OK(run_tick(tick));
+    }
+    TP_RETURN_NOT_OK(fleet->WaitForIdle());
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t tick = kWarmupTicks; tick < kWarmupTicks + params.ticks;
+         ++tick) {
+      TP_RETURN_NOT_OK(run_tick(tick));
+    }
+    TP_RETURN_NOT_OK(fleet->WaitForIdle());
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    TP_RETURN_NOT_OK(fleet->Shutdown());
+    std::filesystem::remove_all(dir);
+    avgs.push_back(total / static_cast<double>(params.ticks));
+  }
+  std::sort(avgs.begin(), avgs.end());
+  return avgs[avgs.size() / 2];
 }
 
 /// One zone-migration run on the Fleet API: workload to the halfway tick,
@@ -318,10 +394,99 @@ int main(int argc, char** argv) {
       {4, Schedule::kSynchronized, true},
       {4, Schedule::kStaggered, true},
       {4, Schedule::kAdaptive, true},
+      // Mailbox-scaling rows: wide fleets stress the submit path itself
+      // (K rings fed from one mutator thread), which is what the lock-free
+      // mailbox is for. The controlled mutex-vs-ring comparison runs in
+      // the dedicated mailbox section below.
+      {8, Schedule::kStaggered, true},
+      {16, Schedule::kStaggered, true},
   };
 
+  // Median mailbox tick cost measured by the mailbox section of this
+  // bench built at the mutex-mailbox revision (microseconds); 0 means
+  // "not supplied". Reported next to the lock-free medians in the
+  // mailbox JSON rows.
+  const double baseline_k8_us =
+      ctx.flags().GetDouble("baseline-k8-tick-us", 0.0);
+  const double baseline_k16_us =
+      ctx.flags().GetDouble("baseline-k16-tick-us", 0.0);
+
+  bench::JsonEmitter json("bench_sharded_engine");
+
+  // ---- Mailbox tick overhead (checkpoint pipeline quiesced) ----
+  //
+  // The lock-free-vs-mutex comparison the mailbox rework is accountable
+  // to: median mutator-side tick cost over several checkpoint-free runs,
+  // so disk stalls (which dwarf the submit path and land at different
+  // ticks run to run) cannot decide the verdict. Runs FIRST -- before the
+  // checkpoint rows heat the disk and page cache -- so its numbers are
+  // comparable across builds and across --mailbox-only runs.
+  {
+    // 9 reps: each rep is cheap (the runs are checkpoint-free; setup
+    // dominates) and the run-to-run spread on a loaded box is wide enough
+    // that a 5-rep median still wobbles.
+    constexpr int kMailboxReps = 9;
+    TablePrinter mailbox_table(
+        {"shards", "median tick", "ticks/s", "vs mutex baseline"});
+    const struct {
+      uint32_t shards;
+      double baseline_us;
+    } mailbox_rows[] = {{8, baseline_k8_us}, {16, baseline_k16_us}};
+    for (const auto& row : mailbox_rows) {
+      auto tick_or = MeasureMailboxTick(dir, params, row.shards, kMailboxReps);
+      if (!tick_or.ok()) {
+        std::fprintf(stderr, "mailbox run failed: %s\n",
+                     tick_or.status().ToString().c_str());
+        return 1;
+      }
+      const double median = tick_or.value();
+      char vs_cell[32];
+      if (row.baseline_us > 0) {
+        std::snprintf(vs_cell, sizeof(vs_cell), "%.2fx",
+                      median / (row.baseline_us * 1e-6));
+      } else {
+        std::snprintf(vs_cell, sizeof(vs_cell), "-");
+      }
+      mailbox_table.AddRow({std::to_string(row.shards), bench::Sec(median),
+                            std::to_string(static_cast<uint64_t>(1.0 / median)),
+                            vs_cell});
+      bench::JsonEmitter::Row& json_row =
+          json.AddRow("mailbox")
+              .Int("shards", row.shards)
+              .Int("reps", kMailboxReps)
+              .Num("median_tick_seconds", median)
+              .Num("ticks_per_second", 1.0 / median);
+      if (row.baseline_us > 0) {
+        json_row.Num("mutex_baseline_avg_tick_seconds", row.baseline_us * 1e-6)
+            .Num("vs_mutex_baseline", median / (row.baseline_us * 1e-6));
+      }
+    }
+    std::printf("\n");
+    bench::Emit(mailbox_table, ctx.csv());
+    std::printf(
+        "\n# mailbox: median per-tick cost of pushing a wide threaded "
+        "fleet's tick batches through every mailbox AND draining them "
+        "(checkpoint starts pushed past the run, unpaced, timed from a "
+        "warmed-up drained start through the final WaitForIdle), over %d "
+        "runs -- the drain is included so deferred runner work cannot hide "
+        "past the window; pass --baseline-k8-tick-us/--baseline-k16-tick-us "
+        "from a mutex-mailbox build of this bench to populate the ratio\n",
+        kMailboxReps);
+  }
+
+  // --mailbox-only stops here: a fast (~2 min) run of just the section
+  // above, for producing the baseline numbers from an old-mailbox build
+  // back-to-back with the full bench on the new one (the per-tick cost
+  // swings with machine load, so the two sides should be measured within
+  // minutes of each other).
+  if (ctx.flags().GetBool("mailbox-only", false)) {
+    json.WriteFile(ctx.flags().GetString("json", "BENCH_sharded_engine.json"));
+    return 0;
+  }
+
   TablePrinter table({"shards", "mode", "schedule", "ckpts", "avg write",
-                      "max write", "avg pause", "defer", "vs solo", "model"});
+                      "max write", "avg pause", "defer", "vs solo",
+                      "avg tick", "model"});
   double solo_avg = 0.0;
   for (const RowSpec& row : rows) {
     auto result_or =
@@ -331,7 +496,8 @@ int main(int argc, char** argv) {
                    result_or.status().ToString().c_str());
       return 1;
     }
-    const ShardedCheckpointStats stats = result_or.value().stats;
+    const FleetResult& run = result_or.value();
+    const ShardedCheckpointStats stats = run.stats;
     if (row.shards == 1) solo_avg = stats.avg_total_seconds;
     const double ratio =
         solo_avg > 0 ? stats.avg_total_seconds / solo_avg : 0.0;
@@ -341,16 +507,29 @@ int main(int argc, char** argv) {
         row.schedule == Schedule::kSynchronized && row.shards > 1
             ? model_solo * row.shards
             : model_solo;
-    table.AddRow({std::to_string(row.shards),
-                  row.shards == 1 ? "solo"
-                                  : (row.threaded ? "threaded" : "inline"),
+    const char* mode = row.shards == 1 ? "solo"
+                                       : (row.threaded ? "threaded" : "inline");
+    table.AddRow({std::to_string(row.shards), mode,
                   ScheduleName(row.schedule),
                   std::to_string(stats.checkpoints),
                   bench::Sec(stats.avg_total_seconds),
                   bench::Sec(stats.max_total_seconds),
                   bench::Sec(stats.avg_sync_seconds),
-                  std::to_string(result_or.value().deferrals), ratio_cell,
-                  bench::Sec(model)});
+                  std::to_string(run.deferrals), ratio_cell,
+                  bench::Sec(run.avg_tick_seconds()), bench::Sec(model)});
+    json.AddRow("checkpoint")
+        .Int("shards", row.shards)
+        .Str("mode", mode)
+        .Str("schedule", ScheduleName(row.schedule))
+        .Int("checkpoints", stats.checkpoints)
+        .Num("avg_write_seconds", stats.avg_total_seconds)
+        .Num("max_write_seconds", stats.max_total_seconds)
+        .Num("avg_pause_seconds", stats.avg_sync_seconds)
+        .Int("deferrals", run.deferrals)
+        .Num("vs_solo", ratio)
+        .Num("avg_tick_seconds", run.avg_tick_seconds())
+        .Num("max_tick_seconds", run.max_tick_seconds)
+        .Num("ticks_per_second", run.ticks_per_second());
   }
   std::printf("\n");
   bench::Emit(table, ctx.csv());
@@ -399,6 +578,14 @@ int main(int argc, char** argv) {
                       stall_cell,
                       bench::Sec(base_or.value().max_tick_seconds),
                       bench::Sec(cut.max_tick_seconds)});
+    json.AddRow("cut")
+        .Int("shards", row.shards)
+        .Str("schedule", ScheduleName(row.schedule))
+        .Int("cut_tick", cut.cut.cut_tick)
+        .Num("commit_latency_seconds", cut.cut.commit_latency_seconds)
+        .Num("max_stall_seconds", cut.cut.max_shard_stall_seconds)
+        .Num("base_max_tick_seconds", base_or.value().max_tick_seconds)
+        .Num("cut_max_tick_seconds", cut.max_tick_seconds);
   }
   std::printf("\n");
   bench::Emit(cut_table, ctx.csv());
@@ -437,6 +624,13 @@ int main(int argc, char** argv) {
          bench::Sec(row.pre.avg_total_seconds),
          std::to_string(row.post.checkpoints),
          bench::Sec(row.post.avg_total_seconds)});
+    json.AddRow("migration")
+        .Int("shards", shards)
+        .Num("cut_commit_seconds", row.cut.commit_latency_seconds)
+        .Num("move_seconds", row.move.move_seconds)
+        .Num("reopen_seconds", row.reopen_seconds)
+        .Num("pre_avg_write_seconds", row.pre.avg_total_seconds)
+        .Num("post_avg_write_seconds", row.post.avg_total_seconds);
   }
   std::printf("\n");
   bench::Emit(migration_table, ctx.csv());
@@ -507,6 +701,16 @@ int main(int argc, char** argv) {
          std::to_string(game_row.updates),
          bench::Sec(game_row.recovery_seconds),
          game_row.digests_match ? "yes" : "NO"});
+    json.AddRow("game")
+        .Int("shards", shards)
+        .Int("checkpoints", game_row.checkpoints.checkpoints)
+        .Num("avg_write_seconds", game_row.checkpoints.avg_total_seconds)
+        .Num("max_write_seconds", game_row.checkpoints.max_total_seconds)
+        .Num("avg_tick_seconds", game_row.avg_tick_seconds)
+        .Num("max_tick_seconds", game_row.max_tick_seconds)
+        .Int("updates", game_row.updates)
+        .Num("recovery_seconds", game_row.recovery_seconds)
+        .Bool("digests_match", game_row.digests_match);
     std::filesystem::remove_all(dir);
   }
   std::printf("\n");
@@ -515,9 +719,10 @@ int main(int argc, char** argv) {
       "\n# reading: each game row runs K zone worlds (one World per shard, "
       "stepped in parallel) through the fleet with staggered starts; "
       "'updates' counts the game's own attribute writes mailed to the "
-      "engines (bulk load excluded), 'recovery' times RecoverSharded over "
-      "all K partitions, and 'exact' digest-compares every recovered "
-      "partition against its live zone world\n");
+      "engines (bulk load excluded), 'recovery' times the manifest-driven "
+      "Fleet::Recover over all K partitions, and 'exact' digest-compares "
+      "every recovered partition against its live zone world\n");
+  json.WriteFile(ctx.flags().GetString("json", "BENCH_sharded_engine.json"));
   ctx.Finish();
   return 0;
 }

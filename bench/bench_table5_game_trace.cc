@@ -63,10 +63,10 @@ int main(int argc, char** argv) {
 
   // ---- Game workload on the sharded fleet (per shard count) ----
   //
-  // K zone worlds (fleet-units units each) run behind the ShardedEngine
-  // facade with staggered checkpoints; at the end the fleet is crashed and
-  // RecoverSharded is timed, with the recovered partitions digest-checked
-  // against the live zones.
+  // K zone worlds (fleet-units units each) run behind the Fleet facade
+  // with staggered checkpoints; at the end the fleet is crashed and the
+  // manifest-driven Fleet::Recover is timed, with the recovered partitions
+  // digest-checked against the live zones.
   const uint64_t fleet_units =
       static_cast<uint64_t>(ctx.flags().GetInt64("fleet-units", 20000));
   const uint64_t fleet_ticks = ctx.flags().GetInt64("fleet-ticks", 30);
@@ -133,9 +133,9 @@ int main(int argc, char** argv) {
       "\n# reading: each row runs K zone worlds (one per shard, stepped in "
       "parallel) through the sharded engine; 'max tick / vs solo' is the "
       "worst mutator stall relative to the K=1 row (staggered starts should "
-      "keep it near 1x), 'recovery' times RecoverSharded over all K "
-      "partitions on one disk, and 'exact' digest-compares every recovered "
-      "partition against its live zone world\n");
+      "keep it near 1x), 'recovery' times the manifest-driven Fleet::Recover "
+      "over all K partitions on one disk, and 'exact' digest-compares every "
+      "recovered partition against its live zone world\n");
   ctx.Finish();
   return 0;
 }

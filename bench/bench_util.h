@@ -9,6 +9,7 @@
 #define TICKPOINT_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,88 @@ inline std::vector<AlgorithmRunResult> RunZipf(const ZipfTraceConfig& trace,
 inline std::string Sec(double seconds) {
   return TablePrinter::Seconds(seconds);
 }
+
+/// Accumulates flat key/value rows and writes them as one JSON document
+/// ({"bench": ..., "rows": [...]}), so CI can diff benchmark numbers
+/// without scraping the aligned text tables. Every row carries a
+/// "section" key naming the table it came from.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(const std::string& bench_name)
+      : bench_name_(bench_name) {}
+
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value) {
+      fields_.push_back(Quote(key) + ":" + Quote(value));
+      return *this;
+    }
+    Row& Num(const std::string& key, double value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      fields_.push_back(Quote(key) + ":" + buf);
+      return *this;
+    }
+    Row& Int(const std::string& key, uint64_t value) {
+      fields_.push_back(Quote(key) + ":" + std::to_string(value));
+      return *this;
+    }
+    Row& Bool(const std::string& key, bool value) {
+      fields_.push_back(Quote(key) + (value ? ":true" : ":false"));
+      return *this;
+    }
+
+   private:
+    friend class JsonEmitter;
+    std::vector<std::string> fields_;
+  };
+
+  /// Starts a row in `section`. The returned reference stays valid for
+  /// the emitter's lifetime (rows live in a deque).
+  Row& AddRow(const std::string& section) {
+    rows_.emplace_back();
+    return rows_.back().Str("section", section);
+  }
+
+  /// Writes the accumulated document; false (with a stderr note) when the
+  /// file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{%s:%s,%s:[", Quote("bench").c_str(),
+                 Quote(bench_name_).c_str(), Quote("rows").c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(file, "%s{", r == 0 ? "" : ",");
+      const Row& row = rows_[r];
+      for (size_t f = 0; f < row.fields_.size(); ++f) {
+        std::fprintf(file, "%s%s", f == 0 ? "" : ",",
+                     row.fields_[f].c_str());
+      }
+      std::fprintf(file, "}");
+    }
+    std::fprintf(file, "]}\n");
+    std::fclose(file);
+    std::printf("# json: %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& raw) {
+    std::string quoted = "\"";
+    for (char c : raw) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+  }
+
+  std::string bench_name_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace tickpoint

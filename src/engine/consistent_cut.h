@@ -21,7 +21,7 @@
 //   leaves no committed manifest, and recovery falls back to per-shard
 //   exact recovery as if no cut had been attempted.
 //
-// The manifest is what makes RecoverShardedToCut possible: it pins the
+// The manifest is what makes Fleet::RecoverToCut possible: it pins the
 // fleet to tick T even when later staggered checkpoints exist on disk.
 #ifndef TICKPOINT_ENGINE_CONSISTENT_CUT_H_
 #define TICKPOINT_ENGINE_CONSISTENT_CUT_H_

@@ -9,9 +9,8 @@ namespace tickpoint {
 namespace {
 
 /// True when `root` holds shard directories from a pre-manifest fleet
-/// (created by the deprecated direct ShardedEngine::Open, which wrote no
-/// superblock): data Create must refuse to clobber even though no
-/// manifest announces it.
+/// (created before fleets wrote a superblock): data Create must refuse
+/// to clobber even though no manifest announces it.
 bool HasShardDirs(const std::string& root) {
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
@@ -54,10 +53,9 @@ StatusOr<std::unique_ptr<Fleet>> Fleet::Create(
     return Status::FailedPrecondition(
         root + " holds shard directories but no fleet manifest (a "
                "pre-manifest fleet, or an interrupted Fleet::Create); "
-               "Fleet::Create never clobbers existing shard data. Resume "
-               "a pre-manifest fleet via the deprecated RecoverSharded + "
-               "ShardedEngine::OpenResumed, or remove the shard-* "
-               "directories to discard them and re-run Create");
+               "Fleet::Create never clobbers existing shard data. Remove "
+               "the shard-* directories to discard them and re-run "
+               "Create");
   }
   ShardedEngineConfig create_config = config;
   create_config.shard.dir = root;

@@ -3,9 +3,9 @@
 //
 // The paper's recovery model assumes the restarting server knows the
 // crashed server's exact configuration; the pre-manifest API inherited
-// that (RecoverSharded and ShardedEngine::OpenResumed only work when the
-// caller re-supplies a bit-identical ShardedEngineConfig). The Fleet
-// handle retires the assumption: Fleet::Create persists a durable
+// that (its config-supplying recovery shims only worked when the caller
+// re-supplied a bit-identical ShardedEngineConfig; they are gone). The
+// Fleet handle retires the assumption: Fleet::Create persists a durable
 // FleetManifest superblock (fleet_manifest.h) next to the data, and
 // Fleet::Open / Fleet::Recover discover topology, layout, algorithm, disk
 // organization, and every knob from it -- the disk tells you.
@@ -130,8 +130,8 @@ class Fleet {
     return engine_->last_migration_report();
   }
 
-  /// The underlying engine (for stats, per-shard inspection, and the
-  /// not-yet-migrated call sites).
+  /// The underlying engine (for stats and per-shard inspection; the fleet
+  /// stays the only construction path).
   ShardedEngine& engine() { return *engine_; }
   const ShardedEngine& engine() const { return *engine_; }
 

@@ -117,59 +117,9 @@ void AccumulateShard(const RecoveryResult& shard_result, uint32_t shard,
   result->shards.push_back(shard_result);
 }
 
-Status ValidateShardedConfig(const ShardedEngineConfig& config) {
-  if (config.num_shards == 0) {
-    return Status::InvalidArgument("num_shards must be positive");
-  }
-  if (config.shard.dir.empty()) {
-    return Status::InvalidArgument("ShardedEngineConfig.shard.dir must be set");
-  }
-  return Status::OK();
-}
-
-/// Identity partition assignment for the deprecated config-supplying
-/// entry points.
-std::vector<uint32_t> IdentityAssignment(uint32_t num_shards) {
-  std::vector<uint32_t> assignment(num_shards);
-  for (uint32_t p = 0; p < num_shards; ++p) assignment[p] = p;
-  return assignment;
-}
-
-/// The deprecated shims assume partition p lives in shard-p. If the
-/// durable manifest says otherwise -- the fleet migrated partitions, or
-/// was created with a different K -- recovering by that assumption would
-/// silently rebuild stale directories; refuse instead.
-Status GuardLegacyAssignment(const ShardedEngineConfig& config) {
-  auto manifest_or = ReadNewestFleetManifest(config.shard.dir);
-  if (!manifest_or.ok()) {
-    if (manifest_or.status().code() == StatusCode::kNotFound) {
-      // Pre-manifest directory: the caller-supplied config is the only
-      // source of truth there is -- keep the legacy behavior.
-      return Status::OK();
-    }
-    // Anything else PROVES a manifest-era fleet whose topology this
-    // binary cannot learn: a future version may describe a migration it
-    // cannot parse, and a corrupt superblock may hide one (stale
-    // pre-migration directories can linger after a best-effort retire).
-    // Recovering by the identity assumption could silently resurrect
-    // stale state; refuse, exactly as the manifest-driven path does.
-    return manifest_or.status();
-  }
-  const FleetManifest& manifest = manifest_or.value();
-  if (manifest.num_partitions != config.num_shards ||
-      !manifest.IsIdentityAssignment()) {
-    return Status::FailedPrecondition(
-        "fleet manifest under " + config.shard.dir + " (epoch " +
-        std::to_string(manifest.epoch) +
-        ") records a topology the deprecated config-supplying recovery "
-        "cannot reproduce; use Fleet::Recover / RecoverFleet");
-  }
-  return Status::OK();
-}
-
 /// Shared per-partition crash-recovery loop: partition p restores from the
 /// shard directory `assignment[p]` names.
-StatusOr<ShardedRecoveryResult> RecoverShardedImpl(
+StatusOr<ShardedRecoveryResult> RecoverPartitionsImpl(
     const ShardedEngineConfig& config,
     const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
   ShardedRecoveryResult result;
@@ -188,14 +138,6 @@ StatusOr<ShardedRecoveryResult> RecoverShardedImpl(
 }
 
 }  // namespace
-
-StatusOr<ShardedRecoveryResult> RecoverSharded(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
-  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
-  TP_RETURN_NOT_OK(GuardLegacyAssignment(config));
-  return RecoverShardedImpl(config, IdentityAssignment(config.num_shards),
-                            out);
-}
 
 StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
                                        uint64_t cut_tick, StateTable* out) {
@@ -227,7 +169,7 @@ StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
 namespace {
 
 /// Shared cut-recovery body, parameterized by the partition assignment.
-StatusOr<ShardedCutRecoveryResult> RecoverShardedToCutImpl(
+StatusOr<ShardedCutRecoveryResult> RecoverPartitionsToCutImpl(
     const ShardedEngineConfig& config,
     const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
   ShardedCutRecoveryResult result;
@@ -244,7 +186,7 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCutImpl(
   }
   if (!manifest_or.ok()) {
     TP_ASSIGN_OR_RETURN(result.fleet,
-                        RecoverShardedImpl(config, assignment, out));
+                        RecoverPartitionsImpl(config, assignment, out));
     return result;
   }
   const CutManifest& manifest = manifest_or.value();
@@ -271,13 +213,13 @@ StatusOr<ShardedCutRecoveryResult> RecoverShardedToCutImpl(
     if (!shard_or.ok()) {
       if (shard_or.status().code() == StatusCode::kCorruption) {
         // The manifest is committed but its cut is no longer reproducible
-        // from this shard's durable sources -- e.g. a death during
-        // ShardedEngine::OpenResumed after this shard's bootstrap
-        // truncated the logical log the (older) cut depended on. Same
+        // from this shard's durable sources -- e.g. a death during a
+        // fleet resume after this shard's bootstrap truncated the
+        // logical log the (older) cut depended on. Same
         // treatment as a torn manifest: per-shard exact fallback
         // (clears and refills `out`).
         ShardedCutRecoveryResult fallback;
-        auto fallback_or = RecoverShardedImpl(config, assignment, out);
+        auto fallback_or = RecoverPartitionsImpl(config, assignment, out);
         if (!fallback_or.ok()) return fallback_or.status();
         fallback.fleet = std::move(fallback_or).value();
         return fallback;
@@ -312,21 +254,13 @@ StatusOr<FleetManifest> ReadManifestForRecovery(const std::string& root) {
 
 }  // namespace
 
-StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out) {
-  TP_RETURN_NOT_OK(ValidateShardedConfig(config));
-  TP_RETURN_NOT_OK(GuardLegacyAssignment(config));
-  return RecoverShardedToCutImpl(config,
-                                 IdentityAssignment(config.num_shards), out);
-}
-
 StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
                                             std::vector<StateTable>* out) {
   FleetRecoveryOutcome outcome;
   TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
   const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
                                                         root);
-  auto fleet_or = RecoverShardedImpl(config, outcome.manifest.assignment,
+  auto fleet_or = RecoverPartitionsImpl(config, outcome.manifest.assignment,
                                      out);
   if (!fleet_or.ok()) return fleet_or.status();
   outcome.result.fleet = std::move(fleet_or).value();
@@ -339,7 +273,7 @@ StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(
   TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
   const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
                                                         root);
-  auto cut_or = RecoverShardedToCutImpl(config, outcome.manifest.assignment,
+  auto cut_or = RecoverPartitionsToCutImpl(config, outcome.manifest.assignment,
                                         out);
   if (!cut_or.ok()) return cut_or.status();
   outcome.result = std::move(cut_or).value();

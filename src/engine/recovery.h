@@ -1,15 +1,12 @@
 // Crash recovery (paper Sections 3.1 and 4.2): restore the newest complete
 // checkpoint, then replay the logical log to the crash tick.
 //
-// Fleet-level recovery comes in two generations:
-//   - RecoverFleet/RecoverFleetToCut read the durable fleet manifest and
-//     need only the fleet ROOT -- topology, layout, algorithm, and every
-//     knob come from disk (the Fleet API builds on these);
-//   - RecoverSharded/RecoverShardedToCut are the DEPRECATED config-
-//     supplying shims: they assume the identity partition assignment and
-//     refuse (FailedPrecondition) when the manifest shows the fleet has
-//     migrated partitions, instead of silently recovering stale
-//     directories.
+// Fleet-level recovery is manifest-driven: RecoverFleet/RecoverFleetToCut
+// read the durable fleet manifest and need only the fleet ROOT --
+// topology, layout, algorithm, and every knob come from disk (the Fleet
+// API builds on these). The config-supplying fleet shims of earlier
+// generations are gone; the only config-taking entry point left is the
+// single-Engine Recover/RecoverToTick pair.
 #ifndef TICKPOINT_ENGINE_RECOVERY_H_
 #define TICKPOINT_ENGINE_RECOVERY_H_
 
@@ -69,13 +66,6 @@ struct ShardedRecoveryResult {
   double total_seconds() const { return restore_seconds + replay_seconds; }
 };
 
-/// Rebuilds every shard of an engine previously run with `config`. `out` is
-/// cleared and refilled with num_shards tables in shard order. Each shard
-/// restores from its own newest complete checkpoint (whatever generation it
-/// reached before the crash) and replays its own logical log.
-StatusOr<ShardedRecoveryResult> RecoverSharded(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out);
-
 /// Rebuilds one shard's state at EXACTLY the end of `cut_tick`, even when
 /// newer checkpoints exist: restores the newest image consistent no later
 /// than cut_tick + 1 (or starts from zeroed state when the logical log
@@ -92,22 +82,13 @@ struct ShardedCutRecoveryResult {
   /// exactly `cut_tick`. False: no usable cut -- no committed manifest
   /// (never cut, crash before the commit, a torn manifest file), or the
   /// manifest's cut is no longer reproducible from some shard's durable
-  /// sources (a death mid-ShardedEngine::OpenResumed can truncate a log
-  /// an older cut depended on) -- and `fleet` holds the per-shard exact
+  /// sources (a death mid-fleet-resume can truncate a log an older cut
+  /// depended on) -- and `fleet` holds the per-shard exact
   /// fallback, each shard at its own crash tick.
   bool used_manifest = false;
   uint64_t cut_tick = 0;
   ShardedRecoveryResult fleet;
 };
-
-/// Restores every shard of a fleet previously run with `config` to the
-/// committed consistent cut: each shard lands at exactly the manifest's
-/// cut tick, however far past it the shard's own staggered checkpoints
-/// got. Falls back to RecoverSharded (per-shard exactness, no common tick)
-/// when no committed manifest is found, the manifest is torn, or a shard
-/// can no longer reproduce the cut from its durable sources.
-StatusOr<ShardedCutRecoveryResult> RecoverShardedToCut(
-    const ShardedEngineConfig& config, std::vector<StateTable>* out);
 
 /// Outcome of a manifest-driven fleet recovery: what the disk said the
 /// fleet IS, plus the per-partition recovery results.
@@ -131,8 +112,8 @@ StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
                                             std::vector<StateTable>* out);
 
 /// Like RecoverFleet, but lands the fleet on the committed consistent cut
-/// when one is reproducible (RecoverShardedToCut semantics, with the
-/// partition assignment read from the fleet manifest).
+/// when one is reproducible (per-shard exact fallback otherwise), with the
+/// partition assignment read from the fleet manifest.
 StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(const std::string& root,
                                                  std::vector<StateTable>* out);
 

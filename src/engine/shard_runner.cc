@@ -1,17 +1,59 @@
 #include "engine/shard_runner.h"
 
+#include <chrono>
+
+#include "util/sched_fuzz.h"
+
 namespace tickpoint {
+
+namespace {
+
+/// Wait-loop pacing: spin briefly (the other thread is usually mid-batch
+/// and will free a slot or push within microseconds), then yield a few
+/// times, then tell the caller to park on its futex word. Parking matters
+/// beyond idle-CPU hygiene: on few cores a polling waiter steals the very
+/// timeslices the thread it waits on needs.
+class Backoff {
+ public:
+  /// One cheap wait step. Returns true while still in the spin/yield
+  /// phase; false once the caller should block on std::atomic::wait.
+  bool Spin() {
+    TP_SCHED_FUZZ_POINT();
+    if (rounds_ < kSpinRounds) {
+      ++rounds_;
+      return true;
+    }
+    if (rounds_ < kSpinRounds + kYieldRounds) {
+      ++rounds_;
+      std::this_thread::yield();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Busy-spinning only helps when the peer can run on another core; on a
+  /// single hardware thread it burns exactly the timeslice the peer needs,
+  /// so go straight to yield there.
+  static inline const int kSpinRounds =
+      std::thread::hardware_concurrency() > 1 ? 32 : 0;
+  static constexpr int kYieldRounds = 2;
+
+  int rounds_ = 0;
+};
+
+}  // namespace
 
 ShardRunner::ShardRunner(uint32_t shard_id, std::unique_ptr<Engine> engine,
                          bool threaded, uint64_t max_queue_ticks,
                          CheckpointObserver observer)
     : shard_id_(shard_id),
       threaded_(threaded),
-      max_queue_ticks_(max_queue_ticks),
       engine_(std::move(engine)),
-      observer_(std::move(observer)) {
+      observer_(std::move(observer)),
+      mailbox_(static_cast<size_t>(max_queue_ticks)) {
   TP_CHECK(engine_ != nullptr);
-  TP_CHECK(max_queue_ticks_ > 0);
+  TP_CHECK(max_queue_ticks > 0);
   if (threaded_) {
     thread_ = std::thread([this] { ThreadMain(); });
   }
@@ -25,67 +67,105 @@ void ShardRunner::SubmitTick(ShardTickBatch batch) {
     ticks_completed_.fetch_add(1, std::memory_order_release);
     return;
   }
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    TP_CHECK(!stop_);
-    // Backpressure: bound how far the fleet can run ahead of a slow shard.
-    batch_done_cv_.wait(
-        lock, [this] { return mailbox_.size() < max_queue_ticks_; });
-    mailbox_.push_back(std::move(batch));
-    ++ticks_submitted_;
+  TP_CHECK(!stop_.load(std::memory_order_relaxed));
+  // Backpressure: bound how far the fleet can run ahead of a slow shard.
+  // TryPush fails only while the ring holds max_queue_ticks batches; the
+  // wait parks on the completion count (every completion was preceded by
+  // the pop that frees a slot), re-trying the push after reading it so a
+  // pop in that window cannot be missed.
+  Backoff backoff;
+  while (!mailbox_.TryPush(std::move(batch))) {
+    if (backoff.Spin()) continue;
+    const uint32_t seen = slots_signal_.load(std::memory_order_acquire);
+    if (mailbox_.TryPush(std::move(batch))) break;
+    slots_signal_.wait(seen, std::memory_order_acquire);
   }
-  batch_ready_cv_.notify_one();
+  ++ticks_submitted_;
+  submit_signal_.fetch_add(1, std::memory_order_release);
+  submit_signal_.notify_one();
 }
 
 Status ShardRunner::Drain() {
   if (threaded_) {
-    std::unique_lock<std::mutex> lock(mu_);
-    batch_done_cv_.wait(lock, [this] {
-      return ticks_completed_.load(std::memory_order_acquire) ==
-             ticks_submitted_;
-    });
+    // Announce the target, then wait on the drain generation: the
+    // consumer notifies it exactly once, when the completion count
+    // reaches the target, so the producer does not wake (and burn the
+    // core) on every intermediate completion. The seq_cst store of the
+    // target before the seq_cst completion re-check pairs with the
+    // consumer's completion bump before its target read -- one side of
+    // that Dekker handshake always observes the other.
+    const uint64_t target = ticks_submitted_;
+    drain_target_.store(target, std::memory_order_seq_cst);
+    Backoff backoff;
+    for (;;) {
+      if (ticks_completed_.load(std::memory_order_seq_cst) >= target) break;
+      if (backoff.Spin()) continue;
+      const uint32_t seen = drain_gen_.load(std::memory_order_acquire);
+      if (ticks_completed_.load(std::memory_order_seq_cst) >= target) break;
+      drain_gen_.wait(seen, std::memory_order_acquire);
+    }
+    // Disarm so steady-state completions skip the target check's notify
+    // (0 is never a live target: a zero-submission drain never waits).
+    drain_target_.store(0, std::memory_order_relaxed);
   }
   return status();
 }
 
 void ShardRunner::Stop() {
   if (!threaded_ || !thread_.joinable()) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  batch_ready_cv_.notify_one();
+  stop_.store(true, std::memory_order_release);
+  // Wake a consumer parked on an empty mailbox so it can observe stop_.
+  submit_signal_.fetch_add(1, std::memory_order_release);
+  submit_signal_.notify_one();
   thread_.join();
 }
 
 Status ShardRunner::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_error_.load(std::memory_order_acquire)) return Status::OK();
   return first_error_;
 }
 
 void ShardRunner::ThreadMain() {
+  Backoff backoff;
   for (;;) {
     ShardTickBatch batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      batch_ready_cv_.wait(lock,
-                           [this] { return !mailbox_.empty() || stop_; });
+    while (!mailbox_.TryPop(&batch)) {
       // Drain the mailbox before honoring stop: Stop() is a barrier, not
       // an abort (SimulateCrash relies on every shard reaching the fleet
-      // tick before the crash lands).
-      if (mailbox_.empty()) return;
-      batch = std::move(mailbox_.front());
-      mailbox_.pop_front();
+      // tick before the crash lands). The producer sets stop_ only after
+      // its last push, so one more pop attempt after seeing stop_ decides
+      // emptiness exactly.
+      if (stop_.load(std::memory_order_acquire)) {
+        if (!mailbox_.TryPop(&batch)) return;
+        break;
+      }
+      if (backoff.Spin()) continue;
+      // Park until the producer pushes or stops: the mailbox is re-tried
+      // after reading the signal, so a push (which bumps the signal
+      // afterwards) in that window either satisfies the retry or makes
+      // the wait return immediately.
+      const uint32_t seen = submit_signal_.load(std::memory_order_acquire);
+      if (mailbox_.TryPop(&batch)) break;
+      if (stop_.load(std::memory_order_acquire)) continue;
+      submit_signal_.wait(seen, std::memory_order_acquire);
     }
+    backoff = Backoff();
+    // The pop above freed a ring slot; wake a full-mailbox SubmitTick now
+    // rather than a whole batch-processing later. notify_one: the facade
+    // thread is the only producer, so at most one waiter exists.
+    slots_signal_.fetch_add(1, std::memory_order_release);
+    slots_signal_.notify_one();
     ProcessBatch(batch);
-    {
-      // Publish completion under mu_: Drain/SubmitTick re-check their
-      // predicates under the same lock, so the notify can never be lost
-      // between a predicate check and the wait.
-      std::lock_guard<std::mutex> lock(mu_);
-      ticks_completed_.fetch_add(1, std::memory_order_release);
+    const uint64_t completed =
+        ticks_completed_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    // Dekker partner of Drain: the completion bump (seq_cst RMW) precedes
+    // the target read, so a drain that armed its target before our bump
+    // is seen here, and one that armed it after re-reads our completion.
+    const uint64_t target = drain_target_.load(std::memory_order_seq_cst);
+    if (target != 0 && completed >= target) {
+      drain_gen_.fetch_add(1, std::memory_order_release);
+      drain_gen_.notify_one();
     }
-    batch_done_cv_.notify_all();
   }
 }
 
@@ -104,17 +184,32 @@ void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
   }
   const Status status = engine_->EndTick();
   if (!status.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_error_.ok()) first_error_ = status;
-    }
+    // Write the payload, then release the flag: status() readers acquire
+    // the flag before touching first_error_.
+    first_error_ = status;
     has_error_.store(true, std::memory_order_release);
     return;
+  }
+  const auto& records = engine_->metrics().checkpoints;
+  if (batch.cut_checkpoint) {
+    // The cut checkpoint is written synchronously inside this EndTick, so
+    // its record is the newest one started at exactly this tick. Publish
+    // the ack slot (payload first, then the release flag) so the
+    // coordinator can fold it without quiescing the runner.
+    for (size_t i = records.size(); i-- > 0;) {
+      if (records[i].cut && records[i].start_tick == batch.tick) {
+        cut_ack_.checkpoint_seq = records[i].seq;
+        cut_ack_.consistent_ticks = records[i].consistent_ticks;
+        cut_ack_.stall_seconds = records[i].cut_stall_seconds;
+        TP_SCHED_FUZZ_POINT();
+        cut_acked_.store(true, std::memory_order_release);
+        break;
+      }
+    }
   }
   if (!observer_) return;
   // EndTick finalizes drained checkpoints; report the new records (they
   // finished during this tick's end).
-  const auto& records = engine_->metrics().checkpoints;
   while (checkpoints_reported_ < records.size()) {
     observer_(shard_id_, records[checkpoints_reported_], batch.tick);
     ++checkpoints_reported_;

@@ -1,7 +1,8 @@
 // One shard's mutator thread: a ShardRunner owns the shard's Engine and
-// drives it with per-tick update batches pulled from a mutex+cv mailbox, so
-// K shards tick concurrently the way K real zone servers would, instead of
-// being multiplexed onto the facade's thread.
+// drives it with per-tick update batches pulled from a lock-free bounded
+// SPSC ring (util/spsc_ring.h), so K shards tick concurrently the way K
+// real zone servers would, instead of being multiplexed onto the facade's
+// thread.
 //
 // The facade (ShardedEngine) stays the single producer: it submits one
 // ShardTickBatch per fleet tick carrying the tick's updates and the stagger
@@ -9,6 +10,23 @@
 // its own thread (the engine's mutator thread in the Engine thread-safety
 // contract); the engine's writer thread continues to flush checkpoints
 // underneath it, so a K-shard fleet runs 2K threads plus the caller.
+//
+// The mailbox contract (unchanged from the mutex+cv generation, asserted
+// by tests/shard_runner_test.cc):
+//   - SubmitTick blocks while the mailbox holds max_queue_ticks batches,
+//     so the producer never leads the runner by more than max_queue_ticks
+//     queued batches plus the one batch mid-application.
+//   - Drain is a barrier: it returns only when every submitted batch has
+//     been consumed, and returns the sticky error status.
+//   - Stop drains the mailbox before honoring the stop (a barrier, not an
+//     abort) and is idempotent.
+// All cross-thread state is a handful of atomics: the ring indices, the
+// completion counter, the submit signal, the sticky-error flag, and the
+// cut-ack slot. Waits (empty mailbox on the consumer; full mailbox and
+// Drain on the producer) spin briefly, then park on a std::atomic
+// wait/notify word -- the fast path stays lock-free while an idle or
+// oversubscribed fleet stays off the CPU (on few cores, a polling
+// consumer would otherwise starve the producer it is waiting on).
 //
 // Failure semantics: the first Engine error is sticky. After it, the
 // runner discards later batches (counting them as consumed so Drain/Stop
@@ -18,16 +36,14 @@
 #define TICKPOINT_ENGINE_SHARD_RUNNER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.h"
+#include "util/spsc_ring.h"
 
 namespace tickpoint {
 
@@ -53,6 +69,16 @@ class ShardRunner {
   using CheckpointObserver = std::function<void(
       uint32_t shard, const EngineCheckpointRecord& record,
       uint64_t completion_tick)>;
+
+  /// One shard's durable consistent-cut acknowledgement: published by the
+  /// runner the moment its cut checkpoint record lands, folded wait-free
+  /// by the cut coordinator (no runner barrier, no shared mutex).
+  struct CutAck {
+    uint64_t checkpoint_seq = 0;
+    uint64_t consistent_ticks = 0;
+    /// Mutator block inside the cut tick's EndTick.
+    double stall_seconds = 0.0;
+  };
 
   /// Takes ownership of `engine`. threaded=true spawns the mutator thread;
   /// threaded=false applies batches synchronously on the submitting thread
@@ -85,11 +111,13 @@ class ShardRunner {
   /// destructor. After Stop, engine() may be used from any thread.
   void Stop();
 
-  /// Cheap poll: has the sticky error fired? (relaxed atomic, no lock)
+  /// Cheap poll: has the sticky error fired? (atomic, no lock)
   bool has_error() const {
     return has_error_.load(std::memory_order_acquire);
   }
-  /// The sticky first error.
+  /// The sticky first error. (Written once by the runner before the
+  /// has_error_ release-store, so reading it after an acquire-load of
+  /// has_error_ is race-free.)
   Status status() const;
 
   uint32_t shard_id() const { return shard_id_; }
@@ -97,6 +125,18 @@ class ShardRunner {
   uint64_t ticks_completed() const {
     return ticks_completed_.load(std::memory_order_acquire);
   }
+
+  /// Resets the cut-ack slot. Called by the coordinator's thread when a
+  /// cut is armed, strictly before the cut tick's batch is submitted (the
+  /// ring's release/acquire pair orders the reset before the publish).
+  void ArmCutAck() { cut_acked_.store(false, std::memory_order_release); }
+  /// Has this shard's cut checkpoint landed? (acquire: a true result
+  /// makes the cut_ack() fields visible)
+  bool cut_acked() const {
+    return cut_acked_.load(std::memory_order_acquire);
+  }
+  /// Valid once cut_acked() returned true.
+  const CutAck& cut_ack() const { return cut_ack_; }
 
   /// The owned engine. Per the Engine thread-safety contract, callers may
   /// touch it only while the runner is quiesced (after Drain/Stop, or
@@ -107,26 +147,50 @@ class ShardRunner {
  private:
   void ThreadMain();
   /// BeginTick + updates + checkpoint request + EndTick on the engine;
-  /// records the sticky error and reports finished checkpoints.
+  /// records the sticky error, publishes the cut ack, and reports
+  /// finished checkpoints.
   void ProcessBatch(const ShardTickBatch& batch);
 
   const uint32_t shard_id_;
   const bool threaded_;
-  const uint64_t max_queue_ticks_;
   std::unique_ptr<Engine> engine_;
   CheckpointObserver observer_;
   size_t checkpoints_reported_ = 0;  // mutator thread only
 
-  mutable std::mutex mu_;
-  std::condition_variable batch_ready_cv_;  // signals the mutator thread
-  std::condition_variable batch_done_cv_;   // signals producer/Drain
-  std::deque<ShardTickBatch> mailbox_;
-  uint64_t ticks_submitted_ = 0;
-  bool stop_ = false;
-  Status first_error_;  // guarded by mu_
+  SpscRing<ShardTickBatch> mailbox_;
+  uint64_t ticks_submitted_ = 0;  // producer thread only
+  std::atomic<bool> stop_{false};
+
+  /// Futex words. 32-bit on purpose: libstdc++ waits on a futex-sized
+  /// atomic directly, where a 64-bit word goes through the shared
+  /// 16-bucket proxy pool -- a measurable cost with 2K+1 threads parking
+  /// (wraparound is harmless; the words are only compared by wait).
+  ///
+  /// The consumer parks on submit_signal_ when the mailbox is empty:
+  /// bumped (then notified) after every push and by Stop. The consumer
+  /// re-checks the mailbox between reading it and waiting, so a push in
+  /// that window cannot be missed.
+  std::atomic<uint32_t> submit_signal_{0};
+  /// A full-mailbox SubmitTick parks on slots_signal_: bumped (then
+  /// notified) right after the pop that frees the slot -- not after the
+  /// batch is processed, so backpressure wakes a whole batch earlier.
+  std::atomic<uint32_t> slots_signal_{0};
+  /// Drain parks on drain_gen_, notified exactly once: the producer
+  /// announces its target in drain_target_ before waiting, and the
+  /// consumer bumps drain_gen_ only when the completion count reaches it.
+  /// The seq_cst store/load pairs around drain_target_/ticks_completed_
+  /// (a Dekker handshake) guarantee that either the consumer sees the
+  /// target or the producer's re-check sees the completion.
+  std::atomic<uint32_t> drain_gen_{0};
+  std::atomic<uint64_t> drain_target_{0};
 
   std::atomic<uint64_t> ticks_completed_{0};
   std::atomic<bool> has_error_{false};
+  Status first_error_;  // written once before the has_error_ release
+
+  CutAck cut_ack_;  // written before the cut_acked_ release
+  std::atomic<bool> cut_acked_{false};
+
   std::thread thread_;
 };
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "engine/paths.h"
 #include "util/io.h"
+#include "util/sched_fuzz.h"
 
 namespace tickpoint {
 
@@ -187,14 +189,14 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
     // every shard's bootstrap checkpoint is durable. A death anywhere
     // inside the resume loop above therefore leaves the manifest in
     // place: when the fleet was resumed from the cut itself (first_tick
-    // == cut_tick + 1, the RecoverShardedToCut workflow), each
+    // == cut_tick + 1, the Fleet::RecoverToCut workflow), each
     // already-resumed shard's bootstrap IS a valid image at the cut and
-    // the untouched shards still carry their pre-crash sources, so
-    // RecoverShardedToCut reproduces the fleet-consistent state at the
-    // cut exactly. When the manifest's cut is older than first_tick, the
-    // resumed shards can no longer reproduce it and recovery falls back
-    // to per-shard exactness (see RecoverShardedToCut) -- but the
-    // restore point is never destroyed while it was still reachable.
+    // the untouched shards still carry their pre-crash sources, so cut
+    // recovery reproduces the fleet-consistent state at the cut exactly.
+    // When the manifest's cut is older than first_tick, the resumed
+    // shards can no longer reproduce it and recovery falls back to
+    // per-shard exactness (see RecoverFleetToCut) -- but the restore
+    // point is never destroyed while it was still reachable.
     TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
   }
   if (write_manifest_after_open) {
@@ -283,6 +285,10 @@ StatusOr<uint64_t> ShardedEngine::RequestConsistentCut() {
   if (failed_) return first_error_;
   TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
                       cut_.Arm(tick_, config_.cut_lead_ticks));
+  // Reset every shard's ack slot before the cut tick's batches can be
+  // submitted: the mailbox's release/acquire pair orders the reset before
+  // any runner can publish the new cut's ack.
+  for (auto& runner : runners_) runner->ArmCutAck();
   cut_armed_at_ = std::chrono::steady_clock::now();
   return cut_tick;
 }
@@ -299,34 +305,38 @@ Status ShardedEngine::CommitConsistentCut() {
         " has not been submitted yet (fleet tick " + std::to_string(tick_) +
         ")");
   }
-  // Gather the acks: the barrier parks every runner past the cut tick, at
-  // which point each shard's cut checkpoint record is final and durable
-  // (the cut EndTick wrote it synchronously).
-  const Status barrier = WaitForIdle();
-  if (!barrier.ok()) {
-    cut_.Disarm();
-    return barrier;
-  }
+  // Fold the per-shard ack slots, wait-free on the runners: each slot is
+  // release-published by its runner the instant the cut checkpoint record
+  // lands (the cut EndTick wrote it synchronously), so the commit never
+  // quiesces the fleet -- shards keep consuming post-cut ticks while the
+  // coordinator waits only for the slowest cut write itself.
   std::vector<CutShardRecord> acks;
   acks.reserve(runners_.size());
   double max_stall = 0.0;
   for (uint32_t i = 0; i < runners_.size(); ++i) {
-    const auto& records = runners_[i]->engine().metrics().checkpoints;
-    const EngineCheckpointRecord* ack = nullptr;
-    for (auto it = records.rbegin(); it != records.rend(); ++it) {
-      if (it->cut && it->start_tick == cut_tick) {
-        ack = &*it;
-        break;
+    ShardRunner& runner = *runners_[i];
+    for (;;) {
+      if (runner.cut_acked()) break;
+      if (runner.has_error()) {
+        cut_.Disarm();
+        return PollShardError();
       }
+      if (runner.ticks_completed() > cut_tick) {
+        // The cut batch fully completed (the acquire load above makes any
+        // published ack visible), yet no ack and no error: the engine
+        // broke the cut contract.
+        if (runner.cut_acked()) break;
+        cut_.Disarm();
+        return Status::Internal("shard " + std::to_string(i) +
+                                " produced no cut checkpoint at tick " +
+                                std::to_string(cut_tick));
+      }
+      TP_SCHED_FUZZ_POINT();
+      std::this_thread::yield();
     }
-    if (ack == nullptr) {
-      cut_.Disarm();
-      return Status::Internal("shard " + std::to_string(i) +
-                              " produced no cut checkpoint at tick " +
-                              std::to_string(cut_tick));
-    }
-    acks.push_back(CutShardRecord{ack->seq, ack->consistent_ticks});
-    max_stall = std::max(max_stall, ack->cut_stall_seconds);
+    const ShardRunner::CutAck& ack = runner.cut_ack();
+    acks.push_back(CutShardRecord{ack.checkpoint_seq, ack.consistent_ticks});
+    max_stall = std::max(max_stall, ack.stall_seconds);
   }
   TP_RETURN_NOT_OK(cut_.Commit(acks));
   last_committed_cut_tick_ = cut_tick;

@@ -22,7 +22,12 @@
 // RequestConsistentCut/CommitConsistentCut layer the two-phase fleet-wide
 // cut protocol (consistent_cut.h) on top: every shard checkpoints at one
 // coordinator-chosen tick T, and a committed cut manifest lets
-// RecoverShardedToCut restore the whole fleet to exactly T.
+// Fleet::RecoverToCut restore the whole fleet to exactly T.
+//
+// Construction is Fleet-only: ShardedEngine::Open/OpenResumed are private
+// entry points reached through Fleet::Create and RecoveredFleet::Resume
+// (the disk-described lifecycle); there is no public config-supplying way
+// to open a fleet.
 #ifndef TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 #define TICKPOINT_ENGINE_SHARDED_ENGINE_H_
 
@@ -39,6 +44,9 @@
 #include "engine/stagger_scheduler.h"
 
 namespace tickpoint {
+
+class Fleet;
+class RecoveredFleet;
 
 /// Sharded-engine construction parameters.
 struct ShardedEngineConfig {
@@ -126,29 +134,6 @@ ShardedEngineConfig ConfigFromManifest(const FleetManifest& manifest,
 /// asynchronously on their own mutator threads.
 class ShardedEngine {
  public:
-  static StatusOr<std::unique_ptr<ShardedEngine>> Open(
-      const ShardedEngineConfig& config);
-
-  /// Fleet restart: re-opens every shard from recovered state -- the
-  /// output of RecoverSharded or RecoverShardedToCut, one table per shard
-  /// in shard order -- and resumes the fleet tick counter at `first_tick`
-  /// (crash recovery: the crash fleet's recovered_ticks; cut recovery:
-  /// cut_tick + 1). Each shard runs Engine::OpenResumed, so per shard a
-  /// synchronous bootstrap checkpoint is written, numbered above every
-  /// stale pre-crash image, before the new logical log starts: a crash at
-  /// ANY later point -- including before the fleet's first resumed tick --
-  /// recovers to at least `first_tick`. Blocks for K sequential bootstrap
-  /// writes; this is fleet restart downtime, not gameplay latency. The
-  /// previous incarnation's cut manifest (if any) is retired only AFTER
-  /// every shard's bootstrap is durable, so a death mid-resume never
-  /// destroys a cut restore point while it is still reachable: resuming
-  /// from the cut itself (first_tick == cut_tick + 1) keeps the fleet
-  /// recoverable to exactly the cut throughout the resume, and an older
-  /// cut degrades to the per-shard fallback inside RecoverShardedToCut.
-  static StatusOr<std::unique_ptr<ShardedEngine>> OpenResumed(
-      const ShardedEngineConfig& config,
-      const std::vector<StateTable>& initial, uint64_t first_tick);
-
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -281,6 +266,38 @@ class ShardedEngine {
   static std::string ShardDir(const std::string& root, uint32_t shard);
 
  private:
+  // The Fleet facade is the only construction path: Fleet::Create opens
+  // fresh fleets and RecoveredFleet::Resume restarts recovered ones.
+  friend class Fleet;
+  friend class RecoveredFleet;
+
+  /// Fresh open under config.shard.dir: fresh engines at tick 0, identity
+  /// assignment, a new epoch-0 manifest (stale manifests and unassigned
+  /// shard directories from a previous incarnation are retired first).
+  static StatusOr<std::unique_ptr<ShardedEngine>> Open(
+      const ShardedEngineConfig& config);
+
+  /// Fleet restart: re-opens every shard from recovered state -- the
+  /// output of RecoverFleet or RecoverFleetToCut, one table per partition
+  /// in partition order -- and resumes the fleet tick counter at
+  /// `first_tick` (crash recovery: the crash fleet's recovered_ticks; cut
+  /// recovery: cut_tick + 1). Each shard runs Engine::OpenResumed, so per
+  /// shard a synchronous bootstrap checkpoint is written, numbered above
+  /// every stale pre-crash image, before the new logical log starts: a
+  /// crash at ANY later point -- including before the fleet's first
+  /// resumed tick -- recovers to at least `first_tick`. Blocks for K
+  /// sequential bootstrap writes; this is fleet restart downtime, not
+  /// gameplay latency. The previous incarnation's cut manifest (if any)
+  /// is retired only AFTER every shard's bootstrap is durable, so a death
+  /// mid-resume never destroys a cut restore point while it is still
+  /// reachable: resuming from the cut itself (first_tick == cut_tick + 1)
+  /// keeps the fleet recoverable to exactly the cut throughout the
+  /// resume, and an older cut degrades to the per-shard fallback inside
+  /// the cut-recovery path.
+  static StatusOr<std::unique_ptr<ShardedEngine>> OpenResumed(
+      const ShardedEngineConfig& config,
+      const std::vector<StateTable>& initial, uint64_t first_tick);
+
   explicit ShardedEngine(const ShardedEngineConfig& config);
 
   /// Shared Open/OpenResumed body: `initial` == nullptr opens fresh

@@ -76,7 +76,9 @@ StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::Open(
   GameShardAdapterConfig resolved = config;
   resolved.engine.shard.layout = ZoneLayout(config.zone_world);
   std::unique_ptr<GameShardAdapter> adapter(new GameShardAdapter(resolved));
-  TP_ASSIGN_OR_RETURN(adapter->engine_, ShardedEngine::Open(resolved.engine));
+  TP_ASSIGN_OR_RETURN(
+      adapter->fleet_,
+      Fleet::Create(resolved.engine.shard.dir, resolved.engine));
   adapter->SpawnZones();
   return adapter;
 }
@@ -86,18 +88,18 @@ Status GameShardAdapter::BulkLoadTick() {
   // entire initial state through the update path so the first checkpoint
   // and the logical log can reproduce it (the durability contract treats
   // tick 0 like any other tick).
-  if (engine_ == nullptr) return Status::OK();
-  engine_->BeginTick();
+  if (fleet_ == nullptr) return Status::OK();
+  fleet_->BeginTick();
   for (uint32_t z = 0; z < num_zones(); ++z) {
     const UnitTable& units = zones_[z]->units();
     for (UnitId u = 0; u < units.num_units(); ++u) {
       for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
-        engine_->ApplyUpdate(z, u * kNumAttributes + attr,
-                             units.Get(u, attr));
+        fleet_->ApplyUpdate(z, u * kNumAttributes + attr,
+                            units.Get(u, attr));
       }
     }
   }
-  return engine_->EndTick();
+  return fleet_->EndTick();
 }
 
 void GameShardAdapter::StepWorldTick() {
@@ -147,15 +149,15 @@ void GameShardAdapter::StepWorldTick() {
 }
 
 Status GameShardAdapter::SubmitTickToEngine() {
-  if (engine_ == nullptr) return Status::OK();
-  engine_->BeginTick();
+  if (fleet_ == nullptr) return Status::OK();
+  fleet_->BeginTick();
   for (uint32_t z = 0; z < num_zones(); ++z) {
     for (const CellUpdate& update : sinks_[z]->updates) {
-      engine_->ApplyUpdate(z, update.cell, update.value);
+      fleet_->ApplyUpdate(z, update.cell, update.value);
     }
     game_updates_ += sinks_[z]->updates.size();
   }
-  return engine_->EndTick();
+  return fleet_->EndTick();
 }
 
 Status GameShardAdapter::Tick() {
@@ -178,7 +180,7 @@ Status GameShardAdapter::RunTicks(uint64_t n) {
 }
 
 Status GameShardAdapter::MigrateZone(uint32_t zone, uint32_t to_slot) {
-  if (engine_ == nullptr) {
+  if (fleet_ == nullptr) {
     return Status::FailedPrecondition("MigrateZone on a golden replay");
   }
   if (zone >= num_zones()) {
@@ -190,12 +192,12 @@ Status GameShardAdapter::MigrateZone(uint32_t zone, uint32_t to_slot) {
   // servers never pause for the coordination -- only the migration's own
   // bootstrap write is downtime.
   TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
-                      engine_->RequestConsistentCut());
+                      fleet_->RequestConsistentCut());
   while (engine_ticks_ <= cut_tick) {
     TP_RETURN_NOT_OK(Tick());
   }
-  TP_RETURN_NOT_OK(engine_->CommitConsistentCut());
-  return engine_->MigratePartition(zone, to_slot);
+  TP_RETURN_NOT_OK(fleet_->CommitConsistentCut());
+  return fleet_->MigratePartition(zone, to_slot);
 }
 
 std::vector<std::vector<uint64_t>> GameShardAdapter::GoldenZoneDigests(
@@ -269,22 +271,24 @@ StatusOr<GameFleetBenchResult> MeasureGameFleet(
     result.avg_tick_seconds = tick_sum / static_cast<double>(measured);
   }
   result.updates = adapter->game_updates();
-  TP_RETURN_NOT_OK(adapter->engine()->SimulateCrash());
+  TP_RETURN_NOT_OK(adapter->fleet()->SimulateCrash());
   result.checkpoints = adapter->engine()->CheckpointStats(/*skip_first=*/true);
 
+  // Manifest-driven recovery from the root alone: what a restarting zone
+  // server actually has after a crash.
   const auto recovery_start = Clock::now();
-  std::vector<StateTable> recovered;
-  auto recovery_or = RecoverSharded(adapter->config().engine, &recovered);
-  if (!recovery_or.ok()) return recovery_or.status();
+  auto recovered_or = Fleet::Recover(adapter->fleet()->root());
+  if (!recovered_or.ok()) return recovered_or.status();
   result.recovery_seconds =
       std::chrono::duration<double>(Clock::now() - recovery_start).count();
-  result.recovered_ticks = recovery_or->min_recovered_ticks;
-  result.digests_match = recovery_or->min_recovered_ticks == engine_ticks;
+  RecoveredFleet& recovered = *recovered_or;
+  result.recovered_ticks = recovered.result().fleet.min_recovered_ticks;
+  result.digests_match = result.recovered_ticks == engine_ticks;
   for (uint32_t z = 0; z < adapter->num_zones(); ++z) {
     result.digests_match =
         result.digests_match &&
-        TableStateDigest(recovered[z], config.zone_world.num_units) ==
-            adapter->ZoneDigest(z);
+        TableStateDigest(recovered.tables()[z],
+                         config.zone_world.num_units) == adapter->ZoneDigest(z);
   }
   return result;
 }

@@ -43,6 +43,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/fleet.h"
 #include "engine/recovery.h"
 #include "engine/sharded_engine.h"
 #include "engine/state_table.h"
@@ -74,7 +75,8 @@ constexpr uint32_t kCrossZoneHeralds = 8;
 /// The K-zone game world driving a sharded checkpoint fleet.
 class GameShardAdapter {
  public:
-  /// Opens the fleet (ShardedEngine::Open) and spawns the K zone worlds.
+  /// Creates the fleet (Fleet::Create under engine.shard.dir) and spawns
+  /// the K zone worlds.
   static StatusOr<std::unique_ptr<GameShardAdapter>> Open(
       const GameShardAdapterConfig& config);
 
@@ -111,8 +113,11 @@ class GameShardAdapter {
   /// Digest of zone z's live entity state (the recovery oracle).
   uint64_t ZoneDigest(uint32_t z) const { return zones_[z]->StateDigest(); }
 
-  /// The underlying fleet. Null only inside GoldenZoneDigests replays.
-  ShardedEngine* engine() { return engine_.get(); }
+  /// The fleet handle. Null only inside GoldenZoneDigests replays.
+  Fleet* fleet() { return fleet_.get(); }
+  /// The fleet's engine (stats and per-shard inspection). Null only
+  /// inside GoldenZoneDigests replays.
+  ShardedEngine* engine() { return fleet_ ? &fleet_->engine() : nullptr; }
 
   /// Game updates mailed to the engines so far (bulk load excluded).
   uint64_t game_updates() const { return game_updates_; }
@@ -154,7 +159,7 @@ class GameShardAdapter {
   GameShardAdapterConfig config_;
   std::vector<std::unique_ptr<World>> zones_;
   std::vector<std::unique_ptr<ZoneSink>> sinks_;
-  std::unique_ptr<ShardedEngine> engine_;  // null in golden replays
+  std::unique_ptr<Fleet> fleet_;  // null in golden replays
   uint64_t engine_ticks_ = 0;
   uint64_t game_updates_ = 0;
   /// Fleet-wide kill events per team during the previous world tick.
@@ -176,7 +181,8 @@ struct GameFleetBenchResult {
   double max_tick_seconds = 0.0;
   /// Game updates mailed to the engines (bulk load excluded).
   uint64_t updates = 0;
-  /// Timed RecoverSharded after the end-of-run SimulateCrash.
+  /// Timed Fleet::Recover (manifest-driven) after the end-of-run
+  /// SimulateCrash.
   double recovery_seconds = 0.0;
   uint64_t recovered_ticks = 0;
   /// Every recovered partition digest-matched its live zone world.

@@ -1,0 +1,121 @@
+// Schedule-perturbing stress hooks for the lock-free hot path.
+//
+// Weakened memory orders are only as good as their exercise: a ring that
+// happens to work under the scheduler's habitual interleavings can still
+// hide an ordering bug that only a rare preemption exposes. TP_SCHED_FUZZ
+// points mark the interesting interleaving windows (between a load of the
+// opposing index and the commit of an element, between an ack publish and
+// its fold, ...); when fuzzing is enabled each visit randomly yields or
+// spins there, forcing the thread schedule through states production
+// timing rarely reaches.
+//
+// Seeding follows the repo's fuzzer convention (TP_FLEET_FUZZ_SEED,
+// TP_GAME_FUZZ_SEED): set TP_SCHED_FUZZ_SEED=<u64> in the environment to
+// enable perturbation process-wide with a replayable seed, or call
+// SchedFuzz::Enable(seed) from a test. Each thread derives its own
+// SplitMix64 stream from the seed and a per-thread ordinal, so a given
+// seed replays the same decision sequence per thread.
+//
+// When disabled (the default), a fuzz point is one relaxed atomic load.
+#ifndef TICKPOINT_UTIL_SCHED_FUZZ_H_
+#define TICKPOINT_UTIL_SCHED_FUZZ_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+namespace tickpoint {
+
+class SchedFuzz {
+ public:
+  /// Programmatic enable (tests); TP_SCHED_FUZZ_SEED does the same from
+  /// the environment without recompiling the binary under test.
+  static void Enable(uint64_t seed) {
+    state().seed.store(seed, std::memory_order_relaxed);
+    state().enabled.store(true, std::memory_order_release);
+  }
+  static void Disable() {
+    state().enabled.store(false, std::memory_order_release);
+  }
+  static bool enabled() {
+    return state().enabled.load(std::memory_order_relaxed);
+  }
+  static uint64_t seed() {
+    return state().seed.load(std::memory_order_relaxed);
+  }
+
+  /// A marked interleaving point. Near-free when fuzzing is off.
+  static void Perturb() {
+    if (enabled()) PerturbSlow();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> enabled{false};
+    std::atomic<uint64_t> seed{0};
+    std::atomic<uint64_t> next_thread_ordinal{0};
+    State() {
+      if (const char* env = std::getenv("TP_SCHED_FUZZ_SEED")) {
+        char* end = nullptr;
+        const uint64_t parsed = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0') {
+          seed.store(parsed, std::memory_order_relaxed);
+          enabled.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  static State& state() {
+    static State instance;
+    return instance;
+  }
+
+  static uint64_t SplitMix64Next(uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static void PerturbSlow() {
+    // Per-thread stream: seed + ordinal keeps replays deterministic per
+    // thread even though thread start order may vary.
+    thread_local uint64_t rng_state = [] {
+      uint64_t mix =
+          state().seed.load(std::memory_order_relaxed) +
+          0x9e3779b97f4a7c15ULL *
+              (1 + state().next_thread_ordinal.fetch_add(
+                       1, std::memory_order_relaxed));
+      return SplitMix64Next(mix);
+    }();
+    const uint64_t r = SplitMix64Next(rng_state);
+    // Mostly pass through untouched; occasionally yield the timeslice or
+    // burn a short random spin, so perturbed and unperturbed visits
+    // interleave.
+    switch (r & 7) {
+      case 0:
+        std::this_thread::yield();
+        break;
+      case 1: {
+        const int spins = static_cast<int>((r >> 3) & 1023);
+        volatile int sink = 0;
+        for (int i = 0; i < spins; ++i) {
+          const int keep = sink;  // volatile load: the spin cannot fold away
+          static_cast<void>(keep);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace tickpoint
+
+/// Marks an interleaving point in lock-free code.
+#define TP_SCHED_FUZZ_POINT() ::tickpoint::SchedFuzz::Perturb()
+
+#endif  // TICKPOINT_UTIL_SCHED_FUZZ_H_

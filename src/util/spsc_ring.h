@@ -1,0 +1,110 @@
+// Lock-free bounded single-producer/single-consumer ring.
+//
+// The ShardRunner mailbox: exactly one producer thread (the fleet facade)
+// pushes and exactly one consumer thread (the shard's mutator) pops, so
+// the full synchronization cost is two atomic indices.
+//
+// Memory-order argument (the whole correctness story):
+//
+//   - `tail_` counts pushes and is written only by the producer; `head_`
+//     counts pops and is written only by the consumer. Both increase
+//     monotonically; the occupied slots are [head_, tail_), so
+//     full == (tail_ - head_ == capacity) and empty == (head_ == tail_).
+//   - The producer writes the element into its slot, THEN store-releases
+//     `tail_`. The consumer load-acquires `tail_` before reading the slot:
+//     the release/acquire pair makes the element write happen-before the
+//     element read, so the payload itself needs no atomics.
+//   - Symmetrically the consumer moves the element out, THEN
+//     store-releases `head_`; the producer load-acquires `head_` before
+//     reusing the slot, so reuse happens-after the move-out.
+//   - Each side loads its OWN index relaxed (it is the only writer of it).
+//
+// Cached indices: the producer keeps a stale copy of `head_`
+// (`cached_head_`) and only refreshes it from the shared atomic when the
+// ring looks full; the consumer mirrors this with `cached_tail_`. In the
+// steady state each side therefore touches the other's cache line only
+// once per wrap instead of once per operation, which is where the
+// mutex+cv mailbox burned its time at high shard counts.
+//
+// TryPush/TryPop never block; callers that need backpressure (SubmitTick
+// on a full mailbox) or a barrier (Drain) spin with backoff at their
+// level. TP_SCHED_FUZZ_POINT() marks the interleaving windows for the
+// schedule-perturbing stress harness (util/sched_fuzz.h).
+#ifndef TICKPOINT_UTIL_SPSC_RING_H_
+#define TICKPOINT_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/sched_fuzz.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) : capacity_(capacity), slots_(capacity) {
+    TP_CHECK(capacity_ > 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer only. Moves `item` into the ring and returns true, or
+  /// returns false (leaving `item` untouched) when the ring is full.
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      TP_SCHED_FUZZ_POINT();
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) return false;
+    }
+    slots_[tail % capacity_] = std::move(item);
+    TP_SCHED_FUZZ_POINT();
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Moves the oldest element into `*out` and returns
+  /// true, or returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      TP_SCHED_FUZZ_POINT();
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head % capacity_]);
+    TP_SCHED_FUZZ_POINT();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// True when the consumer has caught up with every push. Callable from
+  /// either thread; exact on the calling side's own index, conservative
+  /// on the other's.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const size_t capacity_;
+  std::vector<T> slots_;
+
+  // Each hot index lives on its own cache line, with the owner's cached
+  // copy of the opposing index alongside it (same owner, so no sharing).
+  alignas(64) std::atomic<size_t> tail_{0};  // producer-owned: push count
+  size_t cached_head_ = 0;                   // producer's stale view of head_
+  alignas(64) std::atomic<size_t> head_{0};  // consumer-owned: pop count
+  size_t cached_tail_ = 0;                   // consumer's stale view of tail_
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_UTIL_SPSC_RING_H_

@@ -182,12 +182,26 @@ TEST_F(EngineTest, PartialRedoWritesFullFlushEveryC) {
   ASSERT_TRUE(RunWorkload(&engine, &source, MutatorOptions{}).ok());
   ASSERT_TRUE(engine.Shutdown().ok());
   ASSERT_GE(engine.metrics().checkpoints.size(), 4u);
+  uint64_t prev_start = 0;
+  bool some_partial = false;
   for (const auto& record : engine.metrics().checkpoints) {
     EXPECT_EQ(record.full_flush, record.seq % 3 == 0) << record.seq;
     if (!record.full_flush) {
-      EXPECT_LT(record.objects_written, TestLayout().num_objects());
+      // An incremental flush covers the objects dirtied in
+      // [prev start, this start). Interval 0 restarts checkpoints
+      // back-to-back, so that window is normally a tick or two -- but on
+      // a loaded machine one flush can straddle enough ticks that every
+      // object is legitimately dirty, so only narrow windows must come
+      // out partial.
+      if (record.start_tick - prev_start <= 2) {
+        EXPECT_LT(record.objects_written, TestLayout().num_objects())
+            << record.seq;
+      }
+      some_partial |= record.objects_written < TestLayout().num_objects();
     }
+    prev_start = record.start_tick;
   }
+  EXPECT_TRUE(some_partial);
 }
 
 TEST_F(EngineTest, PacedRunHoldsTickRate) {

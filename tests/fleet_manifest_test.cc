@@ -249,11 +249,12 @@ TEST_F(FleetManifestTest, ManifestDirectoryMismatchIsCorruption) {
             std::string::npos);
 }
 
-TEST_F(FleetManifestTest, LegacyRecoveryRefusesAFutureVersionManifest) {
-  // Regression: the deprecated config-supplying shims must not treat a
-  // future-version manifest (FailedPrecondition from the read) like a
-  // missing one -- a newer binary may have migrated partitions, and the
-  // identity assumption would silently resurrect pre-migration state.
+TEST_F(FleetManifestTest, RecoveryRefusesAFutureVersionManifest) {
+  // Regression: fleet recovery must not treat a future-version manifest
+  // (FailedPrecondition from the read) like a missing one -- a newer
+  // binary may have migrated partitions, and guessing a topology would
+  // silently resurrect pre-migration state. Both recovery entry points
+  // must surface the refusal.
   ShardedEngineConfig config;
   config.shard.layout = StateLayout::Small(256, 10);
   config.shard.fsync = false;
@@ -264,20 +265,10 @@ TEST_F(FleetManifestTest, LegacyRecoveryRefusesAFutureVersionManifest) {
     ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
   }
   FlipByte(Path(0), 8);  // version byte: now claims a future format
-  config.shard.dir = dir_;
-  std::vector<StateTable> out;
-  EXPECT_EQ(RecoverSharded(config, &out).status().code(),
+  EXPECT_EQ(Fleet::Recover(dir_).status().code(),
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ(RecoverShardedToCut(config, &out).status().code(),
+  EXPECT_EQ(Fleet::RecoverToCut(dir_).status().code(),
             StatusCode::kFailedPrecondition);
-  // A CORRUPT manifest equally proves a manifest-era fleet whose
-  // topology the shims cannot learn (a migration may hide behind the
-  // damage): refuse rather than assume identity.
-  ASSERT_TRUE(
-      WriteFleetManifest(dir_, ManifestFromConfig(config), false).ok());
-  Truncate(Path(0), 60);
-  EXPECT_EQ(RecoverSharded(config, &out).status().code(),
-            StatusCode::kCorruption);
 }
 
 TEST_F(FleetManifestTest, FleetOpenSurfacesManifestDamageCleanly) {

@@ -1,19 +1,21 @@
-// Fleet-level resume: ShardedEngine::OpenResumed restarts a whole K-shard
-// fleet from RecoverSharded/RecoverShardedToCut output in one call -- the
-// workflow tests previously had to hand-roll per engine. The lifecycle
-// under test: run -> crash -> recover -> fleet resume -> more ticks ->
-// crash again -> recover again, with the final state byte-compared against
-// an uninterrupted reference execution.
-#include "engine/sharded_engine.h"
+// Fleet-level resume: Fleet::Recover / Fleet::RecoverToCut read the whole
+// K-shard fleet back from its root directory and RecoveredFleet::Resume
+// restarts it in one call -- the workflow tests previously had to
+// hand-roll per engine. The lifecycle under test: run -> crash -> recover
+// -> fleet resume -> more ticks -> crash again -> recover again, with the
+// final state byte-compared against an uninterrupted reference execution.
+#include "engine/fleet.h"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/mutator.h"
 #include "engine/recovery.h"
+#include "engine/sharded_engine.h"
 #include "fleet_test_util.h"
 
 namespace tickpoint {
@@ -98,25 +100,25 @@ TEST_P(FleetResumeRoundTripTest, CrashResumeCrashRecover) {
   // Phase 1: run from scratch, crash after kFirstCrash + 1 fleet ticks.
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    RunTicks(engine_or.value().get(), kFirstCrash + 1, &reference);
-    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    RunTicks(&fleet_or.value()->engine(), kFirstCrash + 1, &reference);
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
 
-  // Phase 2: whole-fleet recovery, then the one-call fleet resume.
-  std::vector<StateTable> recovered;
+  // Phase 2: whole-fleet recovery from the root alone, then the one-call
+  // fleet resume.
   {
-    auto result = RecoverSharded(config, &recovered);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    ASSERT_EQ(result->min_recovered_ticks, kFirstCrash + 1);
-    ASSERT_EQ(result->max_recovered_ticks, kFirstCrash + 1);
-  }
-  {
-    auto engine_or =
-        ShardedEngine::OpenResumed(config, recovered, kFirstCrash + 1);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto recovered_or = Fleet::Recover(config.shard.dir);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    ASSERT_EQ(recovered_or->result().fleet.min_recovered_ticks,
+              kFirstCrash + 1);
+    ASSERT_EQ(recovered_or->result().fleet.max_recovered_ticks,
+              kFirstCrash + 1);
+    ASSERT_EQ(recovered_or->resume_tick(), kFirstCrash + 1);
+    auto fleet_or = recovered_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     EXPECT_EQ(engine.current_tick(), kFirstCrash + 1);
     ASSERT_TRUE(engine.WaitForIdle().ok());
     for (uint32_t i = 0; i < 3; ++i) {
@@ -132,11 +134,12 @@ TEST_P(FleetResumeRoundTripTest, CrashResumeCrashRecover) {
 
   // Phase 4: recover again; the fleet must equal the uninterrupted
   // reference execution through kSecondCrash + 1 ticks.
-  std::vector<StateTable> final_state;
-  auto result = RecoverSharded(config, &final_state);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, kSecondCrash + 1);
-  EXPECT_EQ(result->max_recovered_ticks, kSecondCrash + 1);
+  auto final_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(final_or.ok()) << final_or.status().ToString();
+  const ShardedRecoveryResult& result = final_or->result().fleet;
+  std::vector<StateTable>& final_state = final_or->tables();
+  EXPECT_EQ(result.min_recovered_ticks, kSecondCrash + 1);
+  EXPECT_EQ(result.max_recovered_ticks, kSecondCrash + 1);
   for (uint32_t i = 0; i < 3; ++i) {
     EXPECT_TRUE(final_state[i].ContentEquals(reference[i]))
         << AlgorithmName(param.kind) << " shard " << i
@@ -173,25 +176,25 @@ TEST_F(FleetResumeTest, CrashImmediatelyAfterResumeRecoversTheBootstrap) {
   const auto config = Config(AlgorithmKind::kDribble, 2);
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    RunTicks(engine_or.value().get(), 12, &reference);
-    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    RunTicks(&fleet_or.value()->engine(), 12, &reference);
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
-  std::vector<StateTable> recovered;
-  ASSERT_TRUE(RecoverSharded(config, &recovered).ok());
   {
-    auto engine_or = ShardedEngine::OpenResumed(config, recovered, 12);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+    auto recovered_or = Fleet::Recover(config.shard.dir);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    auto fleet_or = recovered_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
-  std::vector<StateTable> after;
-  auto result = RecoverSharded(config, &after);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, 12u);
-  EXPECT_EQ(result->max_recovered_ticks, 12u);
+  auto after_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(after_or.ok()) << after_or.status().ToString();
+  EXPECT_EQ(after_or->result().fleet.min_recovered_ticks, 12u);
+  EXPECT_EQ(after_or->result().fleet.max_recovered_ticks, 12u);
   for (uint32_t i = 0; i < 2; ++i) {
-    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+    EXPECT_TRUE(after_or->tables()[i].ContentEquals(reference[i]))
+        << "shard " << i;
   }
 }
 
@@ -204,9 +207,9 @@ TEST_F(FleetResumeTest, ResumesFromAConsistentCut) {
   std::vector<StateTable> reference;
   uint64_t cut_tick = 0;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     RunTicks(&engine, 2, &reference);
     auto cut_or = engine.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
@@ -218,30 +221,29 @@ TEST_F(FleetResumeTest, ResumesFromAConsistentCut) {
   }
   const uint64_t crash_ticks = cut_tick + 1 + 5;
 
-  std::vector<StateTable> at_cut;
-  {
-    auto result = RecoverShardedToCut(config, &at_cut);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    ASSERT_TRUE(result->used_manifest);
-    ASSERT_EQ(result->cut_tick, cut_tick);
-    ASSERT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
-  }
+  auto at_cut_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(at_cut_or.ok()) << at_cut_or.status().ToString();
+  ASSERT_TRUE(at_cut_or->at_cut());
+  ASSERT_EQ(at_cut_or->result().cut_tick, cut_tick);
+  ASSERT_EQ(at_cut_or->result().fleet.min_recovered_ticks, cut_tick + 1);
+  ASSERT_EQ(at_cut_or->resume_tick(), cut_tick + 1);
   // Resume at T + 1 and replay the deterministic ticks the restore
   // discarded, then a few more.
-  std::vector<StateTable> resumed_reference = SnapshotTables(at_cut);
+  std::vector<StateTable> resumed_reference =
+      SnapshotTables(at_cut_or->tables());
   {
-    auto engine_or = ShardedEngine::OpenResumed(config, at_cut, cut_tick + 1);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = at_cut_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     EXPECT_EQ(engine.current_tick(), cut_tick + 1);
     RunTicks(&engine, crash_ticks - (cut_tick + 1) + 3, &resumed_reference);
     ASSERT_TRUE(engine.SimulateCrash().ok());
   }
-  std::vector<StateTable> final_state;
-  auto result = RecoverSharded(config, &final_state);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, crash_ticks + 3);
-  EXPECT_EQ(result->max_recovered_ticks, crash_ticks + 3);
+  auto final_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(final_or.ok()) << final_or.status().ToString();
+  std::vector<StateTable>& final_state = final_or->tables();
+  EXPECT_EQ(final_or->result().fleet.min_recovered_ticks, crash_ticks + 3);
+  EXPECT_EQ(final_or->result().fleet.max_recovered_ticks, crash_ticks + 3);
   for (uint32_t i = 0; i < 3; ++i) {
     // The resumed run's own mirror and recovery agree...
     EXPECT_TRUE(final_state[i].ContentEquals(resumed_reference[i]))
@@ -269,20 +271,20 @@ TEST_F(FleetResumeTest, ResumedFleetCanCutAgain) {
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    RunTicks(engine_or.value().get(), 8, &reference);
-    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    RunTicks(&fleet_or.value()->engine(), 8, &reference);
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
-  std::vector<StateTable> recovered;
-  ASSERT_TRUE(RecoverSharded(config, &recovered).ok());
 
   uint64_t cut_tick = 0;
   std::vector<StateTable> reference_at_cut;
   {
-    auto engine_or = ShardedEngine::OpenResumed(config, recovered, 8);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto recovered_or = Fleet::Recover(config.shard.dir);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    auto fleet_or = recovered_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     auto cut_or = engine.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok()) << cut_or.status().ToString();
     cut_tick = cut_or.value();
@@ -293,45 +295,54 @@ TEST_F(FleetResumeTest, ResumedFleetCanCutAgain) {
     RunTicks(&engine, 4, &reference);
     ASSERT_TRUE(engine.SimulateCrash().ok());
   }
-  std::vector<StateTable> at_cut;
-  auto result = RecoverShardedToCut(config, &at_cut);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->used_manifest);
-  EXPECT_EQ(result->cut_tick, cut_tick);
-  EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
+  auto at_cut_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(at_cut_or.ok()) << at_cut_or.status().ToString();
+  EXPECT_TRUE(at_cut_or->at_cut());
+  EXPECT_EQ(at_cut_or->result().cut_tick, cut_tick);
+  EXPECT_EQ(at_cut_or->result().fleet.min_recovered_ticks, cut_tick + 1);
   for (uint32_t i = 0; i < 2; ++i) {
-    EXPECT_TRUE(at_cut[i].ContentEquals(reference_at_cut[i]))
+    EXPECT_TRUE(at_cut_or->tables()[i].ContentEquals(reference_at_cut[i]))
         << "shard " << i;
   }
 }
 
-TEST_F(FleetResumeTest, OpenResumedValidatesTheShardCount) {
+TEST_F(FleetResumeTest, ResumeValidatesTheShardCount) {
+  // The shard-count validation lives behind RecoveredFleet::Resume: a
+  // recovered fleet whose table vector was truncated (a caller mutating
+  // tables() before resuming) must be refused, not half-resumed.
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
-  std::vector<StateTable> two_tables;
-  two_tables.emplace_back(ShardLayout());
-  two_tables.emplace_back(ShardLayout());
-  auto engine_or = ShardedEngine::OpenResumed(config, two_tables, 5);
-  EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+  {
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    std::vector<StateTable> reference;
+    RunTicks(&fleet_or.value()->engine(), 3, &reference);
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
+  }
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  recovered_or->tables().pop_back();
+  auto fleet_or = recovered_or->Resume();
+  EXPECT_EQ(fleet_or.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(FleetResumeTest, CrashMidResumePreservesTheCutRestorePoint) {
-  // The mid-resume death window: OpenResumed retires the cut manifest
+  // The mid-resume death window: a fleet resume retires the cut manifest
   // only after EVERY shard's bootstrap is durable. Forge a death between
-  // shard 0's bootstrap and shard 1's (resume shard 0 by hand, leave
-  // shard 1 and the manifest untouched): because the fleet was being
-  // resumed from the cut itself, shard 0's bootstrap IS a valid image at
-  // the cut, and RecoverShardedToCut must still reproduce the
-  // fleet-consistent state at the cut exactly. Pre-fix, the manifest was
-  // removed before any bootstrap, so this window silently downgraded the
-  // fleet to inconsistent per-shard recovery.
+  // shard 0's bootstrap and shard 1's (doctor shard 1's recovered table so
+  // its Engine::OpenResumed fails after shard 0's bootstrap landed):
+  // because the fleet was being resumed from the cut itself, shard 0's
+  // bootstrap IS a valid image at the cut, and Fleet::RecoverToCut must
+  // still reproduce the fleet-consistent state at the cut exactly.
+  // Pre-fix, the manifest was removed before any bootstrap, so this window
+  // silently downgraded the fleet to inconsistent per-shard recovery.
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
   std::vector<StateTable> reference;
   uint64_t cut_tick = 0;
   std::vector<StateTable> reference_at_cut;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     RunTicks(&engine, 1, &reference);
     auto cut_or = engine.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok());
@@ -342,35 +353,28 @@ TEST_F(FleetResumeTest, CrashMidResumePreservesTheCutRestorePoint) {
     RunTicks(&engine, 4, &reference);
     ASSERT_TRUE(engine.SimulateCrash().ok());
   }
-  std::vector<StateTable> at_cut;
   {
-    auto result = RecoverShardedToCut(config, &at_cut);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    ASSERT_TRUE(result->used_manifest);
-  }
-  {
-    // Drive the REAL OpenResumed into a mid-loop abort: shard 0's table is
+    // Drive the REAL resume into a mid-loop abort: shard 0's table is
     // correct (its bootstrap gets written), shard 1's has the wrong layout
-    // (its Engine::OpenResumed fails), so OpenImpl dies between the two
+    // (its Engine::OpenResumed fails), so the resume dies between the two
     // bootstraps -- the same on-disk state a process death there leaves.
-    std::vector<StateTable> doctored;
-    doctored.push_back(std::move(at_cut[0]));  // at_cut is not used again
-    doctored.emplace_back(StateLayout::Small(256, 10));  // wrong layout
-    auto engine_or =
-        ShardedEngine::OpenResumed(config, doctored, cut_tick + 1);
-    ASSERT_FALSE(engine_or.ok());
-    EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+    auto at_cut_or = Fleet::RecoverToCut(config.shard.dir);
+    ASSERT_TRUE(at_cut_or.ok()) << at_cut_or.status().ToString();
+    ASSERT_TRUE(at_cut_or->at_cut());
+    at_cut_or->tables()[1] = StateTable(StateLayout::Small(256, 10));
+    auto fleet_or = at_cut_or->Resume();
+    ASSERT_FALSE(fleet_or.ok());
+    EXPECT_EQ(fleet_or.status().code(), StatusCode::kInvalidArgument);
   }
-  std::vector<StateTable> recovered;
-  auto result = RecoverShardedToCut(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->used_manifest)
+  auto recovered_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  EXPECT_TRUE(recovered_or->at_cut())
       << "the cut restore point was destroyed mid-resume";
-  EXPECT_EQ(result->cut_tick, cut_tick);
-  EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
-  EXPECT_EQ(result->fleet.max_recovered_ticks, cut_tick + 1);
+  EXPECT_EQ(recovered_or->result().cut_tick, cut_tick);
+  EXPECT_EQ(recovered_or->result().fleet.min_recovered_ticks, cut_tick + 1);
+  EXPECT_EQ(recovered_or->result().fleet.max_recovered_ticks, cut_tick + 1);
   for (uint32_t i = 0; i < 2; ++i) {
-    EXPECT_TRUE(recovered[i].ContentEquals(reference_at_cut[i]))
+    EXPECT_TRUE(recovered_or->tables()[i].ContentEquals(reference_at_cut[i]))
         << "shard " << i;
   }
 }
@@ -384,9 +388,9 @@ TEST_F(FleetResumeTest, MidResumeCrashWithOlderCutFallsBackPerShard) {
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     RunTicks(&engine, 1, &reference);
     auto cut_or = engine.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok());
@@ -395,42 +399,42 @@ TEST_F(FleetResumeTest, MidResumeCrashWithOlderCutFallsBackPerShard) {
     RunTicks(&engine, 5, &reference);  // well past the cut
     ASSERT_TRUE(engine.SimulateCrash().ok());
   }
-  std::vector<StateTable> recovered;
-  auto crash_result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(crash_result.ok());
-  const uint64_t resume_tick = crash_result->min_recovered_ticks;
+  auto crash_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(crash_or.ok()) << crash_or.status().ToString();
+  const uint64_t resume_tick = crash_or->resume_tick();
   {
     // Shard 0 resumes at the crash tick (not the cut), then death before
     // shard 1 starts.
     EngineConfig shard0 = config.shard;
     shard0.dir = ShardedEngine::ShardDir(config.shard.dir, 0);
     shard0.manual_checkpoints = true;
-    auto engine_or = Engine::OpenResumed(shard0, recovered[0], resume_tick);
+    auto engine_or =
+        Engine::OpenResumed(shard0, crash_or->tables()[0], resume_tick);
     ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
     ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
   }
-  std::vector<StateTable> after;
-  auto result = RecoverShardedToCut(config, &after);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_FALSE(result->used_manifest);
-  EXPECT_EQ(result->fleet.min_recovered_ticks, resume_tick);
-  EXPECT_EQ(result->fleet.max_recovered_ticks, resume_tick);
+  auto after_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(after_or.ok()) << after_or.status().ToString();
+  EXPECT_FALSE(after_or->at_cut());
+  EXPECT_EQ(after_or->result().fleet.min_recovered_ticks, resume_tick);
+  EXPECT_EQ(after_or->result().fleet.max_recovered_ticks, resume_tick);
   for (uint32_t i = 0; i < 2; ++i) {
-    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+    EXPECT_TRUE(after_or->tables()[i].ContentEquals(reference[i]))
+        << "shard " << i;
   }
 }
 
 TEST_F(FleetResumeTest, ResumeRetiresThePreCrashCutManifest) {
   // A cut committed BEFORE the crash must not survive the resume: the
   // resumed incarnation truncates the logical logs that cut depended on,
-  // so RecoverShardedToCut after a post-resume crash must fall back to
+  // so Fleet::RecoverToCut after a post-resume crash must fall back to
   // per-shard exactness instead of half-applying the stale manifest.
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
     RunTicks(&engine, 1, &reference);
     auto cut_or = engine.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok());
@@ -439,25 +443,23 @@ TEST_F(FleetResumeTest, ResumeRetiresThePreCrashCutManifest) {
     RunTicks(&engine, 3, &reference);
     ASSERT_TRUE(engine.SimulateCrash().ok());
   }
-  std::vector<StateTable> recovered;
-  auto crash_result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(crash_result.ok());
-  const uint64_t resume_tick = crash_result->min_recovered_ticks;
+  auto crash_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(crash_or.ok()) << crash_or.status().ToString();
+  const uint64_t resume_tick = crash_or->resume_tick();
   {
-    auto engine_or =
-        ShardedEngine::OpenResumed(config, recovered, resume_tick);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    RunTicks(engine_or.value().get(), 2, &reference);
-    ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+    auto fleet_or = crash_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    RunTicks(&fleet_or.value()->engine(), 2, &reference);
+    ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
-  std::vector<StateTable> after;
-  auto result = RecoverShardedToCut(config, &after);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_FALSE(result->used_manifest)
+  auto after_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(after_or.ok()) << after_or.status().ToString();
+  EXPECT_FALSE(after_or->at_cut())
       << "recovery honored a cut manifest from before the resume";
-  EXPECT_EQ(result->fleet.min_recovered_ticks, resume_tick + 2);
+  EXPECT_EQ(after_or->result().fleet.min_recovered_ticks, resume_tick + 2);
   for (uint32_t i = 0; i < 2; ++i) {
-    EXPECT_TRUE(after[i].ContentEquals(reference[i])) << "shard " << i;
+    EXPECT_TRUE(after_or->tables()[i].ContentEquals(reference[i]))
+        << "shard " << i;
   }
 }
 

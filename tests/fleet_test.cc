@@ -149,15 +149,13 @@ TEST_F(FleetTest, CreateRefusesAnExistingFleet) {
 }
 
 TEST_F(FleetTest, CreateRefusesAPreManifestFleetToo) {
-  // A root populated by the deprecated direct ShardedEngine::Open carries
-  // shard dirs but NO manifest; Create must still refuse -- its fresh
-  // open would truncate every shard's logical log and checkpoints.
+  // A pre-manifest root carries shard dirs but NO superblock; Create must
+  // still refuse -- its fresh open would truncate every shard's logical
+  // log and checkpoints.
   {
-    ShardedEngineConfig legacy = Config(2);
-    legacy.shard.dir = dir_;
-    auto engine_or = ShardedEngine::Open(legacy);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ASSERT_TRUE(engine_or.value()->Shutdown().ok());
+    auto fleet_or = Fleet::Create(dir_, Config(2));
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
   }
   // Forge the pre-manifest era: the superblock vanishes, the data stays.
   for (const uint64_t epoch : ListFleetManifestEpochs(dir_)) {
@@ -244,21 +242,15 @@ TEST_F(FleetTest, MigrationMovesThePartitionAndBumpsTheEpoch) {
     EXPECT_TRUE(recovered_or.value().tables()[p].ContentEquals(reference[p]))
         << "partition " << p;
   }
-  // The deprecated config-supplying recovery refuses the migrated fleet
-  // instead of silently rebuilding stale directories.
-  std::vector<StateTable> legacy;
-  ShardedEngineConfig legacy_config = Config(2);
-  legacy_config.shard.dir = dir_;
-  EXPECT_EQ(RecoverSharded(legacy_config, &legacy).status().code(),
-            StatusCode::kFailedPrecondition);
 }
 
-TEST_F(FleetTest, MigrationPreservesTheDurableKnobsAcrossALegacyResume) {
-  // Regression: a legacy ShardedEngine::OpenResumed may pass a config
-  // whose knobs drifted from the fleet's durable description. A later
-  // migration re-commits the manifest (epoch bump); it must carry the
-  // ORIGINAL on-disk knobs -- the runtime honors the caller, but the disk
-  // keeps telling the truth Fleet::Open relies on.
+TEST_F(FleetTest, MigrationPreservesTheDurableKnobsAcrossAResume) {
+  // A resume followed by a migration re-commits the manifest (epoch
+  // bump); it must carry the ORIGINAL durable knobs (full_flush_period 4
+  // here, not a default) -- the disk keeps telling the truth Fleet::Open
+  // relies on. With the Fleet-only lifecycle there is no config-supplying
+  // resume left that could drift them, so the knobs must round-trip
+  // through Recover -> Resume -> MigratePartition untouched.
   const auto config = Config(2);  // full_flush_period 4 is the durable truth
   std::vector<StateTable> reference;
   {
@@ -267,33 +259,30 @@ TEST_F(FleetTest, MigrationPreservesTheDurableKnobsAcrossALegacyResume) {
     RunTicks(fleet_or.value().get(), 4, &reference);
     ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
   }
-  ShardedEngineConfig drifted = config;
-  drifted.shard.dir = dir_;
-  drifted.shard.full_flush_period = 9;  // the caller's drifted knob
-  std::vector<StateTable> recovered;
-  ASSERT_TRUE(RecoverSharded(drifted, &recovered).ok());
   {
-    auto engine_or = ShardedEngine::OpenResumed(drifted, recovered, 4);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
-    auto cut_or = engine.RequestConsistentCut();
+    auto crash_or = Fleet::Recover(dir_);
+    ASSERT_TRUE(crash_or.ok()) << crash_or.status().ToString();
+    auto fleet_or = crash_or->Resume();
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    Fleet& fleet = *fleet_or.value();
+    auto cut_or = fleet.RequestConsistentCut();
     ASSERT_TRUE(cut_or.ok());
-    while (engine.current_tick() <= cut_or.value()) {
-      engine.BeginTick();
+    while (fleet.current_tick() <= cut_or.value()) {
+      fleet.BeginTick();
       for (uint32_t p = 0; p < 2; ++p) {
-        engine.ApplyUpdate(p, p, 1);
+        fleet.ApplyUpdate(p, p, 1);
       }
-      ASSERT_TRUE(engine.EndTick().ok());
+      ASSERT_TRUE(fleet.EndTick().ok());
     }
-    ASSERT_TRUE(engine.CommitConsistentCut().ok());
-    ASSERT_TRUE(engine.MigratePartition(0, 2).ok());
-    ASSERT_TRUE(engine.Shutdown().ok());
+    ASSERT_TRUE(fleet.CommitConsistentCut().ok());
+    ASSERT_TRUE(fleet.MigratePartition(0, 2).ok());
+    ASSERT_TRUE(fleet.Shutdown().ok());
   }
   auto recovered_or = Fleet::Recover(dir_);
   ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
   EXPECT_EQ(recovered_or.value().manifest().epoch, 1u);
   EXPECT_EQ(recovered_or.value().manifest().full_flush_period, 4u)
-      << "the migration re-committed the caller's drifted knob";
+      << "the migration re-committed drifted knobs";
 }
 
 TEST_F(FleetTest, MigratesTwoPartitionsAtOneCut) {

@@ -183,12 +183,13 @@ TEST_P(GameShardCrashRecoveryTest, RecoveredZonesMatchTheGoldenDigest) {
   // ticks.
   const uint64_t world_tick = param.crash_tick;
   const auto& golden = GoldenForZones(param.num_zones, kSweepTicks);
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(adapter.config().engine, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto recovered_or = Fleet::Recover(adapter.config().engine.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
   ASSERT_EQ(recovered.size(), param.num_zones);
-  EXPECT_EQ(result->min_recovered_ticks, param.crash_tick + 1);
-  EXPECT_EQ(result->max_recovered_ticks, param.crash_tick + 1);
+  EXPECT_EQ(result.min_recovered_ticks, param.crash_tick + 1);
+  EXPECT_EQ(result.max_recovered_ticks, param.crash_tick + 1);
   for (uint32_t z = 0; z < param.num_zones; ++z) {
     // The live world tracked the golden replay...
     ASSERT_EQ(adapter.ZoneDigest(z), golden[world_tick][z])
@@ -274,10 +275,10 @@ TEST_F(GameShardConformanceTest, SoakK2LongRun) {
 
   // Independent golden replay of the same fleet seed.
   const auto golden = GameShardAdapter::GoldenZoneDigests(config, ticks - 1);
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(adapter.config().engine, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, ticks);
+  auto recovered_or = Fleet::Recover(adapter.config().engine.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  std::vector<StateTable>& recovered = recovered_or->tables();
+  EXPECT_EQ(recovered_or->result().fleet.min_recovered_ticks, ticks);
   for (uint32_t z = 0; z < 2; ++z) {
     EXPECT_EQ(TableStateDigest(recovered[z], config.zone_world.num_units),
               golden[ticks - 1][z])
@@ -374,11 +375,12 @@ TEST_F(GameShardConformanceTest, SeededRandomizedGameCrashFuzz) {
 
     const auto golden =
         GameShardAdapter::GoldenZoneDigests(config, crash_tick);
-    std::vector<StateTable> recovered;
-    auto result = RecoverSharded(adapter.config().engine, &recovered);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    EXPECT_EQ(result->min_recovered_ticks, crash_tick + 1);
-    EXPECT_EQ(result->max_recovered_ticks, crash_tick + 1);
+    auto recovered_or = Fleet::Recover(adapter.config().engine.shard.dir);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    const ShardedRecoveryResult& result = recovered_or->result().fleet;
+    std::vector<StateTable>& recovered = recovered_or->tables();
+    EXPECT_EQ(result.min_recovered_ticks, crash_tick + 1);
+    EXPECT_EQ(result.max_recovered_ticks, crash_tick + 1);
     for (uint32_t z = 0; z < num_zones; ++z) {
       EXPECT_EQ(TableStateDigest(recovered[z], config.zone_world.num_units),
                 golden[crash_tick][z])

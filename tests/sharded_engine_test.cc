@@ -1,8 +1,10 @@
 // Sharded-engine tests: the stagger schedule itself, and the central
 // crash-recovery property lifted to a fleet -- for K shards, any algorithm,
-// and ANY crash tick, RecoverSharded() rebuilds every shard's partition
+// and ANY crash tick, Fleet::Recover() rebuilds every shard's partition
 // exactly, even though staggering leaves the shards at different checkpoint
-// generations when the crash lands.
+// generations when the crash lands. Fleets are built through Fleet::Create
+// (the only construction path) and exercised through Fleet::engine() where
+// a test needs per-shard inspection.
 #include "engine/sharded_engine.h"
 
 #include <gtest/gtest.h>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "engine/consistent_cut.h"
+#include "engine/fleet.h"
 #include "engine/mutator.h"
 #include "engine/recovery.h"
 #include "engine/stagger_scheduler.h"
@@ -305,46 +308,46 @@ class ShardedEngineTest : public ::testing::Test {
 
 TEST_F(ShardedEngineTest, OpenValidatesItsConfig) {
   // Regression: num_shards == 0 and cut_lead_ticks == 0 must be caught at
-  // Open as InvalidArgument, never reach the scheduler/coordinator
-  // unchecked (a zero cut lead would arm a cut at the CURRENT tick and
-  // race the tick being assembled).
+  // fleet creation as InvalidArgument, never reach the
+  // scheduler/coordinator unchecked (a zero cut lead would arm a cut at
+  // the CURRENT tick and race the tick being assembled).
   {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
     config.num_shards = 0;
-    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+    EXPECT_EQ(Fleet::Create(config.shard.dir, config).status().code(),
               StatusCode::kInvalidArgument);
   }
   {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
     config.cut_lead_ticks = 0;
-    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+    EXPECT_EQ(Fleet::Create(config.shard.dir, config).status().code(),
               StatusCode::kInvalidArgument);
   }
   {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
     config.checkpoint_period_ticks = 0;
-    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+    EXPECT_EQ(Fleet::Create(config.shard.dir, config).status().code(),
               StatusCode::kInvalidArgument);
   }
   {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
     config.max_queue_ticks = 0;
-    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+    EXPECT_EQ(Fleet::Create(config.shard.dir, config).status().code(),
               StatusCode::kInvalidArgument);
   }
   {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
     config.disk_budget = 0;
-    EXPECT_EQ(ShardedEngine::Open(config).status().code(),
+    EXPECT_EQ(Fleet::Create(config.shard.dir, config).status().code(),
               StatusCode::kInvalidArgument);
   }
 }
 
 TEST_F(ShardedEngineTest, RunsAndShutsDownCleanly) {
   const auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   std::vector<StateTable> reference;
   RunTicks(&engine, 20, &reference);
   ASSERT_TRUE(engine.Shutdown().ok());
@@ -363,17 +366,18 @@ TEST_F(ShardedEngineTest, RecoverAfterCleanShutdown) {
   const auto config = Config(AlgorithmKind::kCopyOnUpdatePartialRedo, 2);
   std::vector<StateTable> reference;
   {
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok());
-    RunTicks(engine_or.value().get(), 25, &reference);
-    ASSERT_TRUE(engine_or.value()->Shutdown().ok());
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok());
+    RunTicks(&fleet_or.value()->engine(), 25, &reference);
+    ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
   }
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
   ASSERT_EQ(recovered.size(), 2u);
-  EXPECT_EQ(result->min_recovered_ticks, 25u);
-  EXPECT_EQ(result->max_recovered_ticks, 25u);
+  EXPECT_EQ(result.min_recovered_ticks, 25u);
+  EXPECT_EQ(result.max_recovered_ticks, 25u);
   for (uint32_t i = 0; i < 2; ++i) {
     EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
   }
@@ -384,23 +388,24 @@ TEST_F(ShardedEngineTest, StaggeredShardsSitAtDifferentGenerations) {
   // complete image covers a different consistent tick.
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
   config.checkpoint_period_ticks = 8;
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok());
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok());
   std::vector<StateTable> reference;
-  RunTicks(engine_or.value().get(), 14, &reference);
-  ASSERT_TRUE(engine_or.value()->SimulateCrash().ok());
+  RunTicks(&fleet_or.value()->engine(), 14, &reference);
+  ASSERT_TRUE(fleet_or.value()->SimulateCrash().ok());
 
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
   std::set<uint64_t> image_ticks;
-  for (const RecoveryResult& shard : result->shards) {
+  for (const RecoveryResult& shard : result.shards) {
     ASSERT_TRUE(shard.restored_from_checkpoint);
     image_ticks.insert(shard.image_consistent_ticks);
   }
   EXPECT_GE(image_ticks.size(), 2u)
       << "staggered shards should restore from different generations";
-  EXPECT_EQ(result->min_recovered_ticks, 14u);
+  EXPECT_EQ(result.min_recovered_ticks, 14u);
   for (uint32_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
   }
@@ -414,9 +419,9 @@ TEST_F(ShardedEngineTest, EndTickPartialFailureLeavesNoShardMidTick) {
   // stuck with in_tick_ == true and the fleet tick not advanced.
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
   config.threaded = false;  // deterministic: the error surfaces in-tick
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   std::vector<StateTable> reference;
   RunTicks(&engine, 3, &reference);
 
@@ -451,12 +456,13 @@ TEST_F(ShardedEngineTest, EndTickPartialFailureLeavesNoShardMidTick) {
 
   // Every shard recovers its own durable prefix: the healthy shards to the
   // fleet tick, the failed shard to its frozen tick.
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, 3u);
-  EXPECT_EQ(result->max_recovered_ticks, 4u);
-  EXPECT_EQ(result->shards[1].recovered_ticks, 3u);
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
+  EXPECT_EQ(result.min_recovered_ticks, 3u);
+  EXPECT_EQ(result.max_recovered_ticks, 4u);
+  EXPECT_EQ(result.shards[1].recovered_ticks, 3u);
   for (uint32_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
   }
@@ -468,9 +474,9 @@ TEST_F(ShardedEngineTest, ThreadedPartialFailureHardFailsTheFleet) {
   // every submitted tick, and the fleet lands in the defined failed state.
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
   ASSERT_TRUE(config.threaded);
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   std::vector<StateTable> reference;
   RunTicks(&engine, 5, &reference);
 
@@ -511,11 +517,12 @@ TEST_F(ShardedEngineTest, ThreadedPartialFailureHardFailsTheFleet) {
   const uint64_t fleet_ticks = engine.current_tick();
   EXPECT_FALSE(engine.Shutdown().ok());
 
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->min_recovered_ticks, 5u);
-  EXPECT_EQ(result->max_recovered_ticks, fleet_ticks);
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
+  EXPECT_EQ(result.min_recovered_ticks, 5u);
+  EXPECT_EQ(result.max_recovered_ticks, fleet_ticks);
   for (uint32_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
   }
@@ -530,21 +537,21 @@ TEST_F(ShardedEngineTest, ThreadedMatchesTheInlineFacade) {
   // ticks are NOT compared: a request is served at the first EndTick that
   // observes the previous flush drained, which depends on real writer
   // timing.)
-  std::vector<std::unique_ptr<ShardedEngine>> fleets;
+  std::vector<std::unique_ptr<Fleet>> fleets;
   for (const bool threaded : {false, true}) {
     auto config = Config(AlgorithmKind::kCopyOnUpdate, 3);
     config.shard.dir = dir_ + (threaded ? "/threaded" : "/inline");
     config.threaded = threaded;
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
     std::vector<StateTable> reference;
-    RunTicks(engine_or.value().get(), 20, &reference);
-    ASSERT_TRUE(engine_or.value()->Shutdown().ok());
-    fleets.push_back(std::move(engine_or.value()));
+    RunTicks(&fleet_or.value()->engine(), 20, &reference);
+    ASSERT_TRUE(fleet_or.value()->Shutdown().ok());
+    fleets.push_back(std::move(fleet_or.value()));
   }
   for (uint32_t i = 0; i < 3; ++i) {
-    const Engine& inline_shard = fleets[0]->shard(i);
-    const Engine& threaded_shard = fleets[1]->shard(i);
+    const Engine& inline_shard = fleets[0]->engine().shard(i);
+    const Engine& threaded_shard = fleets[1]->engine().shard(i);
     EXPECT_TRUE(threaded_shard.state().ContentEquals(inline_shard.state()))
         << "shard " << i;
     const size_t inline_count = inline_shard.metrics().checkpoints.size();
@@ -563,27 +570,44 @@ TEST_F(ShardedEngineTest, AdaptiveFleetRespectsTheDiskBudget) {
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 4);
   config.adaptive = true;
   config.disk_budget = 1;
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   // Pace the ticks (a 30 Hz loop would): unpaced, the runners outrun the
   // writer threads so completions only surface at shutdown and the budget
   // correctly blocks every later start.
   const uint64_t num_cells = ShardLayout().num_cells();
   std::vector<StateTable> reference;
   for (uint32_t i = 0; i < 4; ++i) reference.emplace_back(ShardLayout());
-  for (uint64_t tick = 0; tick < 40; ++tick) {
-    engine.BeginTick();
-    for (uint32_t shard = 0; shard < 4; ++shard) {
-      for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
-        const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
-        const int32_t value = WorkloadValue(tick, cell, i);
-        engine.ApplyUpdate(shard, cell, value);
-        reference[shard].WriteCell(cell, value);
+  uint64_t tick = 0;
+  const auto run_ticks = [&](uint64_t count) {
+    for (uint64_t end = tick + count; tick < end; ++tick) {
+      engine.BeginTick();
+      for (uint32_t shard = 0; shard < 4; ++shard) {
+        for (uint64_t i = 0; i < kUpdatesPerTick; ++i) {
+          const uint32_t cell = WorkloadCell(shard, tick, i, num_cells);
+          const int32_t value = WorkloadValue(tick, cell, i);
+          engine.ApplyUpdate(shard, cell, value);
+          reference[shard].WriteCell(cell, value);
+        }
       }
+      ASSERT_TRUE(engine.EndTick().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    ASSERT_TRUE(engine.EndTick().ok());
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  run_ticks(40);
+  // Budget-1 serializes every flush, so how many ticks the last shard's
+  // second checkpoint needs depends on measured write times -- under a
+  // sanitizer's slowdown, 40 ticks may not be enough. Keep ticking until
+  // every shard has two, bounded far above what an unslowed run needs.
+  while (tick < 400) {
+    ASSERT_TRUE(engine.WaitForIdle().ok());
+    bool all_twice = true;
+    for (uint32_t i = 0; i < 4; ++i) {
+      all_twice &= engine.shard(i).metrics().checkpoints.size() >= 2;
+    }
+    if (all_twice) break;
+    run_ticks(20);
   }
   ASSERT_TRUE(engine.Shutdown().ok());
   // The hard budget invariant, measured on the real engine: never more
@@ -618,20 +642,21 @@ TEST_P(ShardedCrashRecoveryTest, EveryShardRecoversExactly) {
   auto config = Config(param.kind, param.num_shards, param.staggered);
   config.threaded = param.threaded;
   config.adaptive = param.adaptive;
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
 
   std::vector<StateTable> reference;
   RunTicks(&engine, param.crash_tick + 1, &reference);
   ASSERT_TRUE(engine.SimulateCrash().ok());
 
-  std::vector<StateTable> recovered;
-  auto result = RecoverSharded(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto recovered_or = Fleet::Recover(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedRecoveryResult& result = recovered_or->result().fleet;
+  std::vector<StateTable>& recovered = recovered_or->tables();
   ASSERT_EQ(recovered.size(), param.num_shards);
-  EXPECT_EQ(result->min_recovered_ticks, param.crash_tick + 1);
-  EXPECT_EQ(result->max_recovered_ticks, param.crash_tick + 1);
+  EXPECT_EQ(result.min_recovered_ticks, param.crash_tick + 1);
+  EXPECT_EQ(result.max_recovered_ticks, param.crash_tick + 1);
   for (uint32_t i = 0; i < param.num_shards; ++i) {
     // The in-memory state at the crash is the gold reference...
     ASSERT_TRUE(engine.shard(i).state().ContentEquals(reference[i]))
@@ -734,9 +759,9 @@ TEST_P(ConsistentCutCrashRecoveryTest, FleetRecoversExactlyToTheCut) {
   const CutCrashCase param = GetParam();
   auto config = Config(param.kind, param.num_shards);
   config.threaded = param.threaded;
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
 
   constexpr uint64_t kRequestAt = 2;
   std::vector<StateTable> reference;
@@ -767,15 +792,17 @@ TEST_P(ConsistentCutCrashRecoveryTest, FleetRecoversExactlyToTheCut) {
   }
   ASSERT_TRUE(engine.SimulateCrash().ok());
 
-  std::vector<StateTable> recovered;
-  auto result = RecoverShardedToCut(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto recovered_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedCutRecoveryResult& result = recovered_or->result();
+  std::vector<StateTable>& recovered = recovered_or->tables();
   ASSERT_EQ(recovered.size(), param.num_shards);
   if (committed) {
-    EXPECT_TRUE(result->used_manifest);
-    EXPECT_EQ(result->cut_tick, cut_tick);
-    EXPECT_EQ(result->fleet.min_recovered_ticks, cut_tick + 1);
-    EXPECT_EQ(result->fleet.max_recovered_ticks, cut_tick + 1);
+    EXPECT_TRUE(result.used_manifest);
+    EXPECT_TRUE(recovered_or->at_cut());
+    EXPECT_EQ(result.cut_tick, cut_tick);
+    EXPECT_EQ(result.fleet.min_recovered_ticks, cut_tick + 1);
+    EXPECT_EQ(result.fleet.max_recovered_ticks, cut_tick + 1);
     for (uint32_t i = 0; i < param.num_shards; ++i) {
       EXPECT_TRUE(recovered[i].ContentEquals(reference_at_cut[i]))
           << AlgorithmName(param.kind) << " K=" << param.num_shards
@@ -783,9 +810,9 @@ TEST_P(ConsistentCutCrashRecoveryTest, FleetRecoversExactlyToTheCut) {
           << " diverges from the cut state";
     }
   } else {
-    EXPECT_FALSE(result->used_manifest);
-    EXPECT_EQ(result->fleet.min_recovered_ticks, param.crash_tick + 1);
-    EXPECT_EQ(result->fleet.max_recovered_ticks, param.crash_tick + 1);
+    EXPECT_FALSE(result.used_manifest);
+    EXPECT_EQ(result.fleet.min_recovered_ticks, param.crash_tick + 1);
+    EXPECT_EQ(result.fleet.max_recovered_ticks, param.crash_tick + 1);
     for (uint32_t i = 0; i < param.num_shards; ++i) {
       EXPECT_TRUE(recovered[i].ContentEquals(reference[i]))
           << AlgorithmName(param.kind) << " K=" << param.num_shards
@@ -842,9 +869,9 @@ INSTANTIATE_TEST_SUITE_P(CutCrashPoints, ConsistentCutCrashRecoveryTest,
 
 TEST_F(ShardedEngineTest, ConsistentCutProtocolGuards) {
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   std::vector<StateTable> reference;
 
   // Commit with nothing armed.
@@ -893,9 +920,9 @@ TEST_F(ShardedEngineTest, ConsistentCutProtocolGuards) {
 
 TEST_F(ShardedEngineTest, TornCutManifestFallsBackToPerShardRecovery) {
   auto config = Config(AlgorithmKind::kCopyOnUpdate, 2);
-  auto engine_or = ShardedEngine::Open(config);
-  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-  ShardedEngine& engine = *engine_or.value();
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  ShardedEngine& engine = fleet_or.value()->engine();
   std::vector<StateTable> reference;
   RunTicks(&engine, 2, &reference);
   auto cut_or = engine.RequestConsistentCut();
@@ -915,12 +942,13 @@ TEST_F(ShardedEngineTest, TornCutManifestFallsBackToPerShardRecovery) {
   std::filesystem::resize_file(manifest_path, size / 2, ec);
   ASSERT_FALSE(ec);
 
-  std::vector<StateTable> recovered;
-  auto result = RecoverShardedToCut(config, &recovered);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_FALSE(result->used_manifest);
-  EXPECT_EQ(result->fleet.min_recovered_ticks, crash_ticks);
-  EXPECT_EQ(result->fleet.max_recovered_ticks, crash_ticks);
+  auto recovered_or = Fleet::RecoverToCut(config.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  const ShardedCutRecoveryResult& result = recovered_or->result();
+  std::vector<StateTable>& recovered = recovered_or->tables();
+  EXPECT_FALSE(result.used_manifest);
+  EXPECT_EQ(result.fleet.min_recovered_ticks, crash_ticks);
+  EXPECT_EQ(result.fleet.max_recovered_ticks, crash_ticks);
   for (uint32_t i = 0; i < 2; ++i) {
     EXPECT_TRUE(recovered[i].ContentEquals(reference[i])) << "shard " << i;
   }
@@ -978,9 +1006,9 @@ TEST_F(ShardedEngineTest, SeededRandomizedFleetCrashInjection) {
     auto config = Config(shape.kind, shape.num_shards);
     config.shard.dir = dir_ + "/iter" + std::to_string(iter);
     config.threaded = shape.threaded;
-    auto engine_or = ShardedEngine::Open(config);
-    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
-    ShardedEngine& engine = *engine_or.value();
+    auto fleet_or = Fleet::Create(config.shard.dir, config);
+    ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+    ShardedEngine& engine = fleet_or.value()->engine();
 
     std::vector<StateTable> reference;
     std::vector<StateTable> reference_at_cut;
@@ -1007,17 +1035,18 @@ TEST_F(ShardedEngineTest, SeededRandomizedFleetCrashInjection) {
     }
     ASSERT_TRUE(engine.SimulateCrash().ok());
 
-    std::vector<StateTable> recovered;
-    auto result = RecoverShardedToCut(config, &recovered);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto recovered_or = Fleet::RecoverToCut(config.shard.dir);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    const ShardedCutRecoveryResult& result = recovered_or->result();
+    std::vector<StateTable>& recovered = recovered_or->tables();
     ASSERT_EQ(recovered.size(), shape.num_shards);
     const std::vector<StateTable>& expected =
         committed ? reference_at_cut : reference;
     const uint64_t expected_ticks =
         committed ? cut_tick + 1 : shape.crash_tick + 1;
-    EXPECT_EQ(result->used_manifest, committed);
-    EXPECT_EQ(result->fleet.min_recovered_ticks, expected_ticks);
-    EXPECT_EQ(result->fleet.max_recovered_ticks, expected_ticks);
+    EXPECT_EQ(result.used_manifest, committed);
+    EXPECT_EQ(result.fleet.min_recovered_ticks, expected_ticks);
+    EXPECT_EQ(result.fleet.max_recovered_ticks, expected_ticks);
     for (uint32_t i = 0; i < shape.num_shards; ++i) {
       EXPECT_TRUE(recovered[i].ContentEquals(expected[i])) << "shard " << i;
     }

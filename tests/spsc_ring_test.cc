@@ -1,0 +1,149 @@
+// SpscRing unit tests: the full/empty boundary, index wraparound, FIFO
+// order under a real producer/consumer thread pair, and the drain pattern
+// the ShardRunner mailbox relies on. The threaded tests run with the
+// schedule fuzzer enabled (TP_SCHED_FUZZ_SEED overrides the seed for
+// replay), so the release/acquire pairing is exercised under perturbed
+// interleavings, not just the scheduler's habitual ones.
+#include "util/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/sched_fuzz.h"
+
+namespace tickpoint {
+namespace {
+
+TEST(SpscRingTest, StartsEmptyAndPopFails) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.Empty());
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRingTest, FillsToCapacityAndRefusesTheNext) {
+  SpscRing<std::string> ring(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ring.TryPush("item" + std::to_string(i)));
+  }
+  // Full: the push fails and the rejected item is NOT consumed (the
+  // caller retries with it -- SubmitTick's backpressure loop depends on
+  // this).
+  std::string rejected = "rejected";
+  EXPECT_FALSE(ring.TryPush(std::move(rejected)));
+  EXPECT_EQ(rejected, "rejected");
+  // One pop frees exactly one slot.
+  std::string out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, "item0");
+  EXPECT_TRUE(ring.TryPush(std::move(rejected)));
+  EXPECT_FALSE(ring.TryPush("one too many"));
+}
+
+TEST(SpscRingTest, WrapsAroundPreservingFifoOrder) {
+  // A small ring cycled far past its capacity: the monotonic indices wrap
+  // the slot array many times and must keep strict FIFO order. Batch
+  // sizes vary so head/tail land on every relative offset.
+  SpscRing<uint64_t> ring(4);
+  std::mt19937 rng(123);
+  uint64_t next_push = 0;
+  uint64_t next_pop = 0;
+  while (next_pop < 10000) {
+    const uint64_t burst = rng() % 5;
+    for (uint64_t i = 0; i < burst; ++i) {
+      if (!ring.TryPush(uint64_t{next_push})) break;
+      ++next_push;
+    }
+    const uint64_t drain = rng() % 5;
+    for (uint64_t i = 0; i < drain; ++i) {
+      uint64_t out = 0;
+      if (!ring.TryPop(&out)) break;
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_GE(next_push, 10000u);
+}
+
+TEST(SpscRingTest, MoveOnlyElementsMoveThrough) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.TryPush(std::make_unique<int>(7)));
+  ASSERT_TRUE(ring.TryPush(std::make_unique<int>(8)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, 8);
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, DrainsAfterTheProducerStops) {
+  // The mailbox drain pattern: the producer stops pushing (error or
+  // shutdown) and the consumer must still see and pop everything already
+  // committed, then observe Empty().
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPush(int{i}));
+  }
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, ThreadedFifoUnderScheduleFuzz) {
+  // One real producer thread against one real consumer thread, schedule
+  // fuzzing on: every value must arrive exactly once, in order, and the
+  // occupancy must never exceed the capacity (checked via the rejected
+  // pushes the producer retries). Failures replay with the printed seed.
+  uint64_t seed = 20260808;
+  if (const char* env = std::getenv("TP_SCHED_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("replay with TP_SCHED_FUZZ_SEED=" + std::to_string(seed));
+  SchedFuzz::Enable(seed);
+
+  constexpr uint64_t kItems = 200000;
+  SpscRing<uint64_t> ring(4);
+  uint64_t retries = 0;
+  std::thread producer([&ring, &retries] {
+    for (uint64_t value = 0; value < kItems; ++value) {
+      while (!ring.TryPush(uint64_t{value})) {
+        ++retries;  // full: backpressure, spin until the consumer frees a slot
+      }
+    }
+  });
+  uint64_t received = 0;
+  bool in_order = true;
+  while (received < kItems) {
+    uint64_t out = 0;
+    if (ring.TryPop(&out)) {
+      in_order = in_order && out == received;
+      ++received;
+    }
+  }
+  producer.join();
+  SchedFuzz::Disable();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(received, kItems);
+  EXPECT_TRUE(ring.Empty());
+  // The bound did real work: a 4-slot ring fed by a free-running producer
+  // must hit full at least once.
+  EXPECT_GT(retries, 0u);
+}
+
+}  // namespace
+}  // namespace tickpoint
