@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(rate));
   }
 
-  auto print_metric = [&](const char* title,
+  bench::JsonEmitter json("bench_fig2_scaling");
+  auto print_metric = [&](const char* title, const char* section,
                           double (*metric)(const AlgorithmRunResult&)) {
     std::vector<std::string> headers = {"updates/tick"};
     for (AlgorithmKind kind : AllAlgorithms()) {
@@ -43,8 +44,13 @@ int main(int argc, char** argv) {
     TablePrinter table(headers);
     for (size_t r = 0; r < rates.size(); ++r) {
       std::vector<std::string> row = {std::to_string(rates[r])};
-      for (const auto& result : all_results[r]) {
+      for (size_t a = 0; a < all_results[r].size(); ++a) {
+        const AlgorithmRunResult& result = all_results[r][a];
         row.push_back(bench::Sec(metric(result)));
+        json.AddRow(section)
+            .Int("updates_per_tick", rates[r])
+            .Str("algorithm", GetTraits(AllAlgorithms()[a]).short_name)
+            .Num("seconds", metric(result));
       }
       table.AddRow(std::move(row));
     }
@@ -52,15 +58,15 @@ int main(int argc, char** argv) {
     bench::Emit(table, ctx.csv());
   };
 
-  print_metric("Figure 2(a): average overhead time per tick",
+  print_metric("Figure 2(a): average overhead time per tick", "overhead",
                [](const AlgorithmRunResult& r) {
                  return r.avg_overhead_seconds;
                });
-  print_metric("Figure 2(b): average time to checkpoint",
+  print_metric("Figure 2(b): average time to checkpoint", "checkpoint",
                [](const AlgorithmRunResult& r) {
                  return r.avg_checkpoint_seconds;
                });
-  print_metric("Figure 2(c): estimated recovery time",
+  print_metric("Figure 2(c): estimated recovery time", "recovery",
                [](const AlgorithmRunResult& r) { return r.recovery_seconds; });
 
   std::printf(
@@ -71,6 +77,7 @@ int main(int argc, char** argv) {
       "~0.1 s at 1K updates/tick (6.8x gain), converging to ~0.68 s at 256K\n"
       "# paper 2(c): non-partial-redo ~1.4 s at all rates; partial-redo "
       "worse than naive above 4K, reaching 7.2 s (5.4x) at 256K\n");
+  json.WriteFile(ctx.flags().GetString("json", "BENCH_fig2_scaling.json"));
   ctx.Finish();
   return 0;
 }

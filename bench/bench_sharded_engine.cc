@@ -148,6 +148,78 @@ StatusOr<FleetResult> RunFleet(const std::string& dir, const RunParams& params,
   return result;
 }
 
+/// Stall samples from one fleet run under periodic consistent cuts: every
+/// shard's cut checkpoint record contributes its cut_stall_seconds (the
+/// mutator block inside the cut tick's EndTick). The sync IO backend
+/// writes the whole cut image inside that block; the async backend returns
+/// at the COW snapshot and finishes the write on the engine's writer
+/// thread, so its samples should collapse to the drain+snapshot time.
+struct StallResult {
+  std::vector<double> samples;
+  uint64_t cuts = 0;
+};
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t last = samples.size() - 1;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(last) + 0.5);
+  if (idx > last) idx = last;
+  return samples[idx];
+}
+
+StatusOr<StallResult> RunStallFleet(const std::string& dir,
+                                    const RunParams& params,
+                                    uint32_t num_shards, IoBackendKind kind) {
+  std::filesystem::remove_all(dir);
+  ShardedEngineConfig config;
+  config.shard.layout = params.layout;
+  config.shard.algorithm = params.algorithm;
+  config.shard.dir = dir;
+  config.shard.fsync = params.fsync;
+  config.shard.io_backend = kind;
+  config.num_shards = num_shards;
+  config.checkpoint_period_ticks = params.period_ticks;
+  config.staggered = true;
+  config.threaded = true;
+  config.disk_budget = params.disk_budget;
+  TP_ASSIGN_OR_RETURN(auto fleet, Fleet::Create(dir, config));
+  const uint64_t num_cells = params.layout.num_cells();
+  StallResult result;
+  uint64_t cut_tick = 0;
+  bool cut_armed = false;
+  // Unpaced: the stall is measured inside EndTick, so pacing sleep would
+  // only stretch the run without changing the samples.
+  for (uint64_t tick = 0; tick < params.ticks; ++tick) {
+    if (!cut_armed && tick > 0 && tick % params.period_ticks == 0) {
+      TP_ASSIGN_OR_RETURN(cut_tick, fleet->RequestConsistentCut());
+      cut_armed = true;
+    }
+    fleet->BeginTick();
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      for (uint64_t i = 0; i < params.updates_per_tick; ++i) {
+        fleet->ApplyUpdate(shard, WorkloadCell(shard, tick, i, num_cells),
+                           static_cast<int32_t>(tick * 131 + i));
+      }
+    }
+    TP_RETURN_NOT_OK(fleet->EndTick());
+    if (cut_armed && tick == cut_tick) {
+      TP_RETURN_NOT_OK(fleet->CommitConsistentCut());
+      cut_armed = false;
+      ++result.cuts;
+    }
+  }
+  TP_RETURN_NOT_OK(fleet->Shutdown());
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const auto& records = fleet->engine().shard(shard).metrics().checkpoints;
+    for (const EngineCheckpointRecord& record : records) {
+      if (record.cut) result.samples.push_back(record.cut_stall_seconds);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
 /// Per-tick cost of pushing a tick's batches through every mailbox AND
 /// having the runners consume them: unpaced ticks with the periodic
 /// checkpoint starts pushed past the run, timed from a warmed-up, drained
@@ -476,9 +548,10 @@ int main(int argc, char** argv) {
 
   // --mailbox-only stops here: a fast (~2 min) run of just the section
   // above, for producing the baseline numbers from an old-mailbox build
-  // back-to-back with the full bench on the new one (the per-tick cost
-  // swings with machine load, so the two sides should be measured within
-  // minutes of each other).
+  // -- its medians are what --baseline-k8-tick-us/--baseline-k16-tick-us
+  // expect (in microseconds) -- back-to-back with the full bench on the
+  // new one (the per-tick cost swings with machine load, so the two
+  // sides should be measured within minutes of each other).
   if (ctx.flags().GetBool("mailbox-only", false)) {
     json.WriteFile(ctx.flags().GetString("json", "BENCH_sharded_engine.json"));
     return 0;
@@ -596,6 +669,56 @@ int main(int argc, char** argv) {
       "write blocking); expect the max stall to stay within a handful of "
       "tick periods of the staggered baseline's worst tick, and commit "
       "latency ~ cut lead + slowest shard's write\n");
+
+  // ---- Checkpoint stall: sync vs async IO backend ----
+  //
+  // The staged-pipeline payoff row: a wide fleet takes periodic consistent
+  // cuts and every shard's cut record contributes one mutator-stall sample
+  // (the block inside the cut tick's EndTick). Under the sync backend the
+  // block includes the whole image write + fsync; under the async backend
+  // EndTick returns once the COW snapshot is taken and the write completes
+  // on the engine's writer thread, reaped at a later tick boundary -- so
+  // the async p99 should sit well below the sync p99.
+  {
+    constexpr uint32_t kStallShards = 8;
+    TablePrinter stall_table({"shards", "backend", "cuts", "samples",
+                              "stall p50", "stall p99", "stall max"});
+    for (const IoBackendKind kind :
+         {IoBackendKind::kSync, IoBackendKind::kAsync}) {
+      auto stall_or = RunStallFleet(dir, params, kStallShards, kind);
+      if (!stall_or.ok()) {
+        std::fprintf(stderr, "stall run failed: %s\n",
+                     stall_or.status().ToString().c_str());
+        return 1;
+      }
+      const StallResult& run = stall_or.value();
+      const double p50 = Percentile(run.samples, 0.5);
+      const double p99 = Percentile(run.samples, 0.99);
+      const double max = Percentile(run.samples, 1.0);
+      stall_table.AddRow({std::to_string(kStallShards),
+                          IoBackendKindName(kind),
+                          std::to_string(run.cuts),
+                          std::to_string(run.samples.size()),
+                          bench::Sec(p50), bench::Sec(p99), bench::Sec(max)});
+      json.AddRow("stall")
+          .Int("shards", kStallShards)
+          .Str("backend", IoBackendKindName(kind))
+          .Int("cuts", run.cuts)
+          .Int("samples", run.samples.size())
+          .Num("stall_p50_seconds", p50)
+          .Num("stall_p99_seconds", p99)
+          .Num("stall_max_seconds", max);
+    }
+    std::printf("\n");
+    bench::Emit(stall_table, ctx.csv());
+    std::printf(
+        "\n# stall: mutator-visible block inside the cut tick's EndTick, "
+        "one sample per shard per cut (%u shards, a cut every %llu ticks); "
+        "sync = drain + full image write + fsync inside the block, async = "
+        "drain + COW snapshot only (the write finishes on the writer "
+        "thread) -- expect the async p99 well below the sync p99\n",
+        kStallShards, static_cast<unsigned long long>(period));
+  }
 
   // ---- Zone migration at a committed cut (the rebalance cost row) ----
   //

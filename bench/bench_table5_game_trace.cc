@@ -31,6 +31,19 @@ int main(int argc, char** argv) {
   MaterializedTrace trace = game::RecordGameTrace(world, ticks);
   const TraceStats stats = ComputeTraceStats(&trace);
 
+  bench::JsonEmitter json("bench_table5_game_trace");
+  json.AddRow("trace")
+      .Int("num_units", world.num_units)
+      .Int("attributes_per_unit", game::kNumAttributes)
+      .Int("num_ticks", stats.num_ticks)
+      .Num("avg_updates_per_tick", stats.avg_updates_per_tick)
+      .Int("min_updates_per_tick", stats.min_updates_per_tick)
+      .Int("max_updates_per_tick", stats.max_updates_per_tick)
+      .Int("distinct_cells", stats.distinct_cells)
+      .Int("distinct_objects", stats.distinct_objects)
+      .Num("hottest_percentile_share", stats.hottest_percentile_share)
+      .Num("active_fraction", world.active_fraction);
+
   TablePrinter table({"parameter", "paper", "measured"});
   table.AddRow({"number of units", "400,128", std::to_string(world.num_units)});
   table.AddRow({"number of attributes per unit", "13",
@@ -125,6 +138,15 @@ int main(int argc, char** argv) {
          bench::Sec(row.avg_tick_seconds), bench::Sec(row.max_tick_seconds),
          ratio_cell, bench::Sec(row.recovery_seconds),
          row.digests_match ? "yes" : "NO"});
+    json.AddRow("fleet")
+        .Int("shards", shards)
+        .Int("checkpoints", row.checkpoints.checkpoints)
+        .Num("avg_checkpoint_seconds", row.checkpoints.avg_total_seconds)
+        .Num("max_checkpoint_seconds", row.checkpoints.max_total_seconds)
+        .Num("avg_tick_seconds", row.avg_tick_seconds)
+        .Num("max_tick_seconds", row.max_tick_seconds)
+        .Num("recovery_seconds", row.recovery_seconds)
+        .Bool("digests_match", row.digests_match);
     std::filesystem::remove_all(fleet_dir);
   }
   std::printf("\n");
@@ -136,6 +158,7 @@ int main(int argc, char** argv) {
       "keep it near 1x), 'recovery' times the manifest-driven Fleet::Recover "
       "over all K partitions on one disk, and 'exact' digest-compares every "
       "recovered partition against its live zone world\n");
+  json.WriteFile(ctx.flags().GetString("json", "BENCH_table5_game_trace.json"));
   ctx.Finish();
   return 0;
 }

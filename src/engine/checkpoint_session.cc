@@ -1,0 +1,76 @@
+#include "engine/checkpoint_session.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tickpoint {
+
+namespace {
+constexpr uint64_t kBufferAlign = 4096;
+}  // namespace
+
+void CheckpointWriteSession::FreeDeleter::operator()(uint8_t* p) const {
+  std::free(p);
+}
+
+CheckpointWriteSession::CheckpointWriteSession(uint64_t object_size,
+                                               IoBackend* backend,
+                                               EmitRun emit,
+                                               uint64_t group_buffer_bytes)
+    : object_size_(object_size),
+      // A buffer must hold at least one object; round up to the alignment
+      // (aligned_alloc requires a size that is a multiple of it).
+      buffer_bytes_(((group_buffer_bytes > object_size ? group_buffer_bytes
+                                                       : object_size) +
+                     kBufferAlign - 1) &
+                    ~(kBufferAlign - 1)),
+      backend_(backend),
+      emit_(std::move(emit)) {
+  TP_CHECK(object_size_ > 0);
+  TP_CHECK(emit_ != nullptr);
+}
+
+CheckpointWriteSession::~CheckpointWriteSession() {
+  // Buffers are about to die; no async write may still reference them.
+  if (backend_ != nullptr) backend_->Drain();
+}
+
+void CheckpointWriteSession::EnsureBufferSpace() {
+  if (cursor_left_ >= object_size_) return;
+  uint8_t* raw =
+      static_cast<uint8_t*>(std::aligned_alloc(kBufferAlign, buffer_bytes_));
+  TP_CHECK(raw != nullptr);
+  buffers_.emplace_back(raw);
+  cursor_ = raw;
+  cursor_left_ = buffer_bytes_;
+}
+
+Status CheckpointWriteSession::Add(ObjectId object, const void* data) {
+  const bool extends = run_count_ > 0 && object == run_first_ + run_count_ &&
+                       cursor_left_ >= object_size_;
+  if (!extends) {
+    TP_RETURN_NOT_OK(FlushRun());
+    EnsureBufferSpace();
+    run_data_ = cursor_;
+    run_first_ = object;
+  }
+  std::memcpy(cursor_, data, object_size_);
+  cursor_ += object_size_;
+  cursor_left_ -= object_size_;
+  ++run_count_;
+  ++objects_added_;
+  return Status::OK();
+}
+
+Status CheckpointWriteSession::FlushRun() {
+  if (run_count_ == 0) return Status::OK();
+  const Status status = emit_(run_first_, run_data_, run_count_);
+  run_count_ = 0;
+  run_data_ = nullptr;
+  if (status.ok()) ++runs_emitted_;
+  return status;
+}
+
+Status CheckpointWriteSession::Finish() { return FlushRun(); }
+
+}  // namespace tickpoint

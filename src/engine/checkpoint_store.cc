@@ -45,8 +45,10 @@ constexpr uint64_t kBackupDataOffset = 512;  // header block, sector aligned
 
 // ---------------------------------------------------------------- Backup --
 
-Status BackupStore::MakeDurable(FileWriter* writer) {
-  return fsync_enabled_ ? writer->Sync() : writer->Flush();
+Status BackupStore::MakeDurable(int index) {
+  // fds have no userspace buffer, so the fsync-disabled mode (tests) needs
+  // no flush for readers to see the bytes.
+  return fsync_enabled_ ? files_[index].Sync() : Status::OK();
 }
 
 BackupStore::BackupStore(const StateLayout& layout, bool fsync_enabled)
@@ -58,12 +60,35 @@ std::string BackupStore::ImageFileName(int index) {
 }
 
 StatusOr<std::unique_ptr<BackupStore>> BackupStore::Open(
-    const std::string& dir, const StateLayout& layout, bool fsync_enabled) {
+    const std::string& dir, const StateLayout& layout, bool fsync_enabled,
+    IoBackend* backend, bool replay_doublewrite) {
   TP_RETURN_NOT_OK(EnsureDirectory(dir));
   std::unique_ptr<BackupStore> store(new BackupStore(layout, fsync_enabled));
   for (int i = 0; i < 2; ++i) {
     store->paths_[i] = dir + "/" + ImageFileName(i);
-    TP_RETURN_NOT_OK(store->writers_[i].OpenForUpdate(store->paths_[i]));
+  }
+  if (replay_doublewrite) {
+    // Complete any staged in-place batch a crash interrupted, before
+    // anyone opens or reads the images (the recovery path inherits this by
+    // simply opening the store).
+    TP_RETURN_NOT_OK(DoublewriteRegion::Replay(paths::DoublewritePath(dir),
+                                               store->paths_, 2,
+                                               fsync_enabled)
+                         .status());
+  }
+  for (int i = 0; i < 2; ++i) {
+    TP_RETURN_NOT_OK(store->files_[i].OpenForUpdate(store->paths_[i]));
+  }
+  if (backend != nullptr) {
+    store->backend_ = backend;
+  } else {
+    store->owned_backend_ = IoBackend::Create(IoBackendKind::kSync);
+    store->backend_ = store->owned_backend_.get();
+  }
+  if (replay_doublewrite) {
+    TP_ASSIGN_OR_RETURN(
+        store->dw_, DoublewriteRegion::Open(paths::DoublewritePath(dir),
+                                            fsync_enabled, store->backend_));
   }
   return store;
 }
@@ -77,8 +102,8 @@ Status BackupStore::BeginCheckpoint(int index) {
   TP_CHECK(index == 0 || index == 1);
   BackupHeader zero;
   zero.magic = 0;  // invalid
-  TP_RETURN_NOT_OK(writers_[index].WriteAt(0, &zero, sizeof(zero)));
-  TP_RETURN_NOT_OK(MakeDurable(&writers_[index]));
+  TP_RETURN_NOT_OK(files_[index].WriteAt(0, &zero, sizeof(zero)));
+  TP_RETURN_NOT_OK(MakeDurable(index));
   return Status::OK();
 }
 
@@ -87,14 +112,95 @@ Status BackupStore::WriteRange(int index, ObjectId first, const void* data,
   TP_CHECK(index == 0 || index == 1);
   TP_DCHECK(first + count <= layout_.num_objects());
   const uint64_t offset = kBackupDataOffset + first * layout_.object_size;
-  return writers_[index].WriteAt(offset, data, count * layout_.object_size);
+  return files_[index].WriteAt(offset, data, count * layout_.object_size);
+}
+
+bool BackupStore::TakeCrashPoint(StageCrashPoint point) {
+  if (stage_crash_point_ != point) return false;
+  stage_crash_point_ = StageCrashPoint::kNone;
+  return true;
+}
+
+Status BackupStore::BeginStagedCheckpoint(int index) {
+  TP_CHECK(index == 0 || index == 1);
+  if (dw_ == nullptr) {
+    return Status::FailedPrecondition(
+        "store opened without doublewrite replay: staged writes disabled");
+  }
+  TP_CHECK(staged_index_ == -1);
+  // Header-invalidate first (durably), exactly as in the unstaged
+  // protocol: once a staged batch exists for this image, the image is
+  // already ineligible for recovery, so replaying the batch can never
+  // touch a recoverable image.
+  TP_RETURN_NOT_OK(BeginCheckpoint(index));
+  TP_RETURN_NOT_OK(dw_->BeginBatch());
+  staged_index_ = index;
+  staged_.clear();
+  if (TakeCrashPoint(StageCrashPoint::kAfterBegin)) {
+    AbandonStaged();
+    return Status::Internal("crash injected after staged begin");
+  }
+  return Status::OK();
+}
+
+Status BackupStore::StageRun(int index, ObjectId first, const void* data,
+                             uint64_t count) {
+  TP_CHECK(staged_index_ == index);
+  TP_DCHECK(first + count <= layout_.num_objects());
+  const uint64_t offset = kBackupDataOffset + first * layout_.object_size;
+  dw_->StageChunk(static_cast<uint32_t>(index), offset, data,
+                  count * layout_.object_size);
+  staged_.push_back(StagedRun{first, static_cast<const uint8_t*>(data),
+                              count});
+  if (staged_.size() == 1 &&
+      TakeCrashPoint(StageCrashPoint::kAfterFirstStage)) {
+    AbandonStaged();
+    return Status::Internal("crash injected after first doublewrite stage");
+  }
+  return Status::OK();
+}
+
+Status BackupStore::SealAndApplyStaged(int index) {
+  TP_CHECK(staged_index_ == index);
+  TP_RETURN_NOT_OK(dw_->Seal());
+  if (TakeCrashPoint(StageCrashPoint::kAfterSeal)) {
+    AbandonStaged();
+    return Status::Internal("crash injected after doublewrite seal");
+  }
+  IoTicket last = 0;
+  bool crash_after_first = false;
+  for (const StagedRun& run : staged_) {
+    const uint64_t offset = kBackupDataOffset + run.first * layout_.object_size;
+    last = backend_->SubmitWrite(&files_[index], offset, run.data,
+                                 run.count * layout_.object_size);
+    if (last != 0 && TakeCrashPoint(StageCrashPoint::kAfterFirstApply)) {
+      crash_after_first = true;
+      break;
+    }
+  }
+  if (crash_after_first) {
+    AbandonStaged();  // the submitted run lands; the rest never do
+    return Status::Internal("crash injected after first in-place apply");
+  }
+  const Status status = last != 0 ? backend_->WaitFor(last) : Status::OK();
+  staged_.clear();
+  staged_index_ = -1;
+  return status;
+}
+
+void BackupStore::AbandonStaged() {
+  // Callers free their run buffers right after this; no in-flight write
+  // may still reference them (or the doublewrite region's headers).
+  if (backend_ != nullptr) backend_->Drain();
+  staged_.clear();
+  staged_index_ = -1;
 }
 
 Status BackupStore::FinishCheckpoint(int index, uint64_t seq,
                                      uint64_t consistent_tick,
                                      uint32_t state_crc) {
   TP_CHECK(index == 0 || index == 1);
-  TP_RETURN_NOT_OK(MakeDurable(&writers_[index]));  // data durable first
+  TP_RETURN_NOT_OK(MakeDurable(index));  // data durable first
   BackupHeader header;
   header.magic = kBackupMagic;
   header.seq = seq;
@@ -103,8 +209,8 @@ Status BackupStore::FinishCheckpoint(int index, uint64_t seq,
   header.object_size = layout_.object_size;
   header.state_crc = state_crc;
   header.header_crc = header.ComputeCrc();
-  TP_RETURN_NOT_OK(writers_[index].WriteAt(0, &header, sizeof(header)));
-  TP_RETURN_NOT_OK(MakeDurable(&writers_[index]));
+  TP_RETURN_NOT_OK(files_[index].WriteAt(0, &header, sizeof(header)));
+  TP_RETURN_NOT_OK(MakeDurable(index));
   return Status::OK();
 }
 
@@ -229,6 +335,26 @@ Status LogStore::AppendObject(ObjectId object, const void* data) {
   segment_crc_ = Crc32(&id, sizeof(id), segment_crc_);
   segment_crc_ = Crc32(data, layout_.object_size, segment_crc_);
   ++segment_objects_written_;
+  return Status::OK();
+}
+
+Status LogStore::AppendRun(ObjectId first, const void* data, uint64_t count) {
+  TP_CHECK(segment_open_);
+  TP_CHECK(segment_objects_written_ + count <= segment_objects_declared_);
+  const uint64_t record_bytes = sizeof(uint64_t) + layout_.object_size;
+  run_buf_.resize(count * record_bytes);
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  uint8_t* dst = run_buf_.data();
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t id = first + i;
+    std::memcpy(dst, &id, sizeof(id));
+    std::memcpy(dst + sizeof(id), src, layout_.object_size);
+    dst += record_bytes;
+    src += layout_.object_size;
+  }
+  TP_RETURN_NOT_OK(writer_.Append(run_buf_.data(), run_buf_.size()));
+  segment_crc_ = Crc32(run_buf_.data(), run_buf_.size(), segment_crc_);
+  segment_objects_written_ += count;
   return Status::OK();
 }
 

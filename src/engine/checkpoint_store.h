@@ -11,11 +11,20 @@
 // checkpoint is never eligible for recovery while the sibling image stays
 // untouched.
 //
+// The staged pipeline (ROADMAP item 1) layers a doublewrite guard on top
+// of that contract: a staged checkpoint submits its group-buffer runs
+// through an IoBackend into the CRC'd doublewrite region first, seals it,
+// and only then lands the runs in place -- so a torn in-place batch is
+// *repaired* by replay on the next open, not merely kept from mattering by
+// the invalid header. The plain WriteRange path remains for bootstrap
+// writes and tests; both paths preserve the header protocol unchanged.
+//
 // LogStore -- the log organization of the partial-redo family: checkpoints
 // are appended as self-validating segments. A full flush starts a new log
 // generation; once it commits, older generations are deleted (this bounds
 // the log read-back at recovery to C incremental segments plus one full
-// flush, the paper's (k*C + n) model).
+// flush, the paper's (k*C + n) model). Appends are already torn-safe (the
+// trailing segment CRC), so staged runs append as before -- no doublewrite.
 #ifndef TICKPOINT_ENGINE_CHECKPOINT_STORE_H_
 #define TICKPOINT_ENGINE_CHECKPOINT_STORE_H_
 
@@ -24,9 +33,11 @@
 #include <string>
 #include <vector>
 
+#include "engine/doublewrite.h"
 #include "engine/state_table.h"
 #include "model/layout.h"
 #include "util/io.h"
+#include "util/io_backend.h"
 #include "util/status.h"
 
 namespace tickpoint {
@@ -39,13 +50,37 @@ struct ImageInfo {
   uint32_t state_crc = 0;        // 0 = not recorded
 };
 
-/// The double-backup store: files backup0.img and backup1.img under `dir`.
+/// The double-backup store: files backup0.img and backup1.img under `dir`,
+/// plus the doublewrite region (paths::DoublewriteFileName).
 class BackupStore {
  public:
+  /// Crash-injection hooks for the staged pipeline: the named boundary
+  /// returns an injected error instead of proceeding (after draining any
+  /// in-flight writes), leaving the disk exactly as a crash there would.
+  enum class StageCrashPoint {
+    kNone = 0,
+    /// After the header invalidate, before any doublewrite staging.
+    kAfterBegin,
+    /// After the first run's doublewrite chunk, before the seal fsync
+    /// (the region may hold a torn batch).
+    kAfterFirstStage,
+    /// After the doublewrite seal, before any in-place write (replay must
+    /// complete the batch).
+    kAfterSeal,
+    /// After the first in-place run landed, the rest abandoned (the torn
+    /// in-place batch replay repairs).
+    kAfterFirstApply,
+  };
+
   /// Opens (creating if needed) both backup files sized for `layout`.
-  static StatusOr<std::unique_ptr<BackupStore>> Open(const std::string& dir,
-                                                     const StateLayout& layout,
-                                                     bool fsync_enabled);
+  /// `backend` routes the staged pipeline's writes (null: the store owns a
+  /// private synchronous backend). `replay_doublewrite` applies and then
+  /// discards any batch left in the doublewrite region -- pass false only
+  /// for read-only inspection, which must not mutate a crash image; the
+  /// staged API is unavailable then.
+  static StatusOr<std::unique_ptr<BackupStore>> Open(
+      const std::string& dir, const StateLayout& layout, bool fsync_enabled,
+      IoBackend* backend = nullptr, bool replay_doublewrite = true);
 
   /// Bare filename of backup image `index` ("backup0.img"/"backup1.img") --
   /// the single owner of the naming rule.
@@ -55,8 +90,29 @@ class BackupStore {
   Status BeginCheckpoint(int index);
 
   /// Writes `count` consecutive objects starting at `first` from `data`.
+  /// The direct (unstaged) path: bootstrap images and tests.
   Status WriteRange(int index, ObjectId first, const void* data,
                     uint64_t count);
+
+  // Staged pipeline: Begin -> Stage* -> SealAndApply -> FinishCheckpoint.
+
+  /// BeginCheckpoint + opens a doublewrite batch for image `index`.
+  Status BeginStagedCheckpoint(int index);
+
+  /// Stages one group-buffer run (`count` objects from id `first`) into
+  /// the doublewrite region. `data` must stay valid until
+  /// SealAndApplyStaged or AbandonStaged returns (the session contract).
+  Status StageRun(int index, ObjectId first, const void* data,
+                  uint64_t count);
+
+  /// Seals the doublewrite region (fsync), then lands every staged run at
+  /// its in-place offset. After this, FinishCheckpoint revalidates the
+  /// header exactly as in the unstaged protocol.
+  Status SealAndApplyStaged(int index);
+
+  /// Abandons an open staged batch (error/crash paths): drains in-flight
+  /// writes so callers may free run buffers; on-disk bytes stay torn.
+  void AbandonStaged();
 
   /// Makes the image durable and valid: fsync data, then write + fsync the
   /// header. `state_crc` may be 0 (unchecked).
@@ -72,15 +128,40 @@ class BackupStore {
 
   const std::string& path(int index) const;
 
+  /// Arms a one-shot crash at `point` (tests only).
+  void SetStageCrashPointForTest(StageCrashPoint point) {
+    stage_crash_point_ = point;
+  }
+
  private:
   BackupStore(const StateLayout& layout, bool fsync_enabled);
-  /// Flush always; fsync when enabled.
-  Status MakeDurable(FileWriter* writer);
+  /// Flush semantics of the old FileWriter path are free with fds (no
+  /// userspace buffer); durability still honors fsync_enabled_.
+  Status MakeDurable(int index);
+  /// True (once) when the armed crash point is `point`; the caller then
+  /// abandons the batch and returns the injected error.
+  bool TakeCrashPoint(StageCrashPoint point);
 
   StateLayout layout_;
   bool fsync_enabled_;
   std::string paths_[2];
-  FileWriter writers_[2];
+  IoFile files_[2];
+
+  /// Write routing. backend_ points at the engine-owned backend, or at
+  /// owned_backend_ when the caller supplied none.
+  IoBackend* backend_ = nullptr;
+  std::unique_ptr<IoBackend> owned_backend_;
+  /// Null when opened with replay_doublewrite=false (inspection).
+  std::unique_ptr<DoublewriteRegion> dw_;
+
+  struct StagedRun {
+    ObjectId first = 0;
+    const uint8_t* data = nullptr;
+    uint64_t count = 0;
+  };
+  std::vector<StagedRun> staged_;
+  int staged_index_ = -1;
+  StageCrashPoint stage_crash_point_ = StageCrashPoint::kNone;
 };
 
 /// One segment inside a log generation (for inspection/tests).
@@ -113,6 +194,10 @@ class LogStore {
                       uint64_t object_count);
   /// Appends one object record to the open segment.
   Status AppendObject(ObjectId object, const void* data);
+  /// Appends `count` records for consecutive ids starting at `first`, with
+  /// payloads packed contiguously at `data` -- one buffered write per
+  /// group-buffer run instead of two per object.
+  Status AppendRun(ObjectId first, const void* data, uint64_t count);
   /// Seals the segment (trailing CRC) and makes it durable. All declared
   /// objects must have been appended.
   Status CommitSegment();
@@ -175,6 +260,8 @@ class LogStore {
   uint32_t segment_crc_ = 0;
   uint64_t segment_objects_declared_ = 0;
   uint64_t segment_objects_written_ = 0;
+  /// Reused serialization buffer for AppendRun records.
+  std::vector<uint8_t> run_buf_;
 };
 
 }  // namespace tickpoint

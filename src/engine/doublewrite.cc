@@ -1,0 +1,202 @@
+#include "engine/doublewrite.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace tickpoint {
+
+namespace {
+
+/// "TKPTDWR1" -- distinct from the backup image and segment magics so a
+/// chunk header can never be mistaken for either.
+constexpr uint64_t kDwMagic = 0x544B505444575231ULL;
+
+/// Chunk slots start on 512-byte boundaries (torn-write granularity of
+/// classic disks; also keeps the region layout inspectable by eye).
+constexpr uint64_t kDwAlign = 512;
+
+constexpr uint64_t AlignUp(uint64_t value) {
+  return (value + kDwAlign - 1) & ~(kDwAlign - 1);
+}
+
+/// On-disk chunk header. Fixed-width fields, same-machine layout (the
+/// convention all tickpoint on-disk structs follow).
+struct DwChunkHeader {
+  uint64_t magic = 0;
+  uint64_t batch_seq = 0;
+  uint64_t target_offset = 0;
+  uint64_t length = 0;
+  uint32_t target_image = 0;
+  uint32_t payload_crc = 0;
+  /// CRC over every preceding field; guards a torn header write.
+  uint32_t header_crc = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(DwChunkHeader) == 48, "doublewrite header layout");
+
+uint32_t HeaderCrc(const DwChunkHeader& header) {
+  return Crc32(&header, offsetof(DwChunkHeader, header_crc));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DoublewriteRegion>> DoublewriteRegion::Open(
+    const std::string& dw_path, bool fsync_enabled, IoBackend* backend) {
+  TP_CHECK(backend != nullptr);
+  auto region = std::unique_ptr<DoublewriteRegion>(
+      new DoublewriteRegion(fsync_enabled, backend));
+  TP_RETURN_NOT_OK(region->file_.OpenForUpdate(dw_path));
+  // Any batch a previous incarnation left behind was already replayed (or
+  // was unsealed, i.e. discardable) before we got here; truncating keeps
+  // stale chunks from ever aliasing a future batch's tail.
+  TP_RETURN_NOT_OK(region->file_.Truncate(0));
+  return region;
+}
+
+StatusOr<std::vector<DoublewriteRegion::Chunk>> DoublewriteRegion::Scan(
+    const std::string& dw_path) {
+  std::vector<Chunk> chunks;
+  if (!FileExists(dw_path)) return chunks;
+  FileReader reader;
+  TP_RETURN_NOT_OK(reader.Open(dw_path));
+  TP_ASSIGN_OR_RETURN(const uint64_t file_size, reader.Size());
+  uint64_t offset = 0;
+  while (offset + sizeof(DwChunkHeader) <= file_size) {
+    DwChunkHeader header;
+    TP_RETURN_NOT_OK(reader.ReadAt(offset, &header, sizeof(header)));
+    // The terminator (or a torn header) ends the batch.
+    if (header.magic != kDwMagic) break;
+    if (header.header_crc != HeaderCrc(header)) break;
+    Chunk chunk;
+    chunk.batch_seq = header.batch_seq;
+    chunk.target_image = header.target_image;
+    chunk.target_offset = header.target_offset;
+    chunk.length = header.length;
+    chunk.payload_file_offset = offset + sizeof(DwChunkHeader);
+    chunk.payload_intact = false;
+    if (chunk.payload_file_offset + header.length <= file_size) {
+      std::vector<uint8_t> payload(header.length);
+      TP_RETURN_NOT_OK(reader.ReadAt(chunk.payload_file_offset,
+                                     payload.data(), payload.size()));
+      chunk.payload_intact =
+          Crc32(payload.data(), payload.size()) == header.payload_crc;
+    }
+    chunks.push_back(chunk);
+    // Past a torn payload the slot arithmetic still holds, but the bytes
+    // there are leftovers of an older batch; the prefix ends here.
+    if (!chunk.payload_intact) break;
+    offset = AlignUp(chunk.payload_file_offset + header.length);
+  }
+  return chunks;
+}
+
+StatusOr<uint64_t> DoublewriteRegion::Replay(const std::string& dw_path,
+                                             const std::string* image_paths,
+                                             size_t num_images,
+                                             bool fsync_enabled,
+                                             uint64_t apply_at_most) {
+  TP_ASSIGN_OR_RETURN(const std::vector<Chunk> chunks, Scan(dw_path));
+  uint64_t applied = 0;
+  if (!chunks.empty()) {
+    FileReader reader;
+    TP_RETURN_NOT_OK(reader.Open(dw_path));
+    std::vector<std::unique_ptr<FileWriter>> writers(num_images);
+    const uint64_t batch_seq = chunks.front().batch_seq;
+    std::vector<uint8_t> payload;
+    for (const Chunk& chunk : chunks) {
+      // Only the longest intact prefix carrying the first chunk's
+      // batch_seq is the staged batch; anything else is a leftover.
+      if (chunk.batch_seq != batch_seq || !chunk.payload_intact) break;
+      if (applied >= apply_at_most) break;
+      if (chunk.target_image >= num_images) {
+        return Status::Corruption("doublewrite chunk targets image " +
+                                  std::to_string(chunk.target_image));
+      }
+      payload.resize(chunk.length);
+      TP_RETURN_NOT_OK(reader.ReadAt(chunk.payload_file_offset,
+                                     payload.data(), payload.size()));
+      auto& writer = writers[chunk.target_image];
+      if (writer == nullptr) {
+        writer = std::make_unique<FileWriter>();
+        TP_RETURN_NOT_OK(
+            writer->OpenForUpdate(image_paths[chunk.target_image]));
+      }
+      TP_RETURN_NOT_OK(
+          writer->WriteAt(chunk.target_offset, payload.data(),
+                          payload.size()));
+      ++applied;
+    }
+    for (auto& writer : writers) {
+      if (writer == nullptr) continue;
+      TP_RETURN_NOT_OK(fsync_enabled ? writer->Sync() : writer->Flush());
+      TP_RETURN_NOT_OK(writer->Close());
+    }
+  }
+  if (apply_at_most != UINT64_MAX) {
+    // Crash-injection mode: leave the region intact so the next open
+    // replays again (the idempotence the tests assert).
+    return applied;
+  }
+  // The batch (if any) is durable in place; discard the region so its
+  // chunks can never alias a future batch. A region that never existed
+  // (fresh directory) needs no discard.
+  if (!FileExists(dw_path)) return applied;
+  std::error_code ec;
+  std::filesystem::resize_file(dw_path, 0, ec);
+  if (ec) {
+    return Status::IOError("truncate failed: " + dw_path + ": " +
+                           ec.message());
+  }
+  return applied;
+}
+
+Status DoublewriteRegion::BeginBatch() {
+  // An abandoned previous batch may still have writes in flight that
+  // reference pending_headers_; fence them out before reusing the region.
+  TP_RETURN_NOT_OK(backend_->Drain());
+  pending_headers_.clear();
+  batch_seq_ = next_batch_seq_++;
+  write_offset_ = 0;
+  last_ticket_ = 0;
+  batch_open_ = true;
+  return Status::OK();
+}
+
+IoTicket DoublewriteRegion::StageChunk(uint32_t target_image,
+                                       uint64_t target_offset,
+                                       const void* payload, uint64_t length) {
+  TP_CHECK(batch_open_);
+  DwChunkHeader header;
+  header.magic = kDwMagic;
+  header.batch_seq = batch_seq_;
+  header.target_offset = target_offset;
+  header.length = length;
+  header.target_image = target_image;
+  header.payload_crc = Crc32(payload, length);
+  header.header_crc = HeaderCrc(header);
+  auto& bytes = pending_headers_.emplace_back(sizeof(DwChunkHeader));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  backend_->SubmitWrite(&file_, write_offset_, bytes.data(), bytes.size());
+  last_ticket_ = backend_->SubmitWrite(
+      &file_, write_offset_ + sizeof(DwChunkHeader), payload, length);
+  write_offset_ = AlignUp(write_offset_ + sizeof(DwChunkHeader) + length);
+  return last_ticket_;
+}
+
+Status DoublewriteRegion::Seal() {
+  TP_CHECK(batch_open_);
+  batch_open_ = false;
+  // Terminator: a zeroed header slot after the last chunk, so Scan stops
+  // before any leftover bytes of an earlier (longer) batch.
+  auto& terminator = pending_headers_.emplace_back(sizeof(DwChunkHeader), 0);
+  last_ticket_ = backend_->SubmitWrite(&file_, write_offset_,
+                                       terminator.data(), terminator.size());
+  TP_RETURN_NOT_OK(backend_->WaitFor(last_ticket_));
+  if (fsync_enabled_) TP_RETURN_NOT_OK(file_.Sync());
+  return Status::OK();
+}
+
+}  // namespace tickpoint

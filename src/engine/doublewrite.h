@@ -1,0 +1,126 @@
+// Doublewrite region: the torn-write guard for in-place checkpoint image
+// updates (the InnoDB pattern, via the holystardb exemplar).
+//
+// An in-place image update overwrites bytes a previous checkpoint already
+// made durable; a crash mid-write would leave the page half-old half-new.
+// The backup header-invalidate protocol already keeps such an image from
+// being *recovered from*, but the doublewrite region goes further: every
+// group buffer is first appended to `doublewrite.img` as a CRC'd chunk,
+// the region is sealed (fsynced), and only then do the in-place writes
+// start. On the next open, Replay() re-applies the sealed batch, so a torn
+// in-place write is repaired rather than merely detected.
+//
+// Batch protocol (one batch per checkpoint):
+//   BeginBatch          -> restart at offset 0 with the next batch_seq
+//   StageChunk*         -> append header+payload chunks (via the IoBackend)
+//   Seal                -> wait for the chunk writes, append a terminator,
+//                          fsync: the batch now survives any crash
+//   (caller performs the in-place writes, then its data fsync)
+//
+// Crash contract:
+//   - crash before Seal's fsync: the batch may be torn in the region.
+//     Replay applies only the longest intact prefix (magic + header CRC +
+//     payload CRC, all carrying the FIRST chunk's batch_seq) -- chunks
+//     from an older batch that happen to survive beyond the new batch's
+//     tail carry a smaller batch_seq and are never adopted. Applying a
+//     prefix is harmless: the in-place phase had not started, the target
+//     header is still invalidated, and the previous batch's writes were
+//     already durable in place.
+//   - crash after Seal: Replay re-applies the full batch, completing the
+//     interrupted in-place phase byte-for-byte.
+//   - Replay is idempotent (a pure function of the region + images), so a
+//     crash DURING replay just replays again on the next open.
+// A new batch may only begin once the previous batch's in-place writes are
+// durable (the engine's one-job-at-a-time writer guarantees this); Open
+// truncates any replayed leftovers, so stale chunks never accumulate
+// across incarnations.
+#ifndef TICKPOINT_ENGINE_DOUBLEWRITE_H_
+#define TICKPOINT_ENGINE_DOUBLEWRITE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/io_backend.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+class DoublewriteRegion {
+ public:
+  /// One decoded chunk (Scan output; also the unit Replay applies).
+  struct Chunk {
+    uint64_t batch_seq = 0;
+    uint32_t target_image = 0;
+    uint64_t target_offset = 0;
+    uint64_t length = 0;
+    /// Payload bytes start here in the region file.
+    uint64_t payload_file_offset = 0;
+    /// Stored payload CRC matches the bytes on disk.
+    bool payload_intact = false;
+  };
+
+  /// Opens (creating if needed) `dw_path` for staging. Assumes any batch
+  /// left by a previous incarnation was already handled by Replay: the
+  /// region is truncated to empty, so the first batch starts clean.
+  static StatusOr<std::unique_ptr<DoublewriteRegion>> Open(
+      const std::string& dw_path, bool fsync_enabled, IoBackend* backend);
+
+  /// Read-only: decodes chunk headers from offset 0, stopping at the first
+  /// torn/absent header (the terminator). Never applies or mutates
+  /// anything -- safe for tickpoint_inspect on a live crash image.
+  static StatusOr<std::vector<Chunk>> Scan(const std::string& dw_path);
+
+  /// Applies the staged batch (the longest intact same-batch_seq prefix)
+  /// into the image files (`image_paths[chunk.target_image]`), fsyncs the
+  /// touched images (when `fsync_enabled`), then truncates the region.
+  /// Returns the number of chunks applied (0 when the region is empty or
+  /// its first chunk is torn). `apply_at_most` caps how many chunks land
+  /// before returning early WITHOUT truncating -- a crash-injection hook
+  /// for tests proving replay is idempotent when interrupted.
+  static StatusOr<uint64_t> Replay(const std::string& dw_path,
+                                   const std::string* image_paths,
+                                   size_t num_images, bool fsync_enabled,
+                                   uint64_t apply_at_most = UINT64_MAX);
+
+  /// Starts the next batch at offset 0. The previous batch's in-place
+  /// writes must already be durable (see the crash contract above).
+  Status BeginBatch();
+
+  /// Appends one chunk for `length` payload bytes targeting
+  /// `image_paths[target_image]` at `target_offset`. Submitted through the
+  /// IoBackend; `payload` must stay valid until Seal returns. Returns the
+  /// payload write's ticket.
+  IoTicket StageChunk(uint32_t target_image, uint64_t target_offset,
+                      const void* payload, uint64_t length);
+
+  /// Waits for every staged chunk, appends the terminator, and fsyncs the
+  /// region: after Seal, the batch survives any crash.
+  Status Seal();
+
+  uint64_t current_batch_seq() const { return batch_seq_; }
+  /// Bytes the current batch occupies in the region (diagnostics).
+  uint64_t staged_bytes() const { return write_offset_; }
+
+ private:
+  DoublewriteRegion(bool fsync_enabled, IoBackend* backend)
+      : fsync_enabled_(fsync_enabled), backend_(backend) {}
+
+  const bool fsync_enabled_;
+  IoBackend* backend_;
+  IoFile file_;
+  uint64_t next_batch_seq_ = 1;
+  uint64_t batch_seq_ = 0;
+  uint64_t write_offset_ = 0;
+  bool batch_open_ = false;
+  IoTicket last_ticket_ = 0;
+  /// Headers (and the terminator) live here until Seal: the IoBackend
+  /// writes them in place, so they need stable addresses.
+  std::deque<std::vector<uint8_t>> pending_headers_;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_DOUBLEWRITE_H_

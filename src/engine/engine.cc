@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 
+#include "engine/checkpoint_session.h"
 #include "engine/paths.h"
 #include "util/crc32.h"
 
@@ -31,7 +32,8 @@ Status RemoveStaleCheckpointFiles(const std::string& dir) {
     const std::string name = entry.path().filename().string();
     uint64_t gen = 0;
     const bool backup_image = name == BackupStore::ImageFileName(0) ||
-                              name == BackupStore::ImageFileName(1);
+                              name == BackupStore::ImageFileName(1) ||
+                              name == paths::DoublewriteFileName();
     if (backup_image || LogStore::ParseGenerationFileName(name, &gen)) {
       TP_RETURN_NOT_OK(RemoveFileIfExists(entry.path().string()));
     }
@@ -151,10 +153,13 @@ Status Engine::WriteBootstrapCheckpoint() {
 
 Status Engine::OpenStores() {
   TP_RETURN_NOT_OK(EnsureDirectory(config_.dir));
+  // One backend per engine: only the writer thread submits checkpoint
+  // writes, so a single bounded queue is the whole pipeline.
+  io_backend_ = IoBackend::Create(config_.io_backend);
   if (traits_.disk == DiskOrganization::kDoubleBackup) {
-    TP_ASSIGN_OR_RETURN(backup_, BackupStore::Open(config_.dir,
-                                                   config_.layout,
-                                                   config_.fsync));
+    TP_ASSIGN_OR_RETURN(
+        backup_, BackupStore::Open(config_.dir, config_.layout, config_.fsync,
+                                   io_backend_.get()));
   } else {
     TP_ASSIGN_OR_RETURN(
         log_, LogStore::Open(config_.dir, config_.layout, config_.fsync));
@@ -258,8 +263,7 @@ Status Engine::EndTick() {
     if (cut_now) {
       // Consistent-cut checkpoint: unlike the deferrable manual request,
       // the cut MUST cover exactly this tick. Drain whatever flush is
-      // still in flight, then run the cut checkpoint synchronously; the
-      // whole block is the mutator stall the fleet bench reports.
+      // still in flight, then start the cut checkpoint at this tick.
       const auto stall_start = Clock::now();
       if (active_job_) {
         WaitForJobDone();
@@ -268,13 +272,26 @@ Status Engine::EndTick() {
       }
       TP_ASSIGN_OR_RETURN(pause, StartCheckpoint(/*cut=*/true));
       last_start_tick_ = tick_;
-      WaitForJobDone();
-      TP_RETURN_NOT_OK(writer_status_);
-      active_job_->cut_stall_seconds = SecondsSince(stall_start);
-      // The stall subsumes any eager-copy pause: report the whole block
-      // as this tick's overhead.
-      pause = active_job_->cut_stall_seconds;
-      FinalizeJob();
+      if (config_.io_backend == IoBackendKind::kSync) {
+        // Sync backend: block until the cut image is durable; the whole
+        // block is the mutator stall the fleet bench reports.
+        WaitForJobDone();
+        TP_RETURN_NOT_OK(writer_status_);
+        active_job_->cut_stall_seconds = SecondsSince(stall_start);
+        // The stall subsumes any eager-copy pause: report the whole block
+        // as this tick's overhead.
+        pause = active_job_->cut_stall_seconds;
+        FinalizeJob();
+      } else {
+        // Async pipeline: StartCheckpoint took the tick-T snapshot (the
+        // COW rule -- eager copy or cleared copy-bits), so the image's
+        // content is already decided; the write itself completes on the
+        // writer thread and is reaped at a later tick boundary (or by
+        // CompletePendingCheckpoint). The mutator-visible stall is the
+        // drain + snapshot only -- never the disk.
+        active_job_->cut_stall_seconds = SecondsSince(stall_start);
+        pause = active_job_->cut_stall_seconds;
+      }
     }
     const bool interval_elapsed =
         checkpoint_seq_ == 0 ||
@@ -469,57 +486,42 @@ Status Engine::ExecuteJob(const Job& job) {
   };
 
   if (traits_.disk == DiskOrganization::kDoubleBackup) {
-    TP_RETURN_NOT_OK(backup_->BeginCheckpoint(job.backup_index));
-    if (!job.cou_mode) {
-      // Write-Copies-To-Stable-Storage: from the eager snapshot, in offset
-      // order (the sorted-I/O pattern), coalescing contiguous runs.
-      if (job.all_objects) {
-        if (crashed()) return Status::Internal("crash injected");
-        TP_RETURN_NOT_OK(backup_->WriteRange(job.backup_index, 0, aux_.data(),
-                                             n));
-      } else {
-        for (uint64_t o = 0; o < n; ++o) {
-          if (!write_set_.Test(o)) continue;
-          if (crashed()) return Status::Internal("crash injected");
-          uint64_t end = o + 1;
-          while (end < n && write_set_.Test(end)) ++end;
-          TP_RETURN_NOT_OK(backup_->WriteRange(
-              job.backup_index, o, aux_.data() + o * object_size, end - o));
-          o = end - 1;
+    // Staged pipeline: objects are gathered into the session's aligned
+    // group buffers (the COW point -- after Add returns, the mutator may
+    // overwrite the source), each full buffer flushes as one run into the
+    // doublewrite region, and only a sealed batch lands in place. The
+    // session must outlive SealAndApplyStaged: both the doublewrite chunks
+    // and the in-place writes read straight out of its buffers.
+    TP_RETURN_NOT_OK(backup_->BeginStagedCheckpoint(job.backup_index));
+    {
+      const int backup_index = job.backup_index;
+      CheckpointWriteSession session(
+          object_size, io_backend_.get(),
+          [this, backup_index](ObjectId first, const uint8_t* data,
+                               uint64_t count) {
+            return backup_->StageRun(backup_index, first, data, count);
+          });
+      Status status = Status::OK();
+      for (uint64_t o = 0; o < n && status.ok(); ++o) {
+        if (!job.all_objects && !write_set_.Test(o)) continue;
+        if (crashed()) {
+          status = Status::Internal("crash injected");
+          break;
         }
+        // Eager jobs read the snapshot in aux_; copy-on-update jobs fetch
+        // the live object under its lock (Write-Objects vs Write-Copies).
+        const uint8_t* src = job.cou_mode
+                                 ? CouSource(o, staging.data())
+                                 : aux_.data() + o * object_size;
+        status = session.Add(o, src);
       }
-    } else {
-      // Write-Objects-To-Stable-Storage: live state via the lock protocol.
-      // Objects are fetched one at a time (each under its own lock) but
-      // flushed to disk in contiguous runs -- one positional write per run,
-      // not per object (the real-I/O analogue of the sorted-write pattern).
-      constexpr uint64_t kRunLimit = 512;
-      std::vector<uint8_t> run_buffer(kRunLimit * object_size);
-      uint64_t run_start = 0;
-      uint64_t run_length = 0;
-      auto flush_run = [&]() -> Status {
-        if (run_length == 0) return Status::OK();
-        Status status = backup_->WriteRange(job.backup_index, run_start,
-                                            run_buffer.data(), run_length);
-        run_length = 0;
+      if (status.ok()) status = session.Finish();
+      if (status.ok()) status = backup_->SealAndApplyStaged(job.backup_index);
+      if (!status.ok()) {
+        // Drain in-flight writes before the session (and its buffers) dies.
+        backup_->AbandonStaged();
         return status;
-      };
-      for (uint64_t o = 0; o < n; ++o) {
-        if (!job.all_objects && !write_set_.Test(o)) {
-          TP_RETURN_NOT_OK(flush_run());
-          continue;
-        }
-        if (crashed()) return Status::Internal("crash injected");
-        if (run_length == kRunLimit) {
-          TP_RETURN_NOT_OK(flush_run());
-        }
-        if (run_length == 0) run_start = o;
-        const uint8_t* src = CouSource(o, staging.data());
-        std::memcpy(run_buffer.data() + run_length * object_size, src,
-                    object_size);
-        ++run_length;
       }
-      TP_RETURN_NOT_OK(flush_run());
     }
     uint32_t state_crc = 0;
     if (config_.checksum_state && !job.cou_mode && job.all_objects) {
@@ -536,16 +538,33 @@ Status Engine::ExecuteJob(const Job& job) {
   }
   TP_RETURN_NOT_OK(log_->BeginSegment(job.seq, job.consistent_ticks,
                                       job.all_objects, job.object_count));
-  for (uint64_t o = 0; o < n; ++o) {
-    if (!job.all_objects && !write_set_.Test(o)) continue;
-    if (crashed()) {
-      log_->AbortSegment();
-      return Status::Internal("crash injected");
+  {
+    // Appends are already torn-safe (trailing segment CRC), so log runs
+    // skip the doublewrite region and the backend: the session only
+    // coalesces objects into group-buffer appends (null backend = the
+    // emit callback completes the write before returning).
+    CheckpointWriteSession session(
+        object_size, /*backend=*/nullptr,
+        [this](ObjectId first, const uint8_t* data, uint64_t count) {
+          return log_->AppendRun(first, data, count);
+        });
+    Status status = Status::OK();
+    for (uint64_t o = 0; o < n && status.ok(); ++o) {
+      if (!job.all_objects && !write_set_.Test(o)) continue;
+      if (crashed()) {
+        status = Status::Internal("crash injected");
+        break;
+      }
+      const uint8_t* src = job.cou_mode
+                               ? CouSource(o, staging.data())
+                               : aux_.data() + o * object_size;
+      status = session.Add(o, src);
     }
-    const uint8_t* src = job.cou_mode
-                             ? CouSource(o, staging.data())
-                             : aux_.data() + o * object_size;
-    TP_RETURN_NOT_OK(log_->AppendObject(o, src));
+    if (status.ok()) status = session.Finish();
+    if (!status.ok()) {
+      log_->AbortSegment();
+      return status;
+    }
   }
   if (crashed()) {
     log_->AbortSegment();
@@ -555,6 +574,20 @@ Status Engine::ExecuteJob(const Job& job) {
   if (job.new_generation) {
     TP_RETURN_NOT_OK(log_->DropGenerationsBefore(job.log_gen));
   }
+  return Status::OK();
+}
+
+Status Engine::CompletePendingCheckpoint() {
+  // The reap half of the async cut: wait for the writer to finish the
+  // in-flight job and fold its record into metrics. Callable only between
+  // ticks, from the thread that drives EndTick (same ownership rules as
+  // StartCheckpoint); a no-op when nothing is in flight.
+  TP_CHECK(!in_tick_);
+  if (crashed_.load(std::memory_order_acquire)) return writer_status_;
+  if (!active_job_) return writer_status_;
+  WaitForJobDone();
+  TP_RETURN_NOT_OK(writer_status_);
+  FinalizeJob();
   return Status::OK();
 }
 

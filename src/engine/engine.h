@@ -46,6 +46,7 @@
 #include "engine/logical_log.h"
 #include "engine/state_table.h"
 #include "util/histogram.h"
+#include "util/io_backend.h"
 
 namespace tickpoint {
 
@@ -72,6 +73,13 @@ struct EngineConfig {
   /// true, EndTick starts a checkpoint only after ScheduleCheckpoint() was
   /// called, instead of applying the interval policy.
   bool manual_checkpoints = false;
+  /// How checkpoint image writes reach the disk (util/io_backend.h). A
+  /// runtime knob (default: TP_IO_BACKEND, else sync), never persisted:
+  /// the on-disk format is identical under both, so a directory written
+  /// async recovers sync and vice versa. kAsync additionally splits cut
+  /// checkpoints into submit (at the cut tick) and completion (reaped at a
+  /// later tick boundary), so the mutator never blocks on the cut write.
+  IoBackendKind io_backend = DefaultIoBackendKind();
 };
 
 /// One completed real checkpoint.
@@ -82,14 +90,18 @@ struct EngineCheckpointRecord {
   bool all_objects = false;
   bool full_flush = false;
   /// Consistent-cut checkpoint: started at exactly the coordinator's cut
-  /// tick and written synchronously (the mutator blocked until durable).
+  /// tick. Sync backend: written synchronously inside the cut EndTick.
+  /// Async backend: the snapshot is taken at the cut tick and the write
+  /// completes on the writer, reaped at a later tick boundary.
   bool cut = false;
   uint64_t objects_written = 0;
   uint64_t bytes_written = 0;
   double sync_seconds = 0.0;   // measured eager-copy pause
   double async_seconds = 0.0;  // measured writer wall time
-  /// Cut checkpoints only: total mutator block inside the cut EndTick
-  /// (draining the previous flush + the synchronous cut write).
+  /// Cut checkpoints only: total mutator block inside the cut EndTick.
+  /// Sync backend: draining the previous flush + the synchronous cut
+  /// write. Async backend: draining + the snapshot only -- the
+  /// mutator-visible stall the pipeline exists to shrink.
   double cut_stall_seconds = 0.0;
 
   double TotalSeconds() const { return sync_seconds + async_seconds; }
@@ -164,16 +176,27 @@ class Engine {
     checkpoint_requested_.store(true, std::memory_order_release);
   }
 
-  /// Consistent-cut checkpoint: the next EndTick MUST produce a durable
-  /// checkpoint whose consistent tick is exactly that tick's end. Unlike
+  /// Consistent-cut checkpoint: the next EndTick MUST produce a checkpoint
+  /// whose consistent tick is exactly that tick's end. Unlike
   /// ScheduleCheckpoint, the request cannot slip to a later tick: EndTick
-  /// first drains any in-flight flush, then runs the cut checkpoint
-  /// synchronously, blocking the mutator until the image is durable (that
-  /// block is the cut's mutator stall, reported in the checkpoint record).
+  /// first drains any in-flight flush, then starts the cut checkpoint at
+  /// that exact tick. Under the sync backend it also blocks until the
+  /// image is durable; under the async backend EndTick returns once the
+  /// snapshot is taken and the write completes on the writer thread
+  /// (reaped by a later EndTick or CompletePendingCheckpoint). Either way
+  /// the mutator block is the cut's stall, reported in the record.
   /// Safe to call from any thread; served by the next EndTick.
   void RequestCutCheckpoint() {
     cut_checkpoint_requested_.store(true, std::memory_order_release);
   }
+
+  /// Blocks until the in-flight checkpoint (if any) completes and its
+  /// record is finalized; returns the writer's sticky status. The reap
+  /// half of the async cut path: the cut coordinator calls this on a
+  /// quiesced engine (mutator parked between ticks) when the shard went
+  /// idle before a later tick could finalize the record. Must be called
+  /// with the engine quiesced, like any cross-thread engine access.
+  Status CompletePendingCheckpoint();
 
   /// Graceful stop: waits for the in-flight checkpoint, stops the writer,
   /// closes the logs.
@@ -260,6 +283,9 @@ class Engine {
   AlgorithmTraits traits_;
   StateTable state_;
 
+  /// Declared before the stores: they hold a raw pointer to it, so it must
+  /// be destroyed after them (and its destructor joins any async worker).
+  std::unique_ptr<IoBackend> io_backend_;
   std::unique_ptr<BackupStore> backup_;
   std::unique_ptr<LogStore> log_;
   std::unique_ptr<LogicalLog> logical_;

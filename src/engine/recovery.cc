@@ -38,7 +38,10 @@ StatusOr<RecoveryResult> RecoverImpl(const EngineConfig& config,
   out->Clear();
 
   // Phase 1: restore the newest complete checkpoint image within the
-  // bound.
+  // bound. The default Open replays (then discards) any sealed batch a
+  // crash left in the doublewrite region BEFORE the images are inspected
+  // -- that replay only ever touches an image whose header was already
+  // invalidated, so the sibling this phase restores from is unaffected.
   const auto restore_start = Clock::now();
   if (traits.disk == DiskOrganization::kDoubleBackup) {
     TP_ASSIGN_OR_RETURN(auto store, BackupStore::Open(config.dir,

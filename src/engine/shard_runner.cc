@@ -63,6 +63,7 @@ ShardRunner::~ShardRunner() { Stop(); }
 
 void ShardRunner::SubmitTick(ShardTickBatch batch) {
   if (!threaded_) {
+    ++ticks_submitted_;
     ProcessBatch(batch);
     ticks_completed_.fetch_add(1, std::memory_order_release);
     return;
@@ -179,6 +180,7 @@ void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
   }
   if (batch.cut_checkpoint) {
     engine_->RequestCutCheckpoint();
+    pending_cut_tick_ = batch.tick;
   } else if (batch.start_checkpoint) {
     engine_->ScheduleCheckpoint();
   }
@@ -191,18 +193,28 @@ void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
     return;
   }
   const auto& records = engine_->metrics().checkpoints;
-  if (batch.cut_checkpoint) {
-    // The cut checkpoint is written synchronously inside this EndTick, so
-    // its record is the newest one started at exactly this tick. Publish
-    // the ack slot (payload first, then the release flag) so the
-    // coordinator can fold it without quiescing the runner.
+  if (pending_cut_tick_ != ShardRunner::kNoCutTick) {
+    // Under the sync IO backend the cut record lands inside the cut
+    // tick's own EndTick; under the async backend the write completes on
+    // the engine's writer thread and the record is only reaped at a LATER
+    // tick's EndTick -- so keep scanning after every successful tick until
+    // it shows up. Publish the ack slot (payload first, then the release
+    // flag) only while the coordinator's armed tick still matches this
+    // pending cut: a cut the coordinator force-reaped itself (it
+    // completed the checkpoint while this runner sat idle) is dropped
+    // silently, so its record can never be re-published into a later
+    // cut's slot.
     for (size_t i = records.size(); i-- > 0;) {
-      if (records[i].cut && records[i].start_tick == batch.tick) {
-        cut_ack_.checkpoint_seq = records[i].seq;
-        cut_ack_.consistent_ticks = records[i].consistent_ticks;
-        cut_ack_.stall_seconds = records[i].cut_stall_seconds;
-        TP_SCHED_FUZZ_POINT();
-        cut_acked_.store(true, std::memory_order_release);
+      if (records[i].cut && records[i].start_tick == pending_cut_tick_) {
+        if (armed_cut_tick_.load(std::memory_order_acquire) ==
+            pending_cut_tick_) {
+          cut_ack_.checkpoint_seq = records[i].seq;
+          cut_ack_.consistent_ticks = records[i].consistent_ticks;
+          cut_ack_.stall_seconds = records[i].cut_stall_seconds;
+          TP_SCHED_FUZZ_POINT();
+          cut_acked_.store(true, std::memory_order_release);
+        }
+        pending_cut_tick_ = ShardRunner::kNoCutTick;
         break;
       }
     }

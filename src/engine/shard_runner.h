@@ -71,8 +71,10 @@ class ShardRunner {
       uint64_t completion_tick)>;
 
   /// One shard's durable consistent-cut acknowledgement: published by the
-  /// runner the moment its cut checkpoint record lands, folded wait-free
-  /// by the cut coordinator (no runner barrier, no shared mutex).
+  /// runner the moment its cut checkpoint record lands -- inside the cut
+  /// tick's EndTick under the sync IO backend, at a later tick's reap
+  /// under the async backend -- folded wait-free by the cut coordinator
+  /// (no runner barrier, no shared mutex).
   struct CutAck {
     uint64_t checkpoint_seq = 0;
     uint64_t consistent_ticks = 0;
@@ -125,11 +127,34 @@ class ShardRunner {
   uint64_t ticks_completed() const {
     return ticks_completed_.load(std::memory_order_acquire);
   }
+  /// Ticks handed to SubmitTick so far. Producer-thread state: callable
+  /// only from the submitting thread, like SubmitTick itself. Paired with
+  /// ticks_completed() it is the coordinator's idleness test (completed >=
+  /// submitted means the runner is parked on an empty mailbox).
+  uint64_t ticks_submitted() const { return ticks_submitted_; }
 
-  /// Resets the cut-ack slot. Called by the coordinator's thread when a
-  /// cut is armed, strictly before the cut tick's batch is submitted (the
-  /// ring's release/acquire pair orders the reset before the publish).
-  void ArmCutAck() { cut_acked_.store(false, std::memory_order_release); }
+  /// Sentinel for "no cut armed / pending".
+  static constexpr uint64_t kNoCutTick = UINT64_MAX;
+
+  /// Arms the cut-ack slot for the cut at `cut_tick` and resets it. Called
+  /// by the coordinator's thread strictly before the cut tick's batch is
+  /// submitted (the ring's release/acquire pair orders the arm before any
+  /// runner can observe the cut batch). The runner publishes an ack only
+  /// while its pending cut matches the armed tick, so the record of a cut
+  /// the coordinator already force-reaped can never masquerade as a later
+  /// cut's ack.
+  void ArmCutAck(uint64_t cut_tick) {
+    armed_cut_tick_.store(cut_tick, std::memory_order_relaxed);
+    cut_acked_.store(false, std::memory_order_release);
+  }
+  /// Disarms the slot once the coordinator folded (or synthesized) this
+  /// shard's ack. Same calling contract as ArmCutAck: the store is ordered
+  /// before any later batch by the ring's release/acquire pair, so a
+  /// runner still holding a stale pending cut drops it silently instead of
+  /// re-publishing.
+  void DisarmCutAck() {
+    armed_cut_tick_.store(kNoCutTick, std::memory_order_release);
+  }
   /// Has this shard's cut checkpoint landed? (acquire: a true result
   /// makes the cut_ack() fields visible)
   bool cut_acked() const {
@@ -190,6 +215,15 @@ class ShardRunner {
 
   CutAck cut_ack_;  // written before the cut_acked_ release
   std::atomic<bool> cut_acked_{false};
+  /// The cut tick the coordinator armed (kNoCutTick when none). Written by
+  /// the coordinator's thread, acquire-read by the runner before it
+  /// publishes an ack.
+  std::atomic<uint64_t> armed_cut_tick_{kNoCutTick};
+  /// The cut this runner still owes an ack for (kNoCutTick when none).
+  /// Mutator thread only: set when the cut batch is processed, cleared
+  /// when its record is found (async backends finalize the record at a
+  /// later tick's EndTick, so the scan repeats each tick until then).
+  uint64_t pending_cut_tick_ = kNoCutTick;
 
   std::thread thread_;
 };

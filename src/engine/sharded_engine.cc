@@ -285,10 +285,10 @@ StatusOr<uint64_t> ShardedEngine::RequestConsistentCut() {
   if (failed_) return first_error_;
   TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
                       cut_.Arm(tick_, config_.cut_lead_ticks));
-  // Reset every shard's ack slot before the cut tick's batches can be
-  // submitted: the mailbox's release/acquire pair orders the reset before
+  // Arm every shard's ack slot before the cut tick's batches can be
+  // submitted: the mailbox's release/acquire pair orders the arm before
   // any runner can publish the new cut's ack.
-  for (auto& runner : runners_) runner->ArmCutAck();
+  for (auto& runner : runners_) runner->ArmCutAck(cut_tick);
   cut_armed_at_ = std::chrono::steady_clock::now();
   return cut_tick;
 }
@@ -307,36 +307,73 @@ Status ShardedEngine::CommitConsistentCut() {
   }
   // Fold the per-shard ack slots, wait-free on the runners: each slot is
   // release-published by its runner the instant the cut checkpoint record
-  // lands (the cut EndTick wrote it synchronously), so the commit never
-  // quiesces the fleet -- shards keep consuming post-cut ticks while the
-  // coordinator waits only for the slowest cut write itself.
+  // lands, so the commit never quiesces the fleet -- shards keep consuming
+  // post-cut ticks while the coordinator waits only for the slowest cut
+  // write itself. Under the async IO backend a runner finalizes the cut's
+  // record at a later tick's EndTick; when no later tick is coming (the
+  // runner went idle), the coordinator reaps the pending checkpoint
+  // itself below.
   std::vector<CutShardRecord> acks;
   acks.reserve(runners_.size());
   double max_stall = 0.0;
   for (uint32_t i = 0; i < runners_.size(); ++i) {
     ShardRunner& runner = *runners_[i];
+    bool folded = false;
     for (;;) {
       if (runner.cut_acked()) break;
       if (runner.has_error()) {
         cut_.Disarm();
         return PollShardError();
       }
-      if (runner.ticks_completed() > cut_tick) {
-        // The cut batch fully completed (the acquire load above makes any
-        // published ack visible), yet no ack and no error: the engine
-        // broke the cut contract.
-        if (runner.cut_acked()) break;
-        cut_.Disarm();
-        return Status::Internal("shard " + std::to_string(i) +
-                                " produced no cut checkpoint at tick " +
-                                std::to_string(cut_tick));
+      if (runner.ticks_completed() >= runner.ticks_submitted()) {
+        // Every submitted batch -- the cut tick's included (the tick_ >
+        // cut_tick precondition above proved it was submitted) -- is fully
+        // consumed and the runner is parked on an empty mailbox, yet no
+        // ack: under the
+        // async backend the cut's write may still be in flight on the
+        // shard's writer thread with no later tick coming to reap it.
+        // This thread is the runner's producer, so the idle state is
+        // stable and the ring's release/acquire pair makes the engine
+        // safe to touch: complete the pending checkpoint and synthesize
+        // the ack from its record.
+        if (runner.cut_acked()) break;  // the ack raced in; fold it
+        const Status reap = runner.engine().CompletePendingCheckpoint();
+        if (!reap.ok()) {
+          cut_.Disarm();
+          return reap;
+        }
+        const auto& records = runner.engine().metrics().checkpoints;
+        for (size_t r = records.size(); r-- > 0;) {
+          if (records[r].cut && records[r].start_tick == cut_tick) {
+            acks.push_back(
+                CutShardRecord{records[r].seq, records[r].consistent_ticks});
+            max_stall = std::max(max_stall, records[r].cut_stall_seconds);
+            folded = true;
+            break;
+          }
+        }
+        if (!folded) {
+          // Fully reaped, still no cut record: the engine broke the cut
+          // contract.
+          cut_.Disarm();
+          return Status::Internal("shard " + std::to_string(i) +
+                                  " produced no cut checkpoint at tick " +
+                                  std::to_string(cut_tick));
+        }
+        break;
       }
       TP_SCHED_FUZZ_POINT();
       std::this_thread::yield();
     }
-    const ShardRunner::CutAck& ack = runner.cut_ack();
-    acks.push_back(CutShardRecord{ack.checkpoint_seq, ack.consistent_ticks});
-    max_stall = std::max(max_stall, ack.stall_seconds);
+    if (!folded) {
+      const ShardRunner::CutAck& ack = runner.cut_ack();
+      acks.push_back(CutShardRecord{ack.checkpoint_seq, ack.consistent_ticks});
+      max_stall = std::max(max_stall, ack.stall_seconds);
+    }
+    // Disarm before any later batch can reach the runner: a stale pending
+    // cut it still holds (the force-reap path) must drop silently, never
+    // publish into a later cut's slot.
+    runner.DisarmCutAck();
   }
   TP_RETURN_NOT_OK(cut_.Commit(acks));
   last_committed_cut_tick_ = cut_tick;

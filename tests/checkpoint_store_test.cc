@@ -3,12 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 
+#include "engine/doublewrite.h"
 #include "engine/logical_log.h"
+#include "engine/paths.h"
 
 namespace tickpoint {
 namespace {
+
+/// Offset of object 0 in a backup image (one sector-aligned header block).
+constexpr uint64_t kBackupDataOffset = 512;
 
 class StoreTest : public ::testing::Test {
  protected:
@@ -31,6 +37,27 @@ class StoreTest : public ::testing::Test {
       table.WriteCell(c, static_cast<int32_t>(c) * 31 + salt);
     }
     return table;
+  }
+
+  // Writes `state` as a full valid checkpoint of image `index` via the
+  // unstaged path.
+  void WriteFullImage(BackupStore& store, int index, StateTable& state,
+                      uint64_t seq, uint64_t tick) {
+    ASSERT_TRUE(store.BeginCheckpoint(index).ok());
+    ASSERT_TRUE(
+        store.WriteRange(index, 0, state.data(), layout_.num_objects()).ok());
+    ASSERT_TRUE(store.FinishCheckpoint(index, seq, tick, 0).ok());
+  }
+
+  // Raw bytes of backup image `index`'s data region (past the header).
+  std::string ImageDataBytes(int index) {
+    std::string bytes;
+    EXPECT_TRUE(
+        ReadFileToString(dir_ + "/" + BackupStore::ImageFileName(index),
+                         &bytes)
+            .ok());
+    EXPECT_GE(bytes.size(), kBackupDataOffset);
+    return bytes.substr(kBackupDataOffset);
   }
 
   std::string dir_;
@@ -133,6 +160,185 @@ TEST_F(StoreTest, BackupStateCrcDetectsBitRot) {
   StateTable restored(layout_);
   const Status status = store.ReadAll(0, &restored);
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(StoreTest, BackupStagedCheckpointRoundTrip) {
+  auto store_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  StateTable state = MakeState(11);
+  const uint64_t half = layout_.num_objects() / 2;
+
+  ASSERT_TRUE(store.BeginStagedCheckpoint(0).ok());
+  ASSERT_TRUE(store.StageRun(0, 0, state.ObjectData(0), half).ok());
+  ASSERT_TRUE(
+      store.StageRun(0, half, state.ObjectData(half),
+                     layout_.num_objects() - half)
+          .ok());
+  ASSERT_TRUE(store.SealAndApplyStaged(0).ok());
+  ASSERT_TRUE(store.FinishCheckpoint(0, 5, 50, state.Digest()).ok());
+
+  auto info = store.Inspect(0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->valid);
+  EXPECT_EQ(info->seq, 5u);
+  StateTable restored(layout_);
+  ASSERT_TRUE(store.ReadAll(0, &restored).ok());
+  EXPECT_TRUE(restored.ContentEquals(state));
+}
+
+TEST_F(StoreTest, BackupTornStageNeverCorruptsSibling) {
+  StateTable old0 = MakeState(12);
+  StateTable old1 = MakeState(13);
+  StateTable next = MakeState(14);
+  {
+    auto store_or = BackupStore::Open(dir_, layout_, false);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = *store_or.value();
+    WriteFullImage(store, 0, old0, 1, 10);
+    WriteFullImage(store, 1, old1, 2, 20);
+
+    // Crash mid-stage: the doublewrite region holds one unsealed chunk.
+    store.SetStageCrashPointForTest(
+        BackupStore::StageCrashPoint::kAfterFirstStage);
+    ASSERT_TRUE(store.BeginStagedCheckpoint(0).ok());
+    const Status crash =
+        store.StageRun(0, 0, next.data(), layout_.num_objects());
+    ASSERT_FALSE(crash.ok());
+  }
+  // Tear the chunk's payload too (a real torn write would cut mid-sector):
+  // recovery must discard it, not apply garbage.
+  const std::string dw_path = paths::DoublewritePath(dir_);
+  std::string dw_bytes;
+  ASSERT_TRUE(ReadFileToString(dw_path, &dw_bytes).ok());
+  ASSERT_GT(dw_bytes.size(), 100u);
+  dw_bytes.resize(dw_bytes.size() - 100);
+  ASSERT_TRUE(WriteStringToFile(dw_path, dw_bytes).ok());
+
+  const std::string sibling_before = ImageDataBytes(1);
+  auto reopened_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(reopened_or.ok());
+  auto& reopened = *reopened_or.value();
+
+  // The target image was invalidated before any staging, so nothing
+  // recoverable was at risk; the sibling is byte-identical.
+  auto info0 = reopened.Inspect(0);
+  ASSERT_TRUE(info0.ok());
+  EXPECT_FALSE(info0->valid);
+  EXPECT_EQ(ImageDataBytes(1), sibling_before);
+  StateTable restored(layout_);
+  ASSERT_TRUE(reopened.ReadAll(1, &restored).ok());
+  EXPECT_TRUE(restored.ContentEquals(old1));
+  // The torn batch was discarded: the region is empty again.
+  auto chunks = DoublewriteRegion::Scan(dw_path);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_TRUE(chunks.value().empty());
+}
+
+TEST_F(StoreTest, BackupSealedBatchReplaysOnReopen) {
+  StateTable old_state = MakeState(15);
+  StateTable next = MakeState(16);
+  const uint64_t half = layout_.num_objects() / 2;
+  {
+    auto store_or = BackupStore::Open(dir_, layout_, false);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = *store_or.value();
+    WriteFullImage(store, 0, old_state, 1, 10);
+    store.SetStageCrashPointForTest(BackupStore::StageCrashPoint::kAfterSeal);
+    ASSERT_TRUE(store.BeginStagedCheckpoint(0).ok());
+    ASSERT_TRUE(store.StageRun(0, 0, next.ObjectData(0), half).ok());
+    ASSERT_TRUE(
+        store.StageRun(0, half, next.ObjectData(half),
+                       layout_.num_objects() - half)
+            .ok());
+    const Status crash = store.SealAndApplyStaged(0);
+    ASSERT_FALSE(crash.ok());
+  }
+  // The crash hit after the seal fsync but before any in-place write: the
+  // image still holds the old bytes, the region the whole new batch.
+  const uint64_t data_size = layout_.num_objects() * layout_.object_size;
+  EXPECT_EQ(std::memcmp(ImageDataBytes(0).data(), old_state.data(),
+                        data_size),
+            0);
+
+  auto reopened_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(reopened_or.ok());
+  // Reopen replayed the sealed batch into the image, then discarded it.
+  EXPECT_EQ(std::memcmp(ImageDataBytes(0).data(), next.data(), data_size), 0);
+  auto chunks = DoublewriteRegion::Scan(paths::DoublewritePath(dir_));
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_TRUE(chunks.value().empty());
+}
+
+TEST_F(StoreTest, BackupTornInPlaceApplyRepairedByReplay) {
+  StateTable old_state = MakeState(17);
+  StateTable next = MakeState(18);
+  const uint64_t half = layout_.num_objects() / 2;
+  {
+    auto store_or = BackupStore::Open(dir_, layout_, false);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = *store_or.value();
+    WriteFullImage(store, 0, old_state, 1, 10);
+    store.SetStageCrashPointForTest(
+        BackupStore::StageCrashPoint::kAfterFirstApply);
+    ASSERT_TRUE(store.BeginStagedCheckpoint(0).ok());
+    ASSERT_TRUE(store.StageRun(0, 0, next.ObjectData(0), half).ok());
+    ASSERT_TRUE(
+        store.StageRun(0, half, next.ObjectData(half),
+                       layout_.num_objects() - half)
+            .ok());
+    // Crash mid-apply: the first run landed in place, the second did not.
+    const Status crash = store.SealAndApplyStaged(0);
+    ASSERT_FALSE(crash.ok());
+  }
+  const uint64_t data_size = layout_.num_objects() * layout_.object_size;
+  // Reopen replays the whole sealed batch: the torn in-place write is
+  // repaired deterministically, every object carrying the new bytes.
+  auto reopened_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ(std::memcmp(ImageDataBytes(0).data(), next.data(), data_size), 0);
+}
+
+TEST_F(StoreTest, DoublewriteReplayIsIdempotent) {
+  StateTable next = MakeState(19);
+  const uint64_t half = layout_.num_objects() / 2;
+  {
+    auto store_or = BackupStore::Open(dir_, layout_, false);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = *store_or.value();
+    StateTable old_state = MakeState(20);
+    WriteFullImage(store, 0, old_state, 1, 10);
+    store.SetStageCrashPointForTest(BackupStore::StageCrashPoint::kAfterSeal);
+    ASSERT_TRUE(store.BeginStagedCheckpoint(0).ok());
+    ASSERT_TRUE(store.StageRun(0, 0, next.ObjectData(0), half).ok());
+    ASSERT_TRUE(
+        store.StageRun(0, half, next.ObjectData(half),
+                       layout_.num_objects() - half)
+            .ok());
+    ASSERT_FALSE(store.SealAndApplyStaged(0).ok());
+  }
+  // A replay that itself crashes after one chunk leaves the region intact;
+  // the next full replay starts over and still converges on the batch.
+  const std::string dw_path = paths::DoublewritePath(dir_);
+  const std::string image_paths[2] = {
+      dir_ + "/" + BackupStore::ImageFileName(0),
+      dir_ + "/" + BackupStore::ImageFileName(1)};
+  auto partial = DoublewriteRegion::Replay(dw_path, image_paths, 2,
+                                           /*fsync_enabled=*/false,
+                                           /*apply_at_most=*/1);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial.value(), 1u);
+  auto mid_chunks = DoublewriteRegion::Scan(dw_path);
+  ASSERT_TRUE(mid_chunks.ok());
+  EXPECT_EQ(mid_chunks.value().size(), 2u);  // region untouched
+
+  auto reopened_or = BackupStore::Open(dir_, layout_, false);
+  ASSERT_TRUE(reopened_or.ok());
+  const uint64_t data_size = layout_.num_objects() * layout_.object_size;
+  EXPECT_EQ(std::memcmp(ImageDataBytes(0).data(), next.data(), data_size), 0);
+  auto final_chunks = DoublewriteRegion::Scan(dw_path);
+  ASSERT_TRUE(final_chunks.ok());
+  EXPECT_TRUE(final_chunks.value().empty());
 }
 
 TEST_F(StoreTest, LogFullFlushAndIncrementsRestore) {

@@ -2,16 +2,23 @@
 //
 //   tickpoint_inspect --dir /var/lib/myshard [--rows N] [--cols M]
 //
-// Prints the state of both double-backup images (validity, sequence,
+// Prints the staged doublewrite region (what a reopen would replay or
+// discard), the state of both double-backup images (validity, sequence,
 // consistent tick), any checkpoint-log generations with their segments,
 // and the logical log's durable tick range -- everything an operator needs
 // to answer "what would this shard recover to right now?".
+//
+// Inspection is strictly read-only: the backup store is opened with
+// doublewrite replay disabled, so pointing this tool at a crashed
+// directory never changes what a later recovery will see.
 #include <cstdio>
 #include <filesystem>
 
 #include "engine/checkpoint_store.h"
+#include "engine/doublewrite.h"
 #include "engine/engine.h"
 #include "engine/logical_log.h"
+#include "engine/paths.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
 
@@ -40,12 +47,55 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(layout.cols),
               static_cast<unsigned long long>(layout.object_size));
 
-  // Double-backup images.
+  // Staged doublewrite region. Scanned directly from disk -- before and
+  // independently of any store open -- so a torn batch is shown exactly as
+  // recovery will find it.
+  const std::string dw_path = paths::DoublewritePath(dir);
+  bool any_doublewrite = false;
+  {
+    auto chunks_or = DoublewriteRegion::Scan(dw_path);
+    TP_CHECK_OK(chunks_or.status());
+    if (!chunks_or.value().empty()) {
+      any_doublewrite = true;
+      const uint64_t batch_seq = chunks_or.value().front().batch_seq;
+      TablePrinter table({"chunk", "batch #", "target image", "target offset",
+                          "bytes", "payload"});
+      size_t index = 0;
+      bool replayable = true;
+      for (const DoublewriteRegion::Chunk& chunk : chunks_or.value()) {
+        if (chunk.batch_seq != batch_seq || !chunk.payload_intact) {
+          replayable = false;
+        }
+        table.AddRow({std::to_string(index++),
+                      std::to_string(chunk.batch_seq),
+                      std::to_string(chunk.target_image),
+                      std::to_string(chunk.target_offset),
+                      std::to_string(chunk.length),
+                      chunk.payload_intact ? "intact" : "TORN"});
+      }
+      std::printf("doublewrite region (%zu staged chunks)\n",
+                  chunks_or.value().size());
+      table.Print();
+      std::printf("%s\n\n",
+                  replayable
+                      ? "reopen would replay this batch into the images, "
+                        "then discard the region."
+                      : "batch is torn mid-stage; reopen replays the intact "
+                        "prefix of the newest batch and discards the rest.");
+    } else if (FileExists(dw_path)) {
+      any_doublewrite = true;
+      std::printf("doublewrite region: empty (no staged batch)\n\n");
+    }
+  }
+
+  // Double-backup images. Opened with doublewrite replay disabled:
+  // inspection must never apply the staged batch shown above.
   bool any_backup = FileExists(dir + "/backup0.img") ||
                     FileExists(dir + "/backup1.img");
   uint64_t best_tick = 0;
   if (any_backup) {
-    auto store_or = BackupStore::Open(dir, layout, false);
+    auto store_or = BackupStore::Open(dir, layout, false, /*backend=*/nullptr,
+                                      /*replay_doublewrite=*/false);
     TP_CHECK_OK(store_or.status());
     TablePrinter table({"backup", "status", "checkpoint #",
                         "consistent through tick", "state CRC"});
@@ -122,7 +172,7 @@ int main(int argc, char** argv) {
         "recovery would restore through tick %llu from checkpoints, then "
         "replay the logical log forward.\n",
         static_cast<unsigned long long>(best_tick));
-  } else if (!any_backup && !any_log) {
+  } else if (!any_backup && !any_log && !any_doublewrite) {
     std::printf("no tickpoint artifacts found in %s\n", dir.c_str());
     return 1;
   }
