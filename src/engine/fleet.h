@@ -25,7 +25,10 @@
 //                                   reproducible.
 // The handle forwards the tick/cut API of ShardedEngine and adds
 // MigratePartition -- the zone hand-off at a committed cut that bumps the
-// fleet epoch (see ShardedEngine::MigratePartition for the protocol).
+// fleet epoch (see ShardedEngine::MigratePartition for the protocol) --
+// and the hot-failover pair SimulateShardCrash/FailoverShard, which
+// revives a single dead shard from its peer's in-memory replica (disk
+// recovery is the fallback; see replica_buffer.h).
 #ifndef TICKPOINT_ENGINE_FLEET_H_
 #define TICKPOINT_ENGINE_FLEET_H_
 
@@ -120,6 +123,20 @@ class Fleet {
   }
   Status Shutdown() { return engine_->Shutdown(); }
   Status SimulateCrash() { return engine_->SimulateCrash(); }
+
+  // ---- Hot failover (see ShardedEngine::SimulateShardCrash/FailoverShard;
+  // the replication topology lives in the manifest, so failover keeps
+  // working after Fleet::Open of a restarted fleet) ----
+
+  Status SimulateShardCrash(uint32_t partition) {
+    return engine_->SimulateShardCrash(partition);
+  }
+  Status FailoverShard(uint32_t partition) {
+    return engine_->FailoverShard(partition);
+  }
+  const FailoverReport& last_failover_report() const {
+    return engine_->last_failover_report();
+  }
 
   const std::string& root() const { return root_; }
   uint64_t epoch() const { return engine_->epoch(); }

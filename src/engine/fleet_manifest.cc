@@ -13,7 +13,10 @@ namespace tickpoint {
 namespace {
 
 constexpr uint64_t kFleetMagic = 0x544B5054464C5431ULL;  // "TKPTFLT1"
-constexpr uint32_t kFleetVersion = 1;
+// v2 (replication era): the 16-byte extension below plus a replica_peer
+// u32 per partition after the assignment. v1 files (no extension, no
+// peers) still read back, with replication off.
+constexpr uint32_t kFleetVersion = 2;
 /// Defensive bound on K when reading untrusted bytes: a corrupt
 /// num_partitions must not drive a multi-gigabyte allocation.
 constexpr uint32_t kMaxPartitions = 65536;
@@ -49,6 +52,19 @@ static_assert(sizeof(ManifestHeader) == 112,
               "ManifestHeader must stay padding-free: the CRC covers raw "
               "bytes");
 
+/// The v2 extension, written (and CRC'd) immediately after ManifestHeader.
+/// A separate struct rather than new ManifestHeader fields so v1 files --
+/// whose CRC covers exactly the 112 header bytes plus the assignment --
+/// keep reading back byte-for-byte.
+struct ManifestHeaderV2Ext {
+  uint64_t replica_depth = 0;
+  uint8_t replicate = 0;
+  uint8_t reserved[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(ManifestHeaderV2Ext) == 16,
+              "ManifestHeaderV2Ext must stay padding-free: the CRC covers "
+              "raw bytes");
+
 Status ValidateManifest(const FleetManifest& manifest,
                         const std::string& path) {
   if (manifest.num_partitions == 0 ||
@@ -76,6 +92,26 @@ Status ValidateManifest(const FleetManifest& manifest,
   if (manifest.algorithm > AlgorithmKind::kCopyOnUpdatePartialRedo) {
     return Status::Corruption("fleet manifest " + path +
                               " records an unknown algorithm");
+  }
+  if (manifest.replicate) {
+    // Structural bounds only (untrusted bytes must not drive out-of-range
+    // indexing later); semantic knob validation -- self-peering included --
+    // is ShardedEngine::OpenImpl's InvalidArgument, like every other knob.
+    if (manifest.replica_depth == 0) {
+      return Status::Corruption("fleet manifest " + path +
+                                " enables replication with replica_depth 0");
+    }
+    if (manifest.replica_peer.size() != manifest.num_partitions) {
+      return Status::Corruption("fleet manifest " + path +
+                                " replica_peer size mismatch");
+    }
+    for (const uint32_t peer : manifest.replica_peer) {
+      if (peer >= manifest.num_partitions) {
+        return Status::Corruption(
+            "fleet manifest " + path + " names replica peer " +
+            std::to_string(peer) + " beyond its partition count");
+      }
+    }
   }
   return Status::OK();
 }
@@ -127,9 +163,30 @@ Status WriteFleetManifest(const std::string& root,
     header.threaded = manifest.threaded ? 1 : 0;
     TP_RETURN_NOT_OK(writer.Append(&header, sizeof(header)));
     uint32_t crc = Crc32(&header, sizeof(header));
+    ManifestHeaderV2Ext ext;
+    ext.replica_depth = manifest.replica_depth;
+    ext.replicate = manifest.replicate ? 1 : 0;
+    TP_RETURN_NOT_OK(writer.Append(&ext, sizeof(ext)));
+    crc = Crc32(&ext, sizeof(ext), crc);
     for (const uint32_t slot : manifest.assignment) {
       TP_RETURN_NOT_OK(writer.Append(&slot, sizeof(slot)));
       crc = Crc32(&slot, sizeof(slot), crc);
+    }
+    // The peer vector is written resolved even with replication off (the
+    // replicate flag gates its meaning), so the v2 record length is a pure
+    // function of num_partitions. An empty vector resolves to the default
+    // ring here, keeping non-replicated construction sites unchanged.
+    std::vector<uint32_t> peers = manifest.replica_peer;
+    if (peers.empty()) {
+      peers.resize(manifest.num_partitions);
+      for (uint32_t p = 0; p < manifest.num_partitions; ++p) {
+        peers[p] = (p + 1) % std::max<uint32_t>(1, manifest.num_partitions);
+      }
+    }
+    TP_CHECK(peers.size() == manifest.num_partitions);
+    for (const uint32_t peer : peers) {
+      TP_RETURN_NOT_OK(writer.Append(&peer, sizeof(peer)));
+      crc = Crc32(&peer, sizeof(peer), crc);
     }
     TP_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
     TP_RETURN_NOT_OK(fsync ? writer.Sync() : writer.Flush());
@@ -183,13 +240,22 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
                               " records an implausible partition count " +
                               std::to_string(header.num_partitions));
   }
-  const uint64_t expected = sizeof(header) +
-                            header.num_partitions * sizeof(uint32_t) +
-                            sizeof(uint32_t);
+  // v1: header + assignment + CRC. v2 adds the 16-byte extension and one
+  // replica_peer u32 per partition.
+  const bool v2 = header.version >= 2;
+  const uint64_t expected =
+      sizeof(header) + (v2 ? sizeof(ManifestHeaderV2Ext) : 0) +
+      header.num_partitions * sizeof(uint32_t) * (v2 ? 2 : 1) +
+      sizeof(uint32_t);
   if (size < expected) {
     return Status::Corruption("fleet manifest " + path + " is truncated");
   }
   uint32_t crc = Crc32(&header, sizeof(header));
+  ManifestHeaderV2Ext ext;
+  if (v2) {
+    TP_RETURN_NOT_OK(reader.ReadExact(&ext, sizeof(ext)));
+    crc = Crc32(&ext, sizeof(ext), crc);
+  }
   FleetManifest manifest;
   manifest.epoch = header.epoch;
   manifest.num_partitions = header.num_partitions;
@@ -213,6 +279,20 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
   for (uint32_t& slot : manifest.assignment) {
     TP_RETURN_NOT_OK(reader.ReadExact(&slot, sizeof(slot)));
     crc = Crc32(&slot, sizeof(slot), crc);
+  }
+  if (v2) {
+    manifest.replicate = ext.replicate != 0;
+    manifest.replica_depth = ext.replica_depth;
+    manifest.replica_peer.resize(header.num_partitions);
+    for (uint32_t& peer : manifest.replica_peer) {
+      TP_RETURN_NOT_OK(reader.ReadExact(&peer, sizeof(peer)));
+      crc = Crc32(&peer, sizeof(peer), crc);
+    }
+  } else {
+    // A pre-replication fleet: resumes with replication off (the struct
+    // defaults say depth 32, but nothing consumes it while !replicate).
+    manifest.replicate = false;
+    manifest.replica_peer.clear();
   }
   uint32_t stored;
   TP_RETURN_NOT_OK(reader.ReadExact(&stored, sizeof(stored)));

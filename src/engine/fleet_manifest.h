@@ -58,6 +58,18 @@ struct FleetManifest {
   bool threaded = true;
   uint64_t max_queue_ticks = 64;
   uint64_t cut_lead_ticks = 2;
+  // Replication / hot failover (format v2). The manifest carries the
+  // active-replica designation durably, so a restarted fleet rebuilds the
+  // same replication topology and FailoverShard keeps working across a
+  // fleet restart. Manifests written by format v1 read back with
+  // `replicate` false.
+  bool replicate = false;
+  /// Bound on each replica buffer's in-flight tick-delta ring.
+  uint64_t replica_depth = 32;
+  /// Active-replica designation: replica_peer[p] = the partition whose
+  /// runner hosts partition p's in-memory replica. Resolved (never empty)
+  /// in a v2 manifest; meaningful only when `replicate` is set.
+  std::vector<uint32_t> replica_peer;
   // Conversions to/from ShardedEngineConfig live in sharded_engine.h
   // (ManifestFromConfig / ConfigFromManifest) to keep this header free of
   // the engine headers.

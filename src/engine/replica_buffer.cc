@@ -1,0 +1,77 @@
+#include "engine/replica_buffer.h"
+
+#include <cstring>
+#include <string>
+
+namespace tickpoint {
+
+ReplicaBuffer::ReplicaBuffer(uint32_t partition, const StateLayout& layout,
+                             uint64_t depth)
+    : partition_(partition), depth_(depth), base_(layout) {
+  TP_CHECK(depth_ > 0);
+}
+
+void ReplicaBuffer::Anchor(const StateTable& base, uint64_t anchor_ticks) {
+  TP_CHECK(base.buffer_bytes() == base_.buffer_bytes());
+  std::memcpy(base_.mutable_data(), base.data(), base_.buffer_bytes());
+  anchor_ticks_ = anchor_ticks;
+  batches_.clear();
+  torn_ = false;
+}
+
+void ReplicaBuffer::FoldOldestIntoBase() {
+  ReplicaDeltaBatch& oldest = batches_.front();
+  for (const CellUpdate& update : oldest.updates) {
+    base_.WriteCell(update.cell, update.value);
+  }
+  anchor_ticks_ = oldest.tick + 1;
+  batches_.pop_front();
+}
+
+void ReplicaBuffer::Append(uint64_t tick,
+                          const std::vector<CellUpdate>& updates) {
+  if (torn_) return;
+  if (tick != consistent_ticks()) {
+    // A gap in the stream: something dropped a tick. Tearing is the only
+    // safe answer -- a rebuild from a gapped ring would be silently wrong,
+    // and disk recovery is exactly the fallback for this.
+    torn_ = true;
+    return;
+  }
+  // The previous tip is superseded: its tick is finished on the source, so
+  // the delta is final and eligible to fold.
+  if (!batches_.empty()) {
+    batches_.back().state = ReplicaBatchState::kCommitted;
+  }
+  if (batches_.size() >= depth_) FoldOldestIntoBase();
+  ReplicaDeltaBatch batch;
+  batch.tick = tick;
+  batch.updates = updates;
+  batch.state = ReplicaBatchState::kPrepared;
+  batches_.push_back(std::move(batch));
+}
+
+void ReplicaBuffer::TrimThrough(uint64_t tick) {
+  if (torn_) return;
+  while (!batches_.empty() && batches_.front().tick <= tick &&
+         batches_.front().state == ReplicaBatchState::kCommitted) {
+    FoldOldestIntoBase();
+  }
+}
+
+StatusOr<uint64_t> ReplicaBuffer::Rebuild(StateTable* out) const {
+  if (torn_) {
+    return Status::Corruption("replica buffer for partition " +
+                              std::to_string(partition_) + " is torn");
+  }
+  TP_CHECK(out->buffer_bytes() == base_.buffer_bytes());
+  std::memcpy(out->mutable_data(), base_.data(), base_.buffer_bytes());
+  for (const ReplicaDeltaBatch& batch : batches_) {
+    for (const CellUpdate& update : batch.updates) {
+      out->WriteCell(update.cell, update.value);
+    }
+  }
+  return consistent_ticks();
+}
+
+}  // namespace tickpoint

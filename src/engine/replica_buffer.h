@@ -1,0 +1,123 @@
+// In-memory replica of a peer shard's state partition: the hot-failover
+// primitive (ROADMAP item 2, following ReStore's in-memory replicated
+// state and the Pacemaker checkpoint-replica shape).
+//
+// A ReplicaBuffer holds a BASE StateTable snapshot consistent through
+// `anchor_ticks` plus a bounded ring of per-tick delta batches, one batch
+// per fleet tick, appended by the HOSTING shard's runner as the facade
+// streams every partition's tick delta to its peer. Rebuilding base +
+// batches reproduces the source partition's state at the newest streamed
+// tick entirely from the peer's memory -- no disk read, no log replay --
+// which is what makes FailoverShard a memcpy-plus-apply instead of a
+// recovery.
+//
+// Batch lifecycle (the Pacemaker section states): a freshly appended batch
+// is kPrepared -- the newest tick, still the tip of the stream. The moment
+// a later tick's batch lands, it becomes kCommitted: the source finished
+// that tick and moved on, so the delta is final. Only
+// committed batches may FOLD into the base: TrimThrough (driven by the
+// fleet's committed consistent cuts -- the trim-at-cut rule) and ring
+// overflow both fold oldest-first, advancing the anchor. Rebuild applies
+// committed batches plus the prepared tip: SimulateShardCrash barriers the
+// fleet first, so the tip tick was fully applied by the source before the
+// crash landed.
+//
+// Torn states: a sequence gap in the appended ticks, the host server's own
+// death (its memory dies with it), or an explicit MarkTorn (tests) poison
+// the buffer; Rebuild then returns Corruption and failover falls back to
+// disk recovery. Anchor() resets the buffer -- base, ring, and torn flag --
+// which is how failover re-arms replication after either side returns.
+//
+// Threading: owned by the hosting ShardRunner. Append/TrimThrough run on
+// the runner's mutator thread; Anchor/Rebuild/MarkTorn run on the facade
+// thread ONLY while the fleet is quiesced (the same Drain acquire-ordering
+// contract as Engine inspection).
+#ifndef TICKPOINT_ENGINE_REPLICA_BUFFER_H_
+#define TICKPOINT_ENGINE_REPLICA_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "engine/logical_log.h"
+#include "engine/state_table.h"
+#include "model/layout.h"
+#include "util/status.h"
+
+namespace tickpoint {
+
+/// Lifecycle of one streamed tick batch (see header comment).
+enum class ReplicaBatchState : uint8_t {
+  /// The newest streamed tick: the tip of the delta stream.
+  kPrepared,
+  /// A later tick landed after it: the delta is final and may fold.
+  kCommitted,
+};
+
+/// One fleet tick's update delta for the replicated partition.
+struct ReplicaDeltaBatch {
+  uint64_t tick = 0;
+  std::vector<CellUpdate> updates;
+  ReplicaBatchState state = ReplicaBatchState::kPrepared;
+};
+
+class ReplicaBuffer {
+ public:
+  /// A buffer replicating `partition`, bounded at `depth` in-flight tick
+  /// batches. Unusable (torn) until the first Anchor.
+  ReplicaBuffer(uint32_t partition, const StateLayout& layout,
+                uint64_t depth);
+
+  ReplicaBuffer(const ReplicaBuffer&) = delete;
+  ReplicaBuffer& operator=(const ReplicaBuffer&) = delete;
+
+  /// Resets the buffer around a base snapshot consistent through
+  /// `anchor_ticks` ticks: copies `base`, clears the ring and the torn
+  /// flag. Facade thread, quiesced fleet only.
+  void Anchor(const StateTable& base, uint64_t anchor_ticks);
+
+  /// Appends tick `tick`'s delta. Ticks must arrive contiguously
+  /// (tick == anchor_ticks() + size()); a gap tears the buffer instead of
+  /// silently rebuilding wrong state. A full ring folds its oldest
+  /// (committed) batch into the base first. No-op once torn.
+  void Append(uint64_t tick, const std::vector<CellUpdate>& updates);
+
+  /// Folds every committed batch with tick <= `tick` into the base: the
+  /// trim-at-cut rule (`tick` is a committed consistent-cut tick, durable
+  /// on every shard, so the replica never needs to rewind past it).
+  void TrimThrough(uint64_t tick);
+
+  /// Poisons the buffer (host/server death, test-injected tears). Only
+  /// Anchor revives it.
+  void MarkTorn() { torn_ = true; }
+  bool torn() const { return torn_; }
+
+  /// Reconstructs the source partition's state into `out` (base copy +
+  /// in-order batch apply) and returns the tick count the result is
+  /// consistent through. Corruption when torn. Facade thread, quiesced
+  /// fleet only.
+  StatusOr<uint64_t> Rebuild(StateTable* out) const;
+
+  uint32_t partition() const { return partition_; }
+  uint64_t depth() const { return depth_; }
+  size_t size() const { return batches_.size(); }
+  /// Ticks folded into the base snapshot.
+  uint64_t anchor_ticks() const { return anchor_ticks_; }
+  /// Ticks a Rebuild would be consistent through (anchor + ring).
+  uint64_t consistent_ticks() const { return anchor_ticks_ + batches_.size(); }
+
+ private:
+  /// Applies the oldest batch to the base and advances the anchor.
+  void FoldOldestIntoBase();
+
+  const uint32_t partition_;
+  const uint64_t depth_;
+  StateTable base_;
+  uint64_t anchor_ticks_ = 0;
+  std::deque<ReplicaDeltaBatch> batches_;
+  bool torn_ = true;
+};
+
+}  // namespace tickpoint
+
+#endif  // TICKPOINT_ENGINE_REPLICA_BUFFER_H_

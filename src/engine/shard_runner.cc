@@ -174,6 +174,20 @@ void ShardRunner::ProcessBatch(const ShardTickBatch& batch) {
   // After the sticky error the engine is frozen at its failure tick;
   // discard (but account for) later batches so Drain/Stop terminate.
   if (has_error_.load(std::memory_order_acquire)) return;
+  // Replica hosting first: trim at the committed cut (strictly older than
+  // this tick), then append the peers' deltas for this tick. Runs before
+  // the shard's own tick so a crash barrier that stops after batch N
+  // leaves every hosted replica consistent through N as well.
+  if (batch.trim_replicas_through != ShardTickBatch::kNoReplicaTrim) {
+    for (auto& buffer : replicas_) {
+      buffer->TrimThrough(batch.trim_replicas_through);
+    }
+  }
+  for (const ShardTickBatch::ReplicaDelta& delta : batch.replica_updates) {
+    ReplicaBuffer* buffer = replica(delta.partition);
+    TP_DCHECK(buffer != nullptr);
+    if (buffer != nullptr) buffer->Append(batch.tick, delta.updates);
+  }
   engine_->BeginTick();
   for (const CellUpdate& update : batch.updates) {
     engine_->ApplyUpdate(update.cell, update.value);

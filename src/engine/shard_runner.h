@@ -43,14 +43,32 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/replica_buffer.h"
 #include "util/spsc_ring.h"
 
 namespace tickpoint {
 
 /// Everything one shard needs to run one tick.
 struct ShardTickBatch {
+  /// Sentinel for trim_replicas_through: no trim this tick.
+  static constexpr uint64_t kNoReplicaTrim = UINT64_MAX;
+
+  /// One replicated peer partition's delta for this tick (replication on:
+  /// the facade fans every partition's delta out to its peer's batch).
+  struct ReplicaDelta {
+    uint32_t partition = 0;
+    std::vector<CellUpdate> updates;
+  };
+
   uint64_t tick = 0;
   std::vector<CellUpdate> updates;
+  /// Deltas of the partitions this runner hosts replicas FOR, appended to
+  /// the hosted ReplicaBuffers before the shard's own tick runs.
+  std::vector<ReplicaDelta> replica_updates;
+  /// When != kNoReplicaTrim: a consistent cut committed at this tick --
+  /// fold every hosted replica's committed batches through it (the
+  /// trim-at-cut rule).
+  uint64_t trim_replicas_through = kNoReplicaTrim;
   /// Stagger scheduler's decision: begin a checkpoint at this tick's end.
   bool start_checkpoint = false;
   /// Consistent-cut coordinator's decision: this tick is the fleet cut
@@ -169,6 +187,28 @@ class ShardRunner {
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
 
+  // ---- Replica hosting (replication on; see replica_buffer.h) ----
+
+  /// Adopts a replica buffer this runner will feed from its batches'
+  /// replica_updates. Facade thread, quiesced runner only (construction or
+  /// failover): the mailbox's release/acquire pair orders the adoption
+  /// before any later batch the mutator thread can consume.
+  void HostReplica(std::unique_ptr<ReplicaBuffer> buffer) {
+    replicas_.push_back(std::move(buffer));
+  }
+  /// The hosted replica of `partition`, or nullptr. Same quiesced-access
+  /// contract as engine() when called from the facade thread.
+  ReplicaBuffer* replica(uint32_t partition) {
+    for (auto& buffer : replicas_) {
+      if (buffer->partition() == partition) return buffer.get();
+    }
+    return nullptr;
+  }
+  /// Every hosted replica (quiesced access only).
+  const std::vector<std::unique_ptr<ReplicaBuffer>>& replicas() const {
+    return replicas_;
+  }
+
  private:
   void ThreadMain();
   /// BeginTick + updates + checkpoint request + EndTick on the engine;
@@ -181,6 +221,10 @@ class ShardRunner {
   std::unique_ptr<Engine> engine_;
   CheckpointObserver observer_;
   size_t checkpoints_reported_ = 0;  // mutator thread only
+  /// Replicas of peer partitions this shard hosts. The vector is mutated
+  /// only while the runner is quiesced (see HostReplica); the mutator
+  /// thread touches the buffers only inside ProcessBatch.
+  std::vector<std::unique_ptr<ReplicaBuffer>> replicas_;
 
   SpscRing<ShardTickBatch> mailbox_;
   uint64_t ticks_submitted_ = 0;  // producer thread only

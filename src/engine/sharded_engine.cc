@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "engine/paths.h"
+#include "engine/recovery.h"
+#include "engine/replica_buffer.h"
 #include "util/io.h"
 #include "util/sched_fuzz.h"
 
@@ -35,6 +37,18 @@ FleetManifest ManifestFromConfig(const ShardedEngineConfig& config) {
   manifest.threaded = config.threaded;
   manifest.max_queue_ticks = config.max_queue_ticks;
   manifest.cut_lead_ticks = config.cut_lead_ticks;
+  manifest.replicate = config.replicate;
+  manifest.replica_depth = config.replica_depth;
+  // The manifest stores the active-replica designation RESOLVED (an empty
+  // config vector means the default ring), so a reopened fleet rebuilds
+  // the identical replication topology without re-deriving defaults.
+  manifest.replica_peer = config.replica_peer;
+  if (manifest.replica_peer.empty()) {
+    manifest.replica_peer.resize(config.num_shards);
+    for (uint32_t p = 0; p < config.num_shards; ++p) {
+      manifest.replica_peer[p] = (p + 1) % std::max<uint32_t>(1, config.num_shards);
+    }
+  }
   return manifest;
 }
 
@@ -56,6 +70,9 @@ ShardedEngineConfig ConfigFromManifest(const FleetManifest& manifest,
   config.threaded = manifest.threaded;
   config.max_queue_ticks = manifest.max_queue_ticks;
   config.cut_lead_ticks = manifest.cut_lead_ticks;
+  config.replicate = manifest.replicate;
+  config.replica_depth = manifest.replica_depth;
+  config.replica_peer = manifest.replica_peer;
   return config;
 }
 
@@ -118,6 +135,41 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
     // StaggerScheduler, whose TP_CHECK would abort instead of returning.
     return Status::InvalidArgument("disk_budget must be positive");
   }
+  if (config.replicate) {
+    // Replication-knob validation (mirrors the PR-5 posture: reject at
+    // Create/Open with InvalidArgument, never TP_CHECK on user input).
+    if (config.num_shards < 2) {
+      return Status::InvalidArgument(
+          "replication requires at least 2 shards (a replica must live on "
+          "a different shard than its partition)");
+    }
+    if (config.replica_depth == 0) {
+      return Status::InvalidArgument("replica_depth must be positive");
+    }
+    if (!config.replica_peer.empty()) {
+      if (config.replica_peer.size() != config.num_shards) {
+        return Status::InvalidArgument(
+            "replica_peer has " + std::to_string(config.replica_peer.size()) +
+            " entries for a " + std::to_string(config.num_shards) +
+            "-shard fleet");
+      }
+      for (uint32_t p = 0; p < config.num_shards; ++p) {
+        const uint32_t peer = config.replica_peer[p];
+        if (peer >= config.num_shards) {
+          return Status::InvalidArgument(
+              "replica_peer[" + std::to_string(p) + "] = " +
+              std::to_string(peer) + " out of range (fleet has " +
+              std::to_string(config.num_shards) + " shards)");
+        }
+        if (peer == p) {
+          // A self-hosted replica dies with its shard: worthless.
+          return Status::InvalidArgument(
+              "replica_peer[" + std::to_string(p) +
+              "] is self-peered (a replica must live on a different shard)");
+        }
+      }
+    }
+  }
   if (initial != nullptr && initial->size() != config.num_shards) {
     return Status::InvalidArgument(
         "OpenResumed with " + std::to_string(initial->size()) +
@@ -163,6 +215,15 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
       // re-commit the fleet's durable description, not whatever knobs
       // this caller happened to pass -- Fleet::Open reads the disk.
       sharded->manifest_ = std::move(manifest_or).value();
+      if (config.replicate && sharded->manifest_.replica_peer.empty()) {
+        // A v1 (pre-replication) manifest resumed with replication turned
+        // on: adopt the config's (resolved) replication topology; the
+        // next manifest write persists it.
+        FleetManifest from_config = ManifestFromConfig(config);
+        sharded->manifest_.replicate = true;
+        sharded->manifest_.replica_depth = from_config.replica_depth;
+        sharded->manifest_.replica_peer = std::move(from_config.replica_peer);
+      }
     } else if (manifest_or.status().code() == StatusCode::kNotFound) {
       write_manifest_after_open = true;
     } else {
@@ -183,6 +244,20 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
             : Engine::OpenResumed(shard_config, (*initial)[i], first_tick);
     TP_ASSIGN_OR_RETURN(auto engine, std::move(engine_or));
     sharded->runners_.push_back(sharded->MakeRunner(i, std::move(engine)));
+  }
+  sharded->crashed_.assign(config.num_shards, 0);
+  if (config.replicate) {
+    // Seed every partition's replica on its designated peer's runner,
+    // anchored at the just-opened state (the runners are idle, so their
+    // engines are safe to read from this thread; HostReplica before any
+    // SubmitTick is ordered by the mailbox's release/acquire pair).
+    for (uint32_t p = 0; p < config.num_shards; ++p) {
+      auto buffer = std::make_unique<ReplicaBuffer>(p, config.shard.layout,
+                                                    config.replica_depth);
+      buffer->Anchor(sharded->runners_[p]->engine().state(), first_tick);
+      sharded->runners_[sharded->manifest_.replica_peer[p]]->HostReplica(
+          std::move(buffer));
+    }
   }
   if (initial != nullptr) {
     // Resume ordering: the pre-crash cut manifest is retired only AFTER
@@ -243,6 +318,9 @@ ShardedEngine::~ShardedEngine() {
 
 void ShardedEngine::BeginTick() {
   TP_CHECK(!in_tick_ && !shut_down_ && !failed_);
+  // A crashed shard freezes the fleet tick: ticking past it would tear
+  // every replica anchored at the crash tick. FailoverShard first.
+  TP_CHECK(crashed_count_ == 0);
   in_tick_ = true;
 }
 
@@ -264,16 +342,48 @@ Status ShardedEngine::EndTick() {
   const bool suppress_schedule = cut_.SuppressesScheduledStart(tick_);
   // Every shard gets its batch even if a sibling already failed: no shard
   // is ever left mid-tick, and the fleet tick advances exactly once.
-  for (uint32_t i = 0; i < runners_.size(); ++i) {
-    ShardTickBatch batch;
-    batch.tick = tick_;
-    batch.cut_checkpoint = cut_tick_now;
-    batch.start_checkpoint =
-        cut_tick_now ||
-        (!suppress_schedule && scheduler_.ShouldCheckpoint(i, tick_));
-    batch.updates = std::move(pending_[i]);
-    pending_[i].clear();
-    runners_[i]->SubmitTick(std::move(batch));
+  if (config_.replicate) {
+    // Replicating fan-out: each partition's delta is COPIED into its
+    // peer's batch (the host appends it to the replica ring before its
+    // own tick) and then MOVED into the owner's batch as usual, so the
+    // replica stream is exactly the update stream the owner applies. A
+    // cut committed last turn broadcasts its trim tick in this tick's
+    // batches (the trim-at-cut rule: everything at or below a committed
+    // cut is durable fleet-wide, so the rings fold eagerly).
+    std::vector<ShardTickBatch> batches(runners_.size());
+    for (uint32_t i = 0; i < runners_.size(); ++i) {
+      batches[i].tick = tick_;
+      batches[i].cut_checkpoint = cut_tick_now;
+      batches[i].start_checkpoint =
+          cut_tick_now ||
+          (!suppress_schedule && scheduler_.ShouldCheckpoint(i, tick_));
+      batches[i].trim_replicas_through = pending_replica_trim_;
+    }
+    pending_replica_trim_ = ShardTickBatch::kNoReplicaTrim;
+    for (uint32_t p = 0; p < runners_.size(); ++p) {
+      ShardTickBatch::ReplicaDelta delta;
+      delta.partition = p;
+      delta.updates = pending_[p];
+      batches[manifest_.replica_peer[p]].replica_updates.push_back(
+          std::move(delta));
+    }
+    for (uint32_t i = 0; i < runners_.size(); ++i) {
+      batches[i].updates = std::move(pending_[i]);
+      pending_[i].clear();
+      runners_[i]->SubmitTick(std::move(batches[i]));
+    }
+  } else {
+    for (uint32_t i = 0; i < runners_.size(); ++i) {
+      ShardTickBatch batch;
+      batch.tick = tick_;
+      batch.cut_checkpoint = cut_tick_now;
+      batch.start_checkpoint =
+          cut_tick_now ||
+          (!suppress_schedule && scheduler_.ShouldCheckpoint(i, tick_));
+      batch.updates = std::move(pending_[i]);
+      pending_[i].clear();
+      runners_[i]->SubmitTick(std::move(batch));
+    }
   }
   if (cut_tick_now) scheduler_.RealignAfterCut(tick_);
   ++tick_;
@@ -283,6 +393,10 @@ Status ShardedEngine::EndTick() {
 StatusOr<uint64_t> ShardedEngine::RequestConsistentCut() {
   TP_CHECK(!in_tick_ && !shut_down_);
   if (failed_) return first_error_;
+  if (crashed_count_ > 0) {
+    return Status::FailedPrecondition(
+        "RequestConsistentCut with a crashed shard pending failover");
+  }
   TP_ASSIGN_OR_RETURN(const uint64_t cut_tick,
                       cut_.Arm(tick_, config_.cut_lead_ticks));
   // Arm every shard's ack slot before the cut tick's batches can be
@@ -377,6 +491,12 @@ Status ShardedEngine::CommitConsistentCut() {
   }
   TP_RETURN_NOT_OK(cut_.Commit(acks));
   last_committed_cut_tick_ = cut_tick;
+  if (config_.replicate) {
+    // Trim-at-cut: the cut is durable fleet-wide, so every replica ring
+    // may fold its batches through the cut tick. Broadcast the trim in
+    // the NEXT tick's batches (the hosts' mutator threads own the rings).
+    pending_replica_trim_ = cut_tick;
+  }
   last_cut_report_.cut_tick = cut_tick;
   last_cut_report_.commit_latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -389,6 +509,10 @@ Status ShardedEngine::CommitConsistentCut() {
 Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   TP_CHECK(!in_tick_ && !shut_down_);
   if (failed_) return first_error_;
+  if (crashed_count_ > 0) {
+    return Status::FailedPrecondition(
+        "MigratePartition with a crashed shard pending failover");
+  }
   if (cut_.armed()) {
     return Status::FailedPrecondition(
         "MigratePartition with a consistent cut still in flight (tick " +
@@ -460,6 +584,19 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   runners_[partition]->Stop();
   const Status source_shutdown = runners_[partition]->engine().Shutdown();
   runners_[partition] = MakeRunner(partition, std::move(dest_engine));
+  if (config_.replicate) {
+    // The swap destroyed the replicas the old runner hosted; re-host them
+    // on the new runner, re-anchored at the quiesced current tick (their
+    // source partitions are idle and self-peering is forbidden, so
+    // runners_[r] is a live sibling safe to read here).
+    for (uint32_t r = 0; r < config_.num_shards; ++r) {
+      if (manifest_.replica_peer[r] != partition) continue;
+      auto buffer = std::make_unique<ReplicaBuffer>(r, config_.shard.layout,
+                                                    config_.replica_depth);
+      buffer->Anchor(runners_[r]->engine().state(), tick_);
+      runners_[partition]->HostReplica(std::move(buffer));
+    }
+  }
   last_migration_report_.partition = partition;
   last_migration_report_.from_slot = from_slot;
   last_migration_report_.to_slot = to_slot;
@@ -541,6 +678,143 @@ Status ShardedEngine::SimulateCrash() {
     if (first_error.ok() && !status.ok()) first_error = status;
   }
   return first_error;
+}
+
+Status ShardedEngine::SimulateShardCrash(uint32_t partition) {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  if (partition >= config_.num_shards) {
+    return Status::InvalidArgument(
+        "SimulateShardCrash of unknown partition " + std::to_string(partition) +
+        " (fleet has " + std::to_string(config_.num_shards) + ")");
+  }
+  if (cut_.armed()) {
+    return Status::FailedPrecondition(
+        "SimulateShardCrash with a consistent cut still in flight (tick " +
+        std::to_string(cut_.cut_tick()) + ")");
+  }
+  if (crashed_[partition]) {
+    return Status::FailedPrecondition("partition " + std::to_string(partition) +
+                                      " is already crashed");
+  }
+  // Barrier the WHOLE fleet first: the death lands between fleet ticks,
+  // with every replica ring consistent through the same tick as its source
+  // (the runner appends hosted deltas before its own tick, so a drained
+  // runner has consumed both). The siblings stay alive -- their engines
+  // and hosted rings are then safe to read from this thread until the next
+  // SubmitTick, which is exactly the window FailoverShard runs in.
+  TP_RETURN_NOT_OK(WaitForIdle());
+  runners_[partition]->Stop();
+  const Status crash = runners_[partition]->engine().SimulateCrash();
+  // A dead server loses everything in its memory: its own partition AND
+  // the replicas it hosted for others.
+  for (const auto& buffer : runners_[partition]->replicas()) {
+    buffer->MarkTorn();
+  }
+  crashed_[partition] = 1;
+  ++crashed_count_;
+  return crash;
+}
+
+Status ShardedEngine::FailoverShard(uint32_t partition) {
+  TP_CHECK(!in_tick_ && !shut_down_);
+  if (failed_) return first_error_;
+  if (partition >= config_.num_shards) {
+    return Status::InvalidArgument(
+        "FailoverShard of unknown partition " + std::to_string(partition) +
+        " (fleet has " + std::to_string(config_.num_shards) + ")");
+  }
+  if (!crashed_[partition]) {
+    return Status::FailedPrecondition("FailoverShard of partition " +
+                                      std::to_string(partition) +
+                                      " which is not crashed");
+  }
+  FailoverReport report;
+  report.partition = partition;
+  report.rebuilt_ticks = tick_;
+  // Phase 1: materialize the partition's state at the fleet tick. Fast
+  // path -- the peer's in-memory replica; fallback -- the partition's own
+  // disk. Both must land EXACTLY at tick_ (the fleet froze there when the
+  // crash hit), so the rebuilt state is byte-identical either way.
+  StateTable table(config_.shard.layout);
+  bool from_peer = false;
+  const auto rebuild_start = std::chrono::steady_clock::now();
+  if (config_.replicate) {
+    const uint32_t host = manifest_.replica_peer[partition];
+    if (!crashed_[host] && !runners_[host]->has_error()) {
+      ReplicaBuffer* buffer = runners_[host]->replica(partition);
+      if (buffer != nullptr) {
+        StatusOr<uint64_t> ticks_or = buffer->Rebuild(&table);
+        from_peer = ticks_or.ok() && ticks_or.value() == tick_;
+      }
+    }
+  }
+  if (!from_peer) {
+    EngineConfig shard_config = config_.shard;
+    shard_config.dir =
+        ShardDir(config_.shard.dir, manifest_.assignment[partition]);
+    shard_config.manual_checkpoints = true;
+    TP_ASSIGN_OR_RETURN(const RecoveryResult recovered,
+                        Recover(shard_config, &table));
+    if (recovered.recovered_ticks != tick_) {
+      return Status::Corruption(
+          "disk recovery of partition " + std::to_string(partition) +
+          " reached tick " + std::to_string(recovered.recovered_ticks) +
+          ", fleet is at " + std::to_string(tick_));
+    }
+  }
+  report.used_peer_memory = from_peer;
+  report.rebuild_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    rebuild_start)
+          .count();
+  // Phase 2: restart the shard on the rebuilt state. Engine::OpenResumed
+  // writes the synchronous bootstrap checkpoint (numbered above every
+  // pre-crash image) before the new logical log starts, so a second crash
+  // at any later point recovers to at least this tick. The old (crashed)
+  // runner stays in place until the new engine opened -- an open failure
+  // leaves the fleet exactly as FailoverShard found it, retryable.
+  const auto resume_start = std::chrono::steady_clock::now();
+  EngineConfig shard_config = config_.shard;
+  shard_config.dir =
+      ShardDir(config_.shard.dir, manifest_.assignment[partition]);
+  shard_config.manual_checkpoints = true;
+  TP_ASSIGN_OR_RETURN(auto engine,
+                      Engine::OpenResumed(shard_config, table, tick_));
+  runners_[partition] = MakeRunner(partition, std::move(engine));
+  crashed_[partition] = 0;
+  --crashed_count_;
+  if (config_.replicate) {
+    // Re-anchor the partition's replication topology. Its own replica on
+    // the (live) peer restarts from the rebuilt state -- Anchor also
+    // clears a torn ring, which is how a disk-path failover re-arms the
+    // fast path for the next death.
+    const uint32_t host = manifest_.replica_peer[partition];
+    if (!crashed_[host]) {
+      ReplicaBuffer* buffer = runners_[host]->replica(partition);
+      if (buffer != nullptr) {
+        buffer->Anchor(runners_[partition]->engine().state(), tick_);
+      }
+    }
+    // And the replicas the dead server hosted for others: fresh buffers on
+    // the new runner, anchored from their (idle) source engines. A source
+    // that is itself still crashed leaves its buffer torn; its own
+    // FailoverShard re-anchors it.
+    for (uint32_t r = 0; r < config_.num_shards; ++r) {
+      if (manifest_.replica_peer[r] != partition) continue;
+      auto buffer = std::make_unique<ReplicaBuffer>(r, config_.shard.layout,
+                                                    config_.replica_depth);
+      if (!crashed_[r]) {
+        buffer->Anchor(runners_[r]->engine().state(), tick_);
+      }
+      runners_[partition]->HostReplica(std::move(buffer));
+    }
+  }
+  report.resume_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    resume_start)
+          .count();
+  last_failover_report_ = report;
+  return Status::OK();
 }
 
 ShardedCheckpointStats ShardedEngine::CheckpointStats(bool skip_first) const {

@@ -76,6 +76,17 @@ struct ShardedEngineConfig {
   /// tick T: enough lead for every shard to reach T in stride instead of
   /// stalling on a barrier.
   uint64_t cut_lead_ticks = 2;
+  /// Hot failover: stream every partition's per-tick delta to a peer
+  /// shard's in-memory ReplicaBuffer, so FailoverShard can rebuild a
+  /// crashed shard from its peer's memory instead of disk. Costs one
+  /// extra state-table copy per partition plus a per-tick delta copy.
+  bool replicate = false;
+  /// Bound on each replica's in-flight tick-delta ring (older batches fold
+  /// into its base snapshot; committed cuts trim eagerly).
+  uint64_t replica_depth = 32;
+  /// replica_peer[p] = partition hosting p's replica. Empty = the default
+  /// ring (p + 1) % K. Entries must be in range and never self-peered.
+  std::vector<uint32_t> replica_peer;
 
   StaggerConfig ToStaggerConfig() const {
     StaggerConfig config;
@@ -118,6 +129,25 @@ struct MigrationReport {
   /// Wall time of the whole move: source drain + destination bootstrap
   /// write + epoch-manifest commit.
   double move_seconds = 0.0;
+};
+
+/// Outcome of the last FailoverShard (bench/monitoring).
+struct FailoverReport {
+  uint32_t partition = 0;
+  /// True when the peer's in-memory replica rebuilt the state; false when
+  /// the disk-recovery fallback ran (torn buffer, dead peer, or
+  /// replication off).
+  bool used_peer_memory = false;
+  /// Tick count the rebuilt state is consistent through (== the fleet
+  /// tick).
+  uint64_t rebuilt_ticks = 0;
+  /// Wall time to materialize the state (memory rebuild or disk recovery):
+  /// the failover-latency number the ROADMAP's "milliseconds, not a disk
+  /// replay" claim is about.
+  double rebuild_seconds = 0.0;
+  /// Wall time of the shard restart on top of it (bootstrap checkpoint +
+  /// runner spawn) -- identical on both paths.
+  double resume_seconds = 0.0;
 };
 
 /// Captures a fleet's durable properties from its open-time config, with
@@ -243,6 +273,47 @@ class ShardedEngine {
   /// when the crash lands.
   Status SimulateCrash();
 
+  // ---- Hot failover via in-memory cross-shard replication ----
+
+  /// Crash injection on ONE shard (the paper's single-server-death model):
+  /// barriers the fleet to the current tick, then kills `partition`'s
+  /// engine mid-checkpoint and marks every replica buffer HOSTED BY that
+  /// shard torn -- a dead server loses the replicas it held for others
+  /// along with its own state. The rest of the fleet stays live but
+  /// frozen: BeginTick, cuts, and migration are refused until
+  /// FailoverShard brings the partition back. InvalidArgument for an
+  /// unknown partition; FailedPrecondition while a cut is in flight or the
+  /// partition is already crashed.
+  Status SimulateShardCrash(uint32_t partition);
+
+  /// Brings a crashed partition back at the CURRENT fleet tick. Fast
+  /// path: the peer designated by manifest().replica_peer[partition]
+  /// rebuilds the state from its in-memory ReplicaBuffer (base snapshot +
+  /// delta ring) -- no disk read of the dead shard at all. Fallback: when
+  /// replication is off, the peer is itself crashed, or its buffer is
+  /// torn, the state is recovered from the partition's own disk (logical
+  /// log replay), which must be exact at the fleet tick. Either way the
+  /// shard restarts via Engine::OpenResumed (synchronous bootstrap
+  /// checkpoint outranking every pre-crash image), the partition's
+  /// replica topology is re-anchored, and the fleet may tick again.
+  /// The rebuilt state is byte-identical on both paths -- the failover
+  /// tests pin peer-memory digests against a disk-recovered oracle.
+  /// FailedPrecondition when the partition is not crashed.
+  Status FailoverShard(uint32_t partition);
+
+  /// Path taken and timing of the last FailoverShard.
+  const FailoverReport& last_failover_report() const {
+    return last_failover_report_;
+  }
+
+  /// Partition `p`'s hosted replica buffer (on its peer's runner), or
+  /// nullptr when replication is off. Test/inspection hook: safe only
+  /// while the fleet is quiesced (see shard()).
+  ReplicaBuffer* replica_buffer(uint32_t p) {
+    return config_.replicate ? runners_[manifest_.replica_peer[p]]->replica(p)
+                             : nullptr;
+  }
+
   const ShardedEngineConfig& config() const { return config_; }
   const StaggerScheduler& scheduler() const { return scheduler_; }
   uint32_t num_shards() const { return config_.num_shards; }
@@ -326,9 +397,17 @@ class ShardedEngine {
   /// the MigratePartition precondition.
   uint64_t last_committed_cut_tick_ = UINT64_MAX;
   MigrationReport last_migration_report_;
+  FailoverReport last_failover_report_;
   std::vector<std::unique_ptr<ShardRunner>> runners_;
   /// Per-shard updates buffered during the open tick.
   std::vector<std::vector<CellUpdate>> pending_;
+  /// crashed_[p] = SimulateShardCrash killed partition p and FailoverShard
+  /// has not yet revived it (vector<uint8_t>: no bitset proxy games).
+  std::vector<uint8_t> crashed_;
+  uint32_t crashed_count_ = 0;
+  /// Committed-cut tick to broadcast to replica hosts in the NEXT tick's
+  /// batches (the trim-at-cut rule), or kNoReplicaTrim when none pending.
+  uint64_t pending_replica_trim_ = ShardTickBatch::kNoReplicaTrim;
   uint64_t tick_ = 0;
   bool in_tick_ = false;
   bool failed_ = false;

@@ -9,6 +9,46 @@
 namespace tickpoint {
 namespace game {
 
+namespace {
+
+// Simulation-state cell map, relative to base = num_units * 13 (the first
+// cell past the unit rows). These cells ride the normal update path; the
+// digest oracles never read them (TableStateDigest stops at the unit
+// rows).
+//   base + 0..7   RNG state: 4 x uint64, each split lo/hi into two int32s
+//   base + 8      world tick (== engine tick of the last applied tick)
+//   base + 9      active-set size (written once at bulk load; constant)
+//   base + 10,11  the ZONE's kill events per team during the last world
+//                 tick (summed across zones at resume to rebuild the
+//                 cross-zone morale pipeline's last_tick_kills_)
+//   base + 12+s   active_[s] (slot order matters: rotation iterates slots)
+constexpr uint32_t kSimTickCell = 8;
+constexpr uint32_t kSimActiveCountCell = 9;
+constexpr uint32_t kSimKillsCell = 10;
+constexpr uint32_t kSimActiveBase = 12;
+
+uint64_t SimCellBase(const WorldConfig& zone_world) {
+  return static_cast<uint64_t>(zone_world.num_units) * kNumAttributes;
+}
+
+/// Total simulation-state cells for one zone.
+uint64_t SimCellCount(const WorldConfig& zone_world) {
+  return kSimActiveBase + World::ActiveTarget(zone_world);
+}
+
+int32_t Lo32(uint64_t word) {
+  return static_cast<int32_t>(static_cast<uint32_t>(word));
+}
+int32_t Hi32(uint64_t word) {
+  return static_cast<int32_t>(static_cast<uint32_t>(word >> 32));
+}
+uint64_t Join64(int32_t lo, int32_t hi) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(lo)) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(hi)) << 32);
+}
+
+}  // namespace
+
 /// Captures one zone's attribute writes during a world tick: the cell
 /// deltas mailed to the zone's shard, plus the kill events feeding the
 /// cross-zone tally. One sink per zone, so parallel zone stepping shares
@@ -39,7 +79,10 @@ GameShardAdapter::GameShardAdapter(const GameShardAdapterConfig& config)
 GameShardAdapter::~GameShardAdapter() = default;
 
 StateLayout GameShardAdapter::ZoneLayout(const WorldConfig& zone_world) {
-  return StateLayout{.rows = zone_world.num_units,
+  // Unit rows plus enough system rows for the simulation-state cells.
+  const uint32_t sim_rows = static_cast<uint32_t>(
+      (SimCellCount(zone_world) + kNumAttributes - 1) / kNumAttributes);
+  return StateLayout{.rows = zone_world.num_units + sim_rows,
                      .cols = kNumAttributes,
                      .cell_size = 4,
                      .object_size = 512};
@@ -83,6 +126,102 @@ StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::Open(
   return adapter;
 }
 
+StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::OpenResumed(
+    const GameShardAdapterConfig& config, RecoveredFleet recovered) {
+  if (config.zone_world.num_units < 16) {
+    return Status::InvalidArgument(
+        "zone_world.num_units must be at least 16 per zone");
+  }
+  GameShardAdapterConfig resolved = config;
+  resolved.engine.shard.layout = ZoneLayout(config.zone_world);
+  const FleetManifest& manifest = recovered.manifest();
+  const StateLayout& expect = resolved.engine.shard.layout;
+  if (manifest.layout.rows != expect.rows ||
+      manifest.layout.cols != expect.cols ||
+      manifest.layout.cell_size != expect.cell_size) {
+    return Status::InvalidArgument(
+        "recovered fleet layout does not match zone_world (was this fleet "
+        "created by a GameShardAdapter with the same WorldConfig?)");
+  }
+  if (manifest.num_partitions != resolved.engine.num_shards) {
+    return Status::InvalidArgument(
+        "recovered fleet has " + std::to_string(manifest.num_partitions) +
+        " partitions, config expects " +
+        std::to_string(resolved.engine.num_shards) + " zones");
+  }
+  const uint64_t resume_tick = recovered.resume_tick();
+  if (resume_tick < 1) {
+    return Status::FailedPrecondition(
+        "recovered fleet never finished its bulk-load tick; nothing to "
+        "resume into");
+  }
+  std::unique_ptr<GameShardAdapter> adapter(new GameShardAdapter(resolved));
+  adapter->SpawnZones();
+  const uint32_t num_units = resolved.zone_world.num_units;
+  const uint32_t base = static_cast<uint32_t>(SimCellBase(resolved.zone_world));
+  const uint32_t target = World::ActiveTarget(resolved.zone_world);
+  adapter->last_tick_kills_[0] = adapter->last_tick_kills_[1] = 0;
+  for (uint32_t z = 0; z < adapter->num_zones(); ++z) {
+    const StateTable& table = recovered.tables()[z];
+    World& world = *adapter->zones_[z];
+    // Unit rows: overwrite the freshly spawned table via SetRaw (recovery
+    // state is the baseline, not an update stream).
+    for (UnitId u = 0; u < num_units; ++u) {
+      for (uint32_t attr = 0; attr < kNumAttributes; ++attr) {
+        world.units().SetRaw(
+            u, attr,
+            table.ReadCell(static_cast<uint64_t>(u) * kNumAttributes + attr));
+      }
+    }
+    // System rows: the simulation bookkeeping. Validate before restoring
+    // -- a disagreement means the partition's image is not this fleet's
+    // (or the system rows were clobbered), which exactness cannot repair.
+    const int32_t world_tick = table.ReadCell(base + kSimTickCell);
+    if (world_tick < 0 ||
+        static_cast<uint64_t>(world_tick) != resume_tick - 1) {
+      return Status::Corruption(
+          "zone " + std::to_string(z) + " system rows record world tick " +
+          std::to_string(world_tick) + ", recovery landed at engine tick " +
+          std::to_string(resume_tick) + " (expect " +
+          std::to_string(resume_tick - 1) + ")");
+    }
+    const int32_t active_count = table.ReadCell(base + kSimActiveCountCell);
+    if (active_count < 0 || static_cast<uint32_t>(active_count) != target) {
+      return Status::Corruption(
+          "zone " + std::to_string(z) + " system rows record " +
+          std::to_string(active_count) + " active units, world expects " +
+          std::to_string(target));
+    }
+    std::vector<UnitId> active(target);
+    std::vector<uint8_t> seen(num_units, 0);
+    for (uint32_t s = 0; s < target; ++s) {
+      const int32_t id = table.ReadCell(base + kSimActiveBase + s);
+      if (id < 0 || static_cast<uint32_t>(id) >= num_units ||
+          seen[static_cast<uint32_t>(id)]) {
+        return Status::Corruption("zone " + std::to_string(z) +
+                                  " active slot " + std::to_string(s) +
+                                  " holds invalid unit " + std::to_string(id));
+      }
+      seen[static_cast<uint32_t>(id)] = 1;
+      active[s] = static_cast<UnitId>(id);
+    }
+    uint64_t rng[4];
+    for (uint32_t w = 0; w < 4; ++w) {
+      rng[w] = Join64(table.ReadCell(base + 2 * w),
+                      table.ReadCell(base + 2 * w + 1));
+    }
+    world.RestoreSimState(rng, world_tick, std::move(active));
+    adapter->last_tick_kills_[0] += static_cast<uint32_t>(
+        table.ReadCell(base + kSimKillsCell + 0));
+    adapter->last_tick_kills_[1] += static_cast<uint32_t>(
+        table.ReadCell(base + kSimKillsCell + 1));
+  }
+  // Resume consumes the tables, so every read above happened first.
+  TP_ASSIGN_OR_RETURN(adapter->fleet_, recovered.Resume());
+  adapter->engine_ticks_ = resume_tick;
+  return adapter;
+}
+
 Status GameShardAdapter::BulkLoadTick() {
   // A fresh engine starts zeroed; the spawned worlds do not. Feed the
   // entire initial state through the update path so the first checkpoint
@@ -98,8 +237,40 @@ Status GameShardAdapter::BulkLoadTick() {
                             units.Get(u, attr));
       }
     }
+    EmitZoneSimState(z, /*full=*/true);
   }
   return fleet_->EndTick();
+}
+
+void GameShardAdapter::EmitZoneSimState(uint32_t z, bool full) {
+  const uint32_t base = static_cast<uint32_t>(SimCellBase(config_.zone_world));
+  const World& world = *zones_[z];
+  uint64_t rng[4];
+  world.GetRngState(rng);
+  for (uint32_t w = 0; w < 4; ++w) {
+    fleet_->ApplyUpdate(z, base + 2 * w, Lo32(rng[w]));
+    fleet_->ApplyUpdate(z, base + 2 * w + 1, Hi32(rng[w]));
+  }
+  fleet_->ApplyUpdate(z, base + kSimTickCell, world.tick());
+  fleet_->ApplyUpdate(z, base + kSimKillsCell + 0,
+                      static_cast<int32_t>(sinks_[z]->kills[0]));
+  fleet_->ApplyUpdate(z, base + kSimKillsCell + 1,
+                      static_cast<int32_t>(sinks_[z]->kills[1]));
+  const std::vector<UnitId>& active = world.active_units();
+  if (full) {
+    fleet_->ApplyUpdate(z, base + kSimActiveCountCell,
+                        static_cast<int32_t>(active.size()));
+    for (uint32_t s = 0; s < active.size(); ++s) {
+      fleet_->ApplyUpdate(z, base + kSimActiveBase + s,
+                          static_cast<int32_t>(active[s]));
+    }
+  } else {
+    // Steady state: only the slots this tick's rotation changed.
+    for (uint32_t s : world.rotated_slots()) {
+      fleet_->ApplyUpdate(z, base + kSimActiveBase + s,
+                          static_cast<int32_t>(active[s]));
+    }
+  }
 }
 
 void GameShardAdapter::StepWorldTick() {
@@ -156,6 +327,7 @@ Status GameShardAdapter::SubmitTickToEngine() {
       fleet_->ApplyUpdate(z, update.cell, update.value);
     }
     game_updates_ += sinks_[z]->updates.size();
+    EmitZoneSimState(z, /*full=*/false);
   }
   return fleet_->EndTick();
 }

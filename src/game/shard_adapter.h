@@ -36,6 +36,18 @@
 // effects are applied before the zones fork); the engines are passive
 // observers of the deltas. World::StateDigest() therefore turns recovery
 // correctness into an exact 64-bit equality check.
+//
+// Simulation-state rows: each zone's partition carries, past the unit
+// rows, a few SYSTEM rows serializing the world's simulation bookkeeping
+// -- RNG state, world tick, active set, and the zone's last-tick kill
+// tally (see the cell map in shard_adapter.cc). They ride the normal
+// update/log/checkpoint path (bulk load writes them all; each tick
+// re-writes the RNG/tick/kills cells plus only the rotated active slots),
+// so OpenResumed can put a recovered fleet back INTO the battle: the
+// resumed worlds continue the same pseudo-random sequence, the same
+// active set, and the same cross-zone morale pipeline, bit-identically to
+// the uncrashed run. Digest oracles are unaffected: ZoneDigest and
+// TableStateDigest read only the unit rows.
 #ifndef TICKPOINT_GAME_SHARD_ADAPTER_H_
 #define TICKPOINT_GAME_SHARD_ADAPTER_H_
 
@@ -79,6 +91,19 @@ class GameShardAdapter {
   /// the K zone worlds.
   static StatusOr<std::unique_ptr<GameShardAdapter>> Open(
       const GameShardAdapterConfig& config);
+
+  /// Re-enters the battle from a recovered fleet (Fleet::Recover or
+  /// RecoverToCut output): rebuilds each zone world's unit table from its
+  /// recovered partition, restores the simulation bookkeeping from the
+  /// system rows, resumes the fleet, and continues ticking where the
+  /// crashed incarnation stopped -- bit-identically to an uncrashed run
+  /// (the resume-mid-battle regression in fleet_resume_test pins this).
+  /// `config` must match the recovered fleet's zone shape
+  /// (InvalidArgument); FailedPrecondition when the fleet never finished
+  /// its bulk-load tick; Corruption when the system rows are inconsistent
+  /// with the recovered tick.
+  static StatusOr<std::unique_ptr<GameShardAdapter>> OpenResumed(
+      const GameShardAdapterConfig& config, RecoveredFleet recovered);
 
   ~GameShardAdapter();
 
@@ -126,7 +151,9 @@ class GameShardAdapter {
   /// recovery of this fleet's directory must be run with.
   const GameShardAdapterConfig& config() const { return config_; }
 
-  /// The per-shard state layout of one zone (num_units x 13 attributes).
+  /// The per-shard state layout of one zone: num_units unit rows (13
+  /// attributes each) plus the system rows holding the serialized
+  /// simulation state (see the header comment).
   static StateLayout ZoneLayout(const WorldConfig& zone_world);
 
   /// Deterministic per-zone seed derived from the fleet seed. Zone 0 of a
@@ -155,6 +182,10 @@ class GameShardAdapter {
   void StepWorldTick();
   /// Mails each zone's captured delta to its shard as one fleet tick.
   Status SubmitTickToEngine();
+  /// Writes zone z's simulation-state cells into the open fleet tick:
+  /// everything when `full` (bulk load), otherwise the per-tick delta
+  /// (RNG, tick, kills, rotated active slots only).
+  void EmitZoneSimState(uint32_t z, bool full);
 
   GameShardAdapterConfig config_;
   std::vector<std::unique_ptr<World>> zones_;

@@ -20,9 +20,7 @@ World::World(const WorldConfig& config)
   SpawnUnits();
 
   // Initial active set: uniformly sampled without replacement.
-  const uint32_t target = std::max<uint32_t>(
-      1, static_cast<uint32_t>(config_.active_fraction *
-                               static_cast<double>(config_.num_units)));
+  const uint32_t target = ActiveTarget(config_);
   while (active_.size() < target) {
     const UnitId u =
         static_cast<UnitId>(rng_.Uniform(config_.num_units));
@@ -77,10 +75,18 @@ void World::SpawnUnits() {
   }
 }
 
+uint32_t World::ActiveTarget(const WorldConfig& config) {
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(config.active_fraction *
+                               static_cast<double>(config.num_units)));
+}
+
 void World::RotateActiveSet() {
   // Each active unit leaves with rotation_probability; a fresh inactive unit
   // takes its slot, keeping the active population constant.
-  for (UnitId& slot : active_) {
+  rotated_slots_.clear();
+  for (uint32_t s = 0; s < active_.size(); ++s) {
+    UnitId& slot = active_[s];
     if (!rng_.Chance(config_.rotation_probability)) continue;
     const UnitId leaving = slot;
     UnitId joining;
@@ -93,7 +99,23 @@ void World::RotateActiveSet() {
     units_.Set(joining, kAttrState, static_cast<int32_t>(UnitState::kIdle));
     units_.Set(joining, kAttrTarget, static_cast<int32_t>(kNoUnit));
     slot = joining;
+    rotated_slots_.push_back(s);
   }
+}
+
+void World::RestoreSimState(const uint64_t rng_state[4], int32_t tick,
+                            std::vector<UnitId> active) {
+  TP_CHECK(active.size() == ActiveTarget(config_));
+  rng_.RestoreState(rng_state);
+  tick_ = tick;
+  active_ = std::move(active);
+  std::fill(is_active_.begin(), is_active_.end(), 0);
+  for (UnitId u : active_) {
+    TP_CHECK(u < config_.num_units);
+    TP_CHECK(!is_active_[u]);  // distinctness
+    is_active_[u] = 1;
+  }
+  rotated_slots_.clear();
 }
 
 void World::RespawnDead() {

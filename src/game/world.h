@@ -59,6 +59,36 @@ class World {
   const UnitTable& units() const { return units_; }
   const std::vector<UnitId>& active_units() const { return active_; }
 
+  /// Size of the active set under `config` -- constant for a world's whole
+  /// lifetime (rotation swaps members, never the count). Single owner of
+  /// the formula; the shard adapter sizes its sim-state rows with it.
+  static uint32_t ActiveTarget(const WorldConfig& config);
+
+  // ---- Simulation-state capture/restore (checkpointed resume) ----
+  //
+  // The unit table flows through the engine's normal update/checkpoint
+  // path, but a resumed battle is only BIT-IDENTICAL to the uncrashed one
+  // if the simulation bookkeeping -- the RNG, the active set, and the tick
+  // counter -- comes back too (a reseeded RNG or resampled active set
+  // diverges on the first post-resume rotation). The shard adapter
+  // serializes these through "system rows" past the unit rows.
+
+  /// Copies the RNG's raw state out (see Rng::SaveState).
+  void GetRngState(uint64_t out[4]) const { rng_.SaveState(out); }
+
+  /// Active-set slots RotateActiveSet changed during the last Tick() (slot
+  /// index, not unit id): the per-tick delta the adapter serializes
+  /// instead of re-emitting the whole active set each tick.
+  const std::vector<uint32_t>& rotated_slots() const { return rotated_slots_; }
+
+  /// Restores the simulation bookkeeping captured from a previous
+  /// incarnation: RNG state, tick counter, and the active set (slot order
+  /// matters -- rotation iterates slots in order). The caller has already
+  /// restored the unit table via SetRaw. `active` must hold
+  /// ActiveTarget(config()) distinct in-range units.
+  void RestoreSimState(const uint64_t rng_state[4], int32_t tick,
+                       std::vector<UnitId> active);
+
   /// Installs an update sink receiving every attribute write (see
   /// UnitTable::Set).
   void set_sink(UpdateSink* sink) { units_.set_sink(sink); }
@@ -87,6 +117,8 @@ class World {
   int32_t tick_ = 0;
   std::vector<UnitId> active_;
   std::vector<uint8_t> is_active_;
+  /// Slots rotated during the last Tick() (see rotated_slots()).
+  std::vector<uint32_t> rotated_slots_;
   int32_t base_x_[2];
   int32_t base_y_[2];
 };

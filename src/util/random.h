@@ -66,6 +66,18 @@ class Rng {
   /// Bernoulli trial with probability p of returning true.
   bool Chance(double p) { return NextDouble() < p; }
 
+  /// Copies the raw generator state out (checkpoint/resume: a restored
+  /// generator continues the SAME sequence, unlike Reseed which restarts
+  /// it).
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Restores state captured by SaveState.
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -17,6 +17,7 @@
 #include "engine/recovery.h"
 #include "engine/sharded_engine.h"
 #include "fleet_test_util.h"
+#include "game/shard_adapter.h"
 
 namespace tickpoint {
 namespace {
@@ -460,6 +461,112 @@ TEST_F(FleetResumeTest, ResumeRetiresThePreCrashCutManifest) {
   for (uint32_t i = 0; i < 2; ++i) {
     EXPECT_TRUE(after_or->tables()[i].ContentEquals(reference[i]))
         << "shard " << i;
+  }
+}
+
+// ---- Game-level resume: the same battle, bit for bit ----
+
+TEST_F(FleetResumeTest, ResumedBattleContinuesBitIdentically) {
+  // The regression this pins: resuming a zone used to rebuild the unit
+  // table but RESEED the world's RNG and resample its active set, so the
+  // resumed battle silently diverged from the uncrashed one on the first
+  // post-resume rotation. The World now serializes its RNG, active-set,
+  // and tick bookkeeping through the partition's system rows, so a
+  // crash + Fleet::Recover + GameShardAdapter::OpenResumed continues the
+  // SAME battle: after M more ticks, every zone digest must equal the
+  // golden (never-crashed) run at the same world tick -- including the
+  // cross-zone morale pipeline, whose kill tally also rides the system
+  // rows.
+  game::GameShardAdapterConfig config;
+  config.zone_world.num_units = 64;
+  config.zone_world.map_size = 256;
+  config.zone_world.bucket_shift = 5;
+  config.zone_world.spawn_radius = 100;
+  config.zone_world.seed = 4321;
+  config.engine = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  constexpr uint64_t kCrashTicks = 9;  // engine ticks before the crash
+  constexpr uint64_t kMoreTicks = 7;   // engine ticks after the resume
+  const auto golden = game::GameShardAdapter::GoldenZoneDigests(
+      config, kCrashTicks - 1 + kMoreTicks);
+
+  {
+    auto adapter_or = game::GameShardAdapter::Open(config);
+    ASSERT_TRUE(adapter_or.ok()) << adapter_or.status().ToString();
+    ASSERT_TRUE(adapter_or.value()->RunTicks(kCrashTicks).ok());
+    for (uint32_t z = 0; z < 2; ++z) {
+      ASSERT_EQ(adapter_or.value()->ZoneDigest(z), golden[kCrashTicks - 1][z])
+          << "pre-crash zone " << z << " already off the golden timeline";
+    }
+    ASSERT_TRUE(adapter_or.value()->fleet()->SimulateCrash().ok());
+  }
+
+  auto recovered_or = Fleet::Recover(config.engine.shard.dir);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  ASSERT_EQ(recovered_or->resume_tick(), kCrashTicks);
+  auto resumed_or = game::GameShardAdapter::OpenResumed(
+      config, std::move(recovered_or).value());
+  ASSERT_TRUE(resumed_or.ok()) << resumed_or.status().ToString();
+  game::GameShardAdapter& resumed = *resumed_or.value();
+  EXPECT_EQ(resumed.engine_ticks(), kCrashTicks);
+  EXPECT_EQ(resumed.world_ticks(), kCrashTicks - 1);
+  for (uint32_t z = 0; z < 2; ++z) {
+    EXPECT_EQ(resumed.ZoneDigest(z), golden[kCrashTicks - 1][z])
+        << "resumed zone " << z << " does not match the crash point";
+  }
+  ASSERT_TRUE(resumed.RunTicks(kMoreTicks).ok());
+  for (uint32_t z = 0; z < 2; ++z) {
+    EXPECT_EQ(resumed.ZoneDigest(z), golden[kCrashTicks - 1 + kMoreTicks][z])
+        << "zone " << z << " diverged after the resume: the battle did not "
+           "continue bit-identically";
+  }
+  // The resumed fleet's durability is intact too: crash again and the
+  // recovered tables digest-match the live (golden) worlds.
+  ASSERT_TRUE(resumed.fleet()->SimulateCrash().ok());
+  auto again_or = Fleet::Recover(config.engine.shard.dir);
+  ASSERT_TRUE(again_or.ok()) << again_or.status().ToString();
+  ASSERT_EQ(again_or->resume_tick(), kCrashTicks + kMoreTicks);
+  for (uint32_t z = 0; z < 2; ++z) {
+    EXPECT_EQ(game::TableStateDigest(again_or->tables()[z],
+                                     config.zone_world.num_units),
+              golden[kCrashTicks - 1 + kMoreTicks][z])
+        << "zone " << z;
+  }
+}
+
+TEST_F(FleetResumeTest, GameResumeValidatesShapeAndSystemRows) {
+  game::GameShardAdapterConfig config;
+  config.zone_world.num_units = 64;
+  config.zone_world.map_size = 256;
+  config.zone_world.bucket_shift = 5;
+  config.zone_world.spawn_radius = 100;
+  config.zone_world.seed = 99;
+  config.engine = Config(AlgorithmKind::kCopyOnUpdate, 2);
+  {
+    auto adapter_or = game::GameShardAdapter::Open(config);
+    ASSERT_TRUE(adapter_or.ok()) << adapter_or.status().ToString();
+    ASSERT_TRUE(adapter_or.value()->RunTicks(5).ok());
+    ASSERT_TRUE(adapter_or.value()->fleet()->SimulateCrash().ok());
+  }
+  {
+    // A different zone shape must be refused, not silently misread.
+    auto recovered_or = Fleet::Recover(config.engine.shard.dir);
+    ASSERT_TRUE(recovered_or.ok());
+    game::GameShardAdapterConfig wrong = config;
+    wrong.zone_world.num_units = 128;
+    auto resumed_or = game::GameShardAdapter::OpenResumed(
+        wrong, std::move(recovered_or).value());
+    EXPECT_EQ(resumed_or.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Clobbered system rows surface as Corruption (here: the recovered
+    // world-tick cell disagrees with the recovery tick).
+    auto recovered_or = Fleet::Recover(config.engine.shard.dir);
+    ASSERT_TRUE(recovered_or.ok());
+    const uint32_t base = config.zone_world.num_units * game::kNumAttributes;
+    recovered_or->tables()[0].WriteCell(base + 8, 1000);  // world-tick cell
+    auto resumed_or = game::GameShardAdapter::OpenResumed(
+        config, std::move(recovered_or).value());
+    EXPECT_EQ(resumed_or.status().code(), StatusCode::kCorruption);
   }
 }
 
