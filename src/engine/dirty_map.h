@@ -38,6 +38,10 @@ class AtomicBitMap {
     TP_DCHECK(i < size_);
     words_[i >> 6].fetch_or(uint64_t{1} << (i & 63),
                             std::memory_order_release);
+    // Cumulative mark traffic, NOT the live popcount: checkpoints clear
+    // bits but never rewind this counter, so consecutive readings give a
+    // per-window dirty RATE (the load signal the rebalancer consumes).
+    marks_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Atomically sets bit i; returns its previous value.
@@ -82,9 +86,17 @@ class AtomicBitMap {
     return count;
   }
 
+  /// Total Set() calls over this map's lifetime (monotonic; Clear/ClearAll/
+  /// ExchangeInto never rewind it). Relaxed: a rate signal, not a fence --
+  /// safe to poll from any thread while the owner keeps marking.
+  uint64_t CumulativeMarks() const {
+    return marks_.load(std::memory_order_relaxed);
+  }
+
  private:
   uint64_t size_;
   std::vector<std::atomic<uint64_t>> words_;
+  std::atomic<uint64_t> marks_{0};
 };
 
 /// One spinlock per atomic object (byte-sized test-and-set).

@@ -230,6 +230,15 @@ class Engine {
   uint64_t current_tick() const { return tick_; }
   bool checkpoint_in_flight() const { return active_job_.has_value(); }
 
+  /// Monotonic count of dirty marks (AtomicBitMap::Set calls) since open.
+  /// Checkpoints clear bits but never rewind this, so the delta between two
+  /// readings is the partition's write RATE over that window -- the load
+  /// signal the fleet rebalancer ranks partitions by. Safe to read from any
+  /// thread while the mutator keeps marking (relaxed atomic underneath).
+  uint64_t CumulativeDirtyMarks() const {
+    return dirty_[0].CumulativeMarks();
+  }
+
   /// Path of the logical log under `dir`.
   static std::string LogicalLogPath(const std::string& dir);
 

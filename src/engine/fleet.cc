@@ -78,6 +78,24 @@ StatusOr<RecoveredFleet> Fleet::Recover(const std::string& root) {
   return recovered;
 }
 
+Status Fleet::EndTick() {
+  TP_RETURN_NOT_OK(engine_->EndTick());
+  if (rebalancer_ != nullptr) {
+    return rebalancer_->OnTickBoundary(engine_.get());
+  }
+  return Status::OK();
+}
+
+Status Fleet::EnableAutoRebalance(const RebalancePolicy& policy) {
+  if (!policy.Valid()) {
+    return Status::InvalidArgument(
+        "invalid RebalancePolicy (imbalance_ratio must exceed 1, "
+        "hysteresis_ticks must be positive, ewma_alpha in (0, 1])");
+  }
+  rebalancer_ = std::make_unique<Rebalancer>(policy);
+  return Status::OK();
+}
+
 StatusOr<RecoveredFleet> Fleet::RecoverToCut(const std::string& root) {
   RecoveredFleet recovered;
   recovered.root_ = root;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "engine/fleet_manifest.h"
+#include "engine/rebalancer.h"
 #include "engine/recovery.h"
 #include "engine/sharded_engine.h"
 #include "engine/state_table.h"
@@ -112,17 +113,35 @@ class Fleet {
   void ApplyUpdate(uint32_t partition, uint32_t cell, int32_t value) {
     engine_->ApplyUpdate(partition, cell, value);
   }
-  Status EndTick() { return engine_->EndTick(); }
+  /// Ends the fleet tick, then -- when auto-rebalance is enabled -- runs
+  /// one Rebalancer evaluation step at the boundary (detect, cut,
+  /// commit+migrate; see rebalancer.h). Rebalancer protocol errors
+  /// propagate exactly like shard errors.
+  Status EndTick();
   Status WaitForIdle() { return engine_->WaitForIdle(); }
   StatusOr<uint64_t> RequestConsistentCut() {
     return engine_->RequestConsistentCut();
   }
   Status CommitConsistentCut() { return engine_->CommitConsistentCut(); }
-  Status MigratePartition(uint32_t partition, uint32_t to_slot) {
-    return engine_->MigratePartition(partition, to_slot);
+  Status MigratePartition(uint32_t partition, uint32_t to_slot,
+                          const std::string& mount_root = "") {
+    return engine_->MigratePartition(partition, to_slot, mount_root);
   }
   Status Shutdown() { return engine_->Shutdown(); }
   Status SimulateCrash() { return engine_->SimulateCrash(); }
+
+  // ---- Load-driven auto-rebalancing (see rebalancer.h) ----
+
+  /// Installs `policy` and evaluates it at every subsequent EndTick
+  /// boundary. Replaces (and resets the learning state of) any previous
+  /// policy. InvalidArgument for invalid knobs.
+  Status EnableAutoRebalance(const RebalancePolicy& policy);
+  /// Stops evaluating; an armed rebalancer cut is left for the caller to
+  /// commit or abandon (it shows in cut_in_flight()).
+  void DisableAutoRebalance() { rebalancer_.reset(); }
+  /// The active rebalancer, or nullptr when auto-rebalance is off.
+  Rebalancer* rebalancer() { return rebalancer_.get(); }
+  const Rebalancer* rebalancer() const { return rebalancer_.get(); }
 
   // ---- Hot failover (see ShardedEngine::SimulateShardCrash/FailoverShard;
   // the replication topology lives in the manifest, so failover keeps
@@ -160,6 +179,8 @@ class Fleet {
 
   std::string root_;
   std::unique_ptr<ShardedEngine> engine_;
+  /// Present while auto-rebalance is enabled; evaluated from EndTick.
+  std::unique_ptr<Rebalancer> rebalancer_;
 };
 
 }  // namespace tickpoint

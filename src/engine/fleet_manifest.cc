@@ -16,10 +16,15 @@ constexpr uint64_t kFleetMagic = 0x544B5054464C5431ULL;  // "TKPTFLT1"
 // v2 (replication era): the 16-byte extension below plus a replica_peer
 // u32 per partition after the assignment. v1 files (no extension, no
 // peers) still read back, with replication off.
-constexpr uint32_t kFleetVersion = 2;
+// v3 (rebalancing era): a length-prefixed mount-root string per partition
+// after the peers, so a migrated partition can live on a different disk.
+// v1/v2 files read back with every partition under the fleet root.
+constexpr uint32_t kFleetVersion = 3;
 /// Defensive bound on K when reading untrusted bytes: a corrupt
 /// num_partitions must not drive a multi-gigabyte allocation.
 constexpr uint32_t kMaxPartitions = 65536;
+/// Defensive bound on one mount-root path when reading untrusted bytes.
+constexpr uint32_t kMaxMountRootBytes = 4096;
 
 /// The fixed-size half of the on-disk format. Field order is chosen so the
 /// struct has no padding holes (static_assert below): the CRC covers raw
@@ -113,6 +118,17 @@ Status ValidateManifest(const FleetManifest& manifest,
       }
     }
   }
+  if (!manifest.mount_root.empty() &&
+      manifest.mount_root.size() != manifest.num_partitions) {
+    return Status::Corruption("fleet manifest " + path +
+                              " mount_root size mismatch");
+  }
+  for (const std::string& mount : manifest.mount_root) {
+    if (mount.size() > kMaxMountRootBytes) {
+      return Status::Corruption("fleet manifest " + path +
+                                " records an implausibly long mount root");
+    }
+  }
   return Status::OK();
 }
 
@@ -121,7 +137,14 @@ Status ValidateManifest(const FleetManifest& manifest,
 std::string FleetManifest::PartitionDir(const std::string& root,
                                         uint32_t partition) const {
   TP_CHECK(partition < assignment.size());
-  return paths::ShardDir(root, assignment[partition]);
+  return paths::SlotDir(root, MountRootOf(partition), assignment[partition]);
+}
+
+std::string FleetManifest::MountRootOf(uint32_t partition) const {
+  TP_CHECK(partition < assignment.size());
+  if (mount_root.empty()) return "";
+  TP_CHECK(mount_root.size() == assignment.size());
+  return mount_root[partition];
 }
 
 bool FleetManifest::IsIdentityAssignment() const {
@@ -188,6 +211,23 @@ Status WriteFleetManifest(const std::string& root,
       TP_RETURN_NOT_OK(writer.Append(&peer, sizeof(peer)));
       crc = Crc32(&peer, sizeof(peer), crc);
     }
+    // v3: one length-prefixed mount-root string per partition. An empty
+    // manifest vector writes num_partitions empty strings, so the record
+    // shape never depends on whether any override is actually set.
+    TP_CHECK(manifest.mount_root.empty() ||
+             manifest.mount_root.size() == manifest.num_partitions);
+    for (uint32_t p = 0; p < manifest.num_partitions; ++p) {
+      const std::string mount =
+          manifest.mount_root.empty() ? std::string() : manifest.mount_root[p];
+      TP_CHECK(mount.size() <= kMaxMountRootBytes);
+      const uint32_t len = static_cast<uint32_t>(mount.size());
+      TP_RETURN_NOT_OK(writer.Append(&len, sizeof(len)));
+      crc = Crc32(&len, sizeof(len), crc);
+      if (len > 0) {
+        TP_RETURN_NOT_OK(writer.Append(mount.data(), len));
+        crc = Crc32(mount.data(), len, crc);
+      }
+    }
     TP_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
     TP_RETURN_NOT_OK(fsync ? writer.Sync() : writer.Flush());
     TP_RETURN_NOT_OK(writer.Close());
@@ -241,11 +281,16 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
                               std::to_string(header.num_partitions));
   }
   // v1: header + assignment + CRC. v2 adds the 16-byte extension and one
-  // replica_peer u32 per partition.
+  // replica_peer u32 per partition. v3 adds one length-prefixed mount-root
+  // string per partition (variable length; `expected` counts the length
+  // words only, the minimum, and ReadExact catches a body truncated
+  // mid-string).
   const bool v2 = header.version >= 2;
+  const bool v3 = header.version >= 3;
   const uint64_t expected =
       sizeof(header) + (v2 ? sizeof(ManifestHeaderV2Ext) : 0) +
-      header.num_partitions * sizeof(uint32_t) * (v2 ? 2 : 1) +
+      header.num_partitions * sizeof(uint32_t) *
+          ((v2 ? 2 : 1) + (v3 ? 1 : 0)) +
       sizeof(uint32_t);
   if (size < expected) {
     return Status::Corruption("fleet manifest " + path + " is truncated");
@@ -293,6 +338,26 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
     // defaults say depth 32, but nothing consumes it while !replicate).
     manifest.replicate = false;
     manifest.replica_peer.clear();
+  }
+  if (v3) {
+    manifest.mount_root.resize(header.num_partitions);
+    for (std::string& mount : manifest.mount_root) {
+      uint32_t len = 0;
+      TP_RETURN_NOT_OK(reader.ReadExact(&len, sizeof(len)));
+      crc = Crc32(&len, sizeof(len), crc);
+      if (len > kMaxMountRootBytes) {
+        return Status::Corruption("fleet manifest " + path +
+                                  " records an implausibly long mount root");
+      }
+      if (len > 0) {
+        mount.resize(len);
+        TP_RETURN_NOT_OK(reader.ReadExact(mount.data(), len));
+        crc = Crc32(mount.data(), len, crc);
+      }
+    }
+  } else {
+    // A pre-rebalancing fleet: every partition lives under the fleet root.
+    manifest.mount_root.clear();
   }
   uint32_t stored;
   TP_RETURN_NOT_OK(reader.ReadExact(&stored, sizeof(stored)));

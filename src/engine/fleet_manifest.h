@@ -70,12 +70,22 @@ struct FleetManifest {
   /// runner hosts partition p's in-memory replica. Resolved (never empty)
   /// in a v2 manifest; meaningful only when `replicate` is set.
   std::vector<uint32_t> replica_peer;
+  /// Per-partition mount-point override (format v3): when mount_root[p] is
+  /// non-empty, partition p's shard directory lives under that path
+  /// instead of the fleet root -- how a migration lands on a different
+  /// disk. Either empty (every partition under the fleet root; what v1/v2
+  /// files read back as) or exactly num_partitions entries.
+  std::vector<std::string> mount_root;
   // Conversions to/from ShardedEngineConfig live in sharded_engine.h
   // (ManifestFromConfig / ConfigFromManifest) to keep this header free of
   // the engine headers.
 
-  /// Shard directory of partition `p` under `root` per the assignment.
+  /// Shard directory of partition `p` per the assignment, honouring the
+  /// partition's mount-root override when one is recorded.
   std::string PartitionDir(const std::string& root, uint32_t partition) const;
+
+  /// mount_root[p], or "" when no overrides are recorded.
+  std::string MountRootOf(uint32_t partition) const;
 
   /// True when assignment[p] == p for all partitions (a fleet the
   /// deprecated config-supplying free functions can still recover).

@@ -18,6 +18,16 @@ inline std::string ShardDir(const std::string& root, uint32_t slot) {
   return root + "/shard-" + std::to_string(slot);
 }
 
+/// Checkpoint/log directory of shard slot `slot`, honouring an optional
+/// mount-point override: an empty `mount` keeps the slot under the fleet
+/// root, a non-empty one relocates the whole shard directory to that path
+/// (a different disk). The manifest records the override per partition, so
+/// the writer and every post-crash scanner resolve the same directory.
+inline std::string SlotDir(const std::string& root, const std::string& mount,
+                           uint32_t slot) {
+  return ShardDir(mount.empty() ? root : mount, slot);
+}
+
 /// True if the bare directory name `name` is a shard slot ("shard-N"),
 /// storing N in *slot.
 inline bool ParseShardDirName(const std::string& name, uint32_t* slot) {

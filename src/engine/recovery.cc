@@ -120,18 +120,18 @@ void AccumulateShard(const RecoveryResult& shard_result, uint32_t shard,
   result->shards.push_back(shard_result);
 }
 
-/// Shared per-partition crash-recovery loop: partition p restores from the
-/// shard directory `assignment[p]` names.
+/// Shared per-partition crash-recovery loop: partition p restores from
+/// `dirs[p]` (the manifest's assignment- and mount-resolved directory).
 StatusOr<ShardedRecoveryResult> RecoverPartitionsImpl(
-    const ShardedEngineConfig& config,
-    const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
+    const ShardedEngineConfig& config, const std::vector<std::string>& dirs,
+    std::vector<StateTable>* out) {
   ShardedRecoveryResult result;
   result.shards.reserve(config.num_shards);
   out->clear();
   out->reserve(config.num_shards);
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir = paths::ShardDir(config.shard.dir, assignment[i]);
+    shard_config.dir = dirs[i];
     out->emplace_back(shard_config.layout);
     TP_ASSIGN_OR_RETURN(const RecoveryResult shard_result,
                         Recover(shard_config, &out->back()));
@@ -171,10 +171,10 @@ StatusOr<RecoveryResult> RecoverToTick(const EngineConfig& config,
 
 namespace {
 
-/// Shared cut-recovery body, parameterized by the partition assignment.
+/// Shared cut-recovery body, parameterized by per-partition directories.
 StatusOr<ShardedCutRecoveryResult> RecoverPartitionsToCutImpl(
-    const ShardedEngineConfig& config,
-    const std::vector<uint32_t>& assignment, std::vector<StateTable>* out) {
+    const ShardedEngineConfig& config, const std::vector<std::string>& dirs,
+    std::vector<StateTable>* out) {
   ShardedCutRecoveryResult result;
   auto manifest_or = ReadCutManifest(config.shard.dir);
   if (!manifest_or.ok()) {
@@ -189,7 +189,7 @@ StatusOr<ShardedCutRecoveryResult> RecoverPartitionsToCutImpl(
   }
   if (!manifest_or.ok()) {
     TP_ASSIGN_OR_RETURN(result.fleet,
-                        RecoverPartitionsImpl(config, assignment, out));
+                        RecoverPartitionsImpl(config, dirs, out));
     return result;
   }
   const CutManifest& manifest = manifest_or.value();
@@ -209,7 +209,7 @@ StatusOr<ShardedCutRecoveryResult> RecoverPartitionsToCutImpl(
   out->reserve(config.num_shards);
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir = paths::ShardDir(config.shard.dir, assignment[i]);
+    shard_config.dir = dirs[i];
     out->emplace_back(shard_config.layout);
     auto shard_or = RecoverToTick(shard_config, manifest.cut_tick,
                                   &out->back());
@@ -222,7 +222,7 @@ StatusOr<ShardedCutRecoveryResult> RecoverPartitionsToCutImpl(
         // treatment as a torn manifest: per-shard exact fallback
         // (clears and refills `out`).
         ShardedCutRecoveryResult fallback;
-        auto fallback_or = RecoverPartitionsImpl(config, assignment, out);
+        auto fallback_or = RecoverPartitionsImpl(config, dirs, out);
         if (!fallback_or.ok()) return fallback_or.status();
         fallback.fleet = std::move(fallback_or).value();
         return fallback;
@@ -255,6 +255,17 @@ StatusOr<FleetManifest> ReadManifestForRecovery(const std::string& root) {
   return manifest;
 }
 
+/// Assignment- and mount-resolved directory of every partition.
+std::vector<std::string> PartitionDirs(const FleetManifest& manifest,
+                                       const std::string& root) {
+  std::vector<std::string> dirs;
+  dirs.reserve(manifest.num_partitions);
+  for (uint32_t p = 0; p < manifest.num_partitions; ++p) {
+    dirs.push_back(manifest.PartitionDir(root, p));
+  }
+  return dirs;
+}
+
 }  // namespace
 
 StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
@@ -263,8 +274,9 @@ StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
   TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
   const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
                                                         root);
-  auto fleet_or = RecoverPartitionsImpl(config, outcome.manifest.assignment,
-                                     out);
+  auto fleet_or =
+      RecoverPartitionsImpl(config, PartitionDirs(outcome.manifest, root),
+                            out);
   if (!fleet_or.ok()) return fleet_or.status();
   outcome.result.fleet = std::move(fleet_or).value();
   return outcome;
@@ -276,8 +288,8 @@ StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(
   TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
   const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
                                                         root);
-  auto cut_or = RecoverPartitionsToCutImpl(config, outcome.manifest.assignment,
-                                        out);
+  auto cut_or = RecoverPartitionsToCutImpl(
+      config, PartitionDirs(outcome.manifest, root), out);
   if (!cut_or.ok()) return cut_or.status();
   outcome.result = std::move(cut_or).value();
   return outcome;

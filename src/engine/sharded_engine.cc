@@ -235,8 +235,10 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
   sharded->pending_.resize(config.num_shards);
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     EngineConfig shard_config = config.shard;
-    shard_config.dir =
-        ShardDir(config.shard.dir, sharded->manifest_.assignment[i]);
+    // The manifest, not slot arithmetic, resolves each partition's
+    // directory: a migrated partition may live on a different slot AND a
+    // different mount root.
+    shard_config.dir = sharded->manifest_.PartitionDir(config.shard.dir, i);
     shard_config.manual_checkpoints = true;
     StatusOr<std::unique_ptr<Engine>> engine_or =
         initial == nullptr
@@ -506,7 +508,8 @@ Status ShardedEngine::CommitConsistentCut() {
   return Status::OK();
 }
 
-Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
+Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot,
+                                       const std::string& mount_root) {
   TP_CHECK(!in_tick_ && !shut_down_);
   if (failed_) return first_error_;
   if (crashed_count_ > 0) {
@@ -548,6 +551,10 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   const auto move_start = std::chrono::steady_clock::now();
   TP_RETURN_NOT_OK(WaitForIdle());
   const uint32_t from_slot = manifest_.assignment[partition];
+  // Resolve the SOURCE directory under the old topology, before the
+  // manifest below replaces the partition's slot and mount entries.
+  const std::string from_dir =
+      manifest_.PartitionDir(config_.shard.dir, partition);
   // Fallible work first, destructive work last: until the new epoch's
   // manifest commits, nothing the old topology needs is touched, so any
   // error below (or a crash) leaves the fleet recoverable under epoch E --
@@ -561,8 +568,13 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   std::memcpy(moved.mutable_data(),
               runners_[partition]->engine().state().data(),
               moved.buffer_bytes());
+  if (!mount_root.empty()) {
+    // A cross-disk landing: the mount point itself must exist (and be
+    // writable) before the destination engine bootstraps under it.
+    TP_RETURN_NOT_OK(EnsureDirectory(mount_root));
+  }
   EngineConfig dest_config = config_.shard;
-  dest_config.dir = ShardDir(config_.shard.dir, to_slot);
+  dest_config.dir = paths::SlotDir(config_.shard.dir, mount_root, to_slot);
   dest_config.manual_checkpoints = true;
   TP_ASSIGN_OR_RETURN(auto dest_engine,
                       Engine::OpenResumed(dest_config, moved, tick_));
@@ -571,6 +583,12 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   FleetManifest next = manifest_;
   next.epoch = manifest_.epoch + 1;
   next.assignment[partition] = to_slot;
+  if (!mount_root.empty() || !next.mount_root.empty()) {
+    if (next.mount_root.empty()) {
+      next.mount_root.resize(next.num_partitions);
+    }
+    next.mount_root[partition] = mount_root;
+  }
   TP_RETURN_NOT_OK(
       WriteFleetManifest(config_.shard.dir, next, config_.shard.fsync));
   // The committed cut manifest stays: the destination bootstrap IS the
@@ -584,6 +602,11 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   runners_[partition]->Stop();
   const Status source_shutdown = runners_[partition]->engine().Shutdown();
   runners_[partition] = MakeRunner(partition, std::move(dest_engine));
+  // The scheduler's learned write-time EWMAs describe the OLD slot's disk;
+  // zero them (and release any reservation the swallowed in-flight
+  // checkpoint held) so the adaptive plan re-learns the new placement
+  // instead of planning around stale estimates.
+  scheduler_.ResetShard(partition, tick_);
   if (config_.replicate) {
     // The swap destroyed the replicas the old runner hosted; re-host them
     // on the new runner, re-anchored at the quiesced current tick (their
@@ -595,6 +618,19 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
                                                     config_.replica_depth);
       buffer->Anchor(runners_[r]->engine().state(), tick_);
       runners_[partition]->HostReplica(std::move(buffer));
+    }
+    // And re-anchor the migrated partition's OWN replica on its peer host:
+    // the topology is partition-indexed so the peer designation survives
+    // the move, but re-anchoring at the quiesced post-move state clears
+    // any fold/torn debris in the ring, so a failover right after an
+    // automated rebalance rebuilds from a clean base (the
+    // failover-after-rebalance digest test pins this).
+    const uint32_t host = manifest_.replica_peer[partition];
+    if (host != partition) {
+      ReplicaBuffer* buffer = runners_[host]->replica(partition);
+      if (buffer != nullptr) {
+        buffer->Anchor(runners_[partition]->engine().state(), tick_);
+      }
     }
   }
   last_migration_report_.partition = partition;
@@ -619,7 +655,7 @@ Status ShardedEngine::MigratePartition(uint32_t partition, uint32_t to_slot) {
   // a cleanup hiccup would misreport its outcome.
   (void)RetireFleetManifestsBefore(config_.shard.dir, manifest_.epoch);
   std::error_code ec;
-  std::filesystem::remove_all(ShardDir(config_.shard.dir, from_slot), ec);
+  std::filesystem::remove_all(from_dir, ec);
   return Status::OK();
 }
 
@@ -728,6 +764,11 @@ Status ShardedEngine::FailoverShard(uint32_t partition) {
                                       std::to_string(partition) +
                                       " which is not crashed");
   }
+  // A fresh attempt invalidates the previous failover's report NOW, not at
+  // success: an error return below (wrong-tick disk recovery, open
+  // failure) must never leave a stale used_peer_memory=true / timing
+  // record visible to callers inspecting the failed attempt.
+  last_failover_report_ = FailoverReport{};
   FailoverReport report;
   report.partition = partition;
   report.rebuilt_ticks = tick_;
@@ -750,8 +791,7 @@ Status ShardedEngine::FailoverShard(uint32_t partition) {
   }
   if (!from_peer) {
     EngineConfig shard_config = config_.shard;
-    shard_config.dir =
-        ShardDir(config_.shard.dir, manifest_.assignment[partition]);
+    shard_config.dir = manifest_.PartitionDir(config_.shard.dir, partition);
     shard_config.manual_checkpoints = true;
     TP_ASSIGN_OR_RETURN(const RecoveryResult recovered,
                         Recover(shard_config, &table));
@@ -775,8 +815,7 @@ Status ShardedEngine::FailoverShard(uint32_t partition) {
   // leaves the fleet exactly as FailoverShard found it, retryable.
   const auto resume_start = std::chrono::steady_clock::now();
   EngineConfig shard_config = config_.shard;
-  shard_config.dir =
-      ShardDir(config_.shard.dir, manifest_.assignment[partition]);
+  shard_config.dir = manifest_.PartitionDir(config_.shard.dir, partition);
   shard_config.manual_checkpoints = true;
   TP_ASSIGN_OR_RETURN(auto engine,
                       Engine::OpenResumed(shard_config, table, tick_));

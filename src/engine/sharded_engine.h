@@ -247,7 +247,13 @@ class ShardedEngine {
   /// Errors: FailedPrecondition when no cut committed at current_tick()-1
   /// or a cut is still in flight; InvalidArgument for an unknown partition
   /// or an occupied destination slot.
-  Status MigratePartition(uint32_t partition, uint32_t to_slot);
+  ///
+  /// A non-empty `mount_root` relocates the destination slot's directory
+  /// under that path instead of the fleet root (a different disk); the v3
+  /// manifest records the override per partition, so recovery and every
+  /// later reopen resolve the same directory.
+  Status MigratePartition(uint32_t partition, uint32_t to_slot,
+                          const std::string& mount_root = "");
 
   /// Timing/shape of the last committed migration.
   const MigrationReport& last_migration_report() const {
@@ -312,6 +318,16 @@ class ShardedEngine {
   ReplicaBuffer* replica_buffer(uint32_t p) {
     return config_.replicate ? runners_[manifest_.replica_peer[p]]->replica(p)
                              : nullptr;
+  }
+
+  /// Partition `p`'s cumulative dirty-mark count (every dirty-bit Set its
+  /// engine ever performed). Monotonic across checkpoints; the delta
+  /// between two readings is the partition's write rate over that window
+  /// -- the rebalancer's load signal. Relaxed-atomic underneath, so safe
+  /// to poll from the facade thread while the runner keeps ticking; resets
+  /// to 0 when the partition's engine is replaced (migration, failover).
+  uint64_t PartitionDirtyMarks(uint32_t p) const {
+    return runners_[p]->engine().CumulativeDirtyMarks();
   }
 
   const ShardedEngineConfig& config() const { return config_; }

@@ -105,6 +105,24 @@ void StaggerScheduler::RealignAfterCut(uint64_t cut_tick) {
   }
 }
 
+void StaggerScheduler::ResetShard(uint32_t shard, uint64_t tick) {
+  if (!config_.adaptive) return;
+  TP_DCHECK(shard < config_.num_shards);
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardPlan& plan = plans_[shard];
+  if (plan.inflight) {
+    // The migrated engine's in-flight checkpoint died with the old slot;
+    // nobody will report its end, so release the reservation here or the
+    // budget slot leaks forever.
+    plan.inflight = false;
+    TP_DCHECK(inflight_ > 0);
+    --inflight_;
+  }
+  plan.ewma_ticks = 0.0;
+  plan.ewma_seconds = 0.0;
+  plan.next_start = std::max(plan.next_start, tick + 1 + OffsetTicks(shard));
+}
+
 uint64_t StaggerScheduler::EstimateTicksLocked(uint32_t shard) const {
   const ShardPlan& plan = plans_[shard];
   if (plan.ewma_ticks > 0.0) {

@@ -99,6 +99,16 @@ class StaggerScheduler {
   /// schedule resumes by itself. Thread-safe.
   void RealignAfterCut(uint64_t cut_tick);
 
+  /// `shard`'s partition just migrated to a different slot (possibly a
+  /// different disk): the learned write-time EWMAs describe the OLD
+  /// placement, so zero them -- the next plan falls back to the fixed
+  /// period / K slot width until the new slot reports real measurements.
+  /// Also releases any in-flight disk-budget reservation (migration
+  /// swallows an in-flight checkpoint, and its completion will never be
+  /// reported) and pushes next_start past `tick` so the fresh slot is not
+  /// immediately due. Thread-safe; no-op in fixed mode.
+  void ResetShard(uint32_t shard, uint64_t tick);
+
   // ---- Introspection (tests, benches) ----
 
   /// Checkpoints currently holding a disk-budget reservation.

@@ -1,6 +1,7 @@
 #include "game/shard_adapter.h"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -45,6 +46,25 @@ int32_t Hi32(uint64_t word) {
 uint64_t Join64(int32_t lo, int32_t hi) {
   return static_cast<uint64_t>(static_cast<uint32_t>(lo)) |
          (static_cast<uint64_t>(static_cast<uint32_t>(hi)) << 32);
+}
+
+/// Scales in (0, 1] only: a scale above 1 would push a zone's ActiveTarget
+/// past the base config's, which sizes the shared ZoneLayout's sim rows.
+Status ValidateZoneActivity(const GameShardAdapterConfig& config) {
+  if (config.zone_activity.empty()) return Status::OK();
+  if (config.zone_activity.size() != config.engine.num_shards) {
+    return Status::InvalidArgument(
+        "zone_activity has " + std::to_string(config.zone_activity.size()) +
+        " entries for a " + std::to_string(config.engine.num_shards) +
+        "-zone fleet");
+  }
+  for (const double scale : config.zone_activity) {
+    if (!(scale > 0.0 && scale <= 1.0)) {
+      return Status::InvalidArgument(
+          "zone_activity entries must be in (0, 1]");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -96,14 +116,30 @@ uint64_t GameShardAdapter::ZoneSeed(uint64_t fleet_seed, uint32_t zone) {
   return SplitMix64(&state);
 }
 
+std::vector<double> GameShardAdapter::ZipfZoneActivity(uint32_t zones,
+                                                       double skew) {
+  std::vector<double> activity(zones, 1.0);
+  for (uint32_t z = 0; z < zones; ++z) {
+    activity[z] = 1.0 / std::pow(static_cast<double>(z + 1), skew);
+  }
+  return activity;
+}
+
+WorldConfig GameShardAdapter::ZoneWorldConfig(uint32_t z) const {
+  WorldConfig zone_config = config_.zone_world;
+  zone_config.seed = ZoneSeed(config_.zone_world.seed, z);
+  if (!config_.zone_activity.empty()) {
+    zone_config.active_fraction *= config_.zone_activity[z];
+  }
+  return zone_config;
+}
+
 void GameShardAdapter::SpawnZones() {
   const uint32_t zones = config_.engine.num_shards;
   zones_.reserve(zones);
   sinks_.reserve(zones);
   for (uint32_t z = 0; z < zones; ++z) {
-    WorldConfig zone_config = config_.zone_world;
-    zone_config.seed = ZoneSeed(config_.zone_world.seed, z);
-    zones_.push_back(std::make_unique<World>(zone_config));
+    zones_.push_back(std::make_unique<World>(ZoneWorldConfig(z)));
     auto sink = std::make_unique<ZoneSink>();
     sink->units = &zones_.back()->units();
     sinks_.push_back(std::move(sink));
@@ -116,6 +152,7 @@ StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::Open(
     return Status::InvalidArgument(
         "zone_world.num_units must be at least 16 per zone");
   }
+  TP_RETURN_NOT_OK(ValidateZoneActivity(config));
   GameShardAdapterConfig resolved = config;
   resolved.engine.shard.layout = ZoneLayout(config.zone_world);
   std::unique_ptr<GameShardAdapter> adapter(new GameShardAdapter(resolved));
@@ -132,6 +169,7 @@ StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::OpenResumed(
     return Status::InvalidArgument(
         "zone_world.num_units must be at least 16 per zone");
   }
+  TP_RETURN_NOT_OK(ValidateZoneActivity(config));
   GameShardAdapterConfig resolved = config;
   resolved.engine.shard.layout = ZoneLayout(config.zone_world);
   const FleetManifest& manifest = recovered.manifest();
@@ -159,9 +197,11 @@ StatusOr<std::unique_ptr<GameShardAdapter>> GameShardAdapter::OpenResumed(
   adapter->SpawnZones();
   const uint32_t num_units = resolved.zone_world.num_units;
   const uint32_t base = static_cast<uint32_t>(SimCellBase(resolved.zone_world));
-  const uint32_t target = World::ActiveTarget(resolved.zone_world);
   adapter->last_tick_kills_[0] = adapter->last_tick_kills_[1] = 0;
   for (uint32_t z = 0; z < adapter->num_zones(); ++z) {
+    // zone_activity scales ActiveTarget per zone, so the system-row
+    // validation must use the ZONE's config, not the base one.
+    const uint32_t target = World::ActiveTarget(adapter->ZoneWorldConfig(z));
     const StateTable& table = recovered.tables()[z];
     World& world = *adapter->zones_[z];
     // Unit rows: overwrite the freshly spawned table via SetRaw (recovery

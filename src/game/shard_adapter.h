@@ -79,6 +79,14 @@ struct GameShardAdapterConfig {
   bool parallel_step = true;
   /// Resolve cross-zone "war news" morale effects at tick boundaries.
   bool cross_zone = true;
+  /// Per-zone activity scale in (0, 1]: zone z runs with active_fraction
+  /// * zone_activity[z], so a skewed vector concentrates the battle (and
+  /// the write load) on a few hot zones -- the workload the fleet
+  /// rebalancer migrates out of. Empty = uniform (every zone at 1.0).
+  /// Populations and layouts are unchanged (scales never exceed 1, so the
+  /// base config's ActiveTarget bounds every zone's sim rows); supply the
+  /// SAME vector on resume, like every other config field.
+  std::vector<double> zone_activity;
 };
 
 /// How many units per zone receive the cross-zone morale effect per tick.
@@ -161,6 +169,11 @@ class GameShardAdapter {
   /// World(zone_world) -- the fleet namespace is its own world.
   static uint64_t ZoneSeed(uint64_t fleet_seed, uint32_t zone);
 
+  /// A Zipf(skew) activity vector for `zones` zones: zone 0 at 1.0 (the
+  /// hot battle), zone z at 1 / (z + 1)^skew -- the bench_fig4 skew
+  /// geometry applied to zone populations instead of object accesses.
+  static std::vector<double> ZipfZoneActivity(uint32_t zones, double skew);
+
   /// Golden-run oracle: replays the K zone worlds (no engine, no disk)
   /// and returns digests[t][z] = zone z's StateDigest after t world
   /// ticks, for t in [0, world_ticks]. Index with recovered_ticks - 1:
@@ -172,6 +185,11 @@ class GameShardAdapter {
   struct ZoneSink;
 
   explicit GameShardAdapter(const GameShardAdapterConfig& config);
+
+  /// Zone z's resolved WorldConfig: the template with the zone seed and
+  /// the zone's activity scale applied (shared by SpawnZones and the
+  /// OpenResumed validation, so spawn and resume can never disagree).
+  WorldConfig ZoneWorldConfig(uint32_t z) const;
 
   /// Builds the zone worlds (shared by Open and GoldenZoneDigests).
   void SpawnZones();

@@ -212,6 +212,42 @@ TEST_F(FailoverTest, TornReplicaBufferFallsBackToDisk) {
   EXPECT_TRUE(engine.shard(1).state().ContentEquals(reference[1]));
 }
 
+TEST_F(FailoverTest, AFailedFailoverNeverExposesTheLastReport) {
+  // Regression: FailoverShard populated last_failover_report_ only on
+  // success, so an ERROR return left the PREVIOUS failover's report in
+  // place -- a monitoring caller reading the report after a failed
+  // failover saw a stale "rebuilt from peer memory in N ms" for a shard
+  // that is in fact still dead. The report must reset to a blank at
+  // entry, so error paths expose nothing.
+  const auto config = Config(2);
+  auto fleet_or = Fleet::Create(config.shard.dir, config);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  Fleet& fleet = *fleet_or.value();
+  ShardedEngine& engine = fleet.engine();
+  std::vector<StateTable> reference;
+  RunTicks(&engine, 5, &reference);
+  // First death: the happy peer-memory path fills the report.
+  ASSERT_TRUE(fleet.SimulateShardCrash(0).ok());
+  ASSERT_TRUE(fleet.FailoverShard(0).ok());
+  ASSERT_TRUE(fleet.last_failover_report().used_peer_memory);
+  ASSERT_GT(fleet.last_failover_report().rebuilt_ticks, 0u);
+  RunTicks(&engine, 3, &reference);
+
+  // Second death with BOTH paths destroyed: tear the replica (memory
+  // path) and delete the shard directory (disk fallback).
+  ASSERT_TRUE(fleet.SimulateShardCrash(0).ok());
+  ASSERT_NE(engine.replica_buffer(0), nullptr);
+  engine.replica_buffer(0)->MarkTorn();
+  std::filesystem::remove_all(
+      ShardedEngine::ShardDir(config.shard.dir, engine.manifest().assignment[0]));
+  EXPECT_FALSE(fleet.FailoverShard(0).ok());
+  EXPECT_FALSE(fleet.last_failover_report().used_peer_memory)
+      << "the failed failover leaked the previous success's report";
+  EXPECT_EQ(fleet.last_failover_report().rebuilt_ticks, 0u);
+  EXPECT_EQ(fleet.last_failover_report().rebuild_seconds, 0.0);
+  // The fleet (one partition permanently dead) still tears down safely.
+}
+
 TEST_F(FailoverTest, DeadPeerFallsBackToDiskThenReArms) {
   // K=2 double death: both shards down, both replicas lost (each hosted
   // the other's). Both failovers must fall back to disk; once both are

@@ -146,7 +146,9 @@ TEST_F(FleetManifestTest, ReadsAVersionOneManifestWithReplicationOff) {
   ASSERT_TRUE(ReadFileToString(Path(0), &bytes).ok());
   const size_t kHeaderSize = 112, kExtSize = 16;
   const size_t peers_bytes = sample.num_partitions * sizeof(uint32_t);
-  ASSERT_EQ(bytes.size(), kHeaderSize + kExtSize + 2 * peers_bytes + 4);
+  // v3 layout: header + ext + assignment + replica peers + one u32 mount
+  // length per partition (all zero here) + CRC.
+  ASSERT_EQ(bytes.size(), kHeaderSize + kExtSize + 3 * peers_bytes + 4);
   std::string v1 = bytes.substr(0, kHeaderSize) +
                    bytes.substr(kHeaderSize + kExtSize, peers_bytes);
   const uint32_t version = 1;
@@ -164,6 +166,74 @@ TEST_F(FleetManifestTest, ReadsAVersionOneManifestWithReplicationOff) {
   EXPECT_EQ(read.assignment, (std::vector<uint32_t>{0, 4, 2}));
   EXPECT_EQ(read.checkpoint_period_ticks, 7u);
   EXPECT_EQ(read.algorithm, sample.algorithm);
+}
+
+TEST_F(FleetManifestTest, RoundTripsMountRoots) {
+  // The v3 payload: a per-partition mount-point root, the durable record
+  // of a rebalance that spawned a slot on another disk. PartitionDir must
+  // resolve through it, and partitions without an override stay under the
+  // fleet root.
+  FleetManifest written = Sample(/*epoch=*/6);
+  written.mount_root = {"", "/mnt/fast", ""};
+  ASSERT_TRUE(WriteFleetManifest(dir_, written, /*fsync=*/false).ok());
+  auto read_or = ReadFleetManifestFile(Path(6));
+  ASSERT_TRUE(read_or.ok()) << read_or.status().ToString();
+  const FleetManifest& read = read_or.value();
+  ASSERT_EQ(read.mount_root.size(), 3u);
+  EXPECT_EQ(read.MountRootOf(0), "");
+  EXPECT_EQ(read.MountRootOf(1), "/mnt/fast");
+  EXPECT_EQ(read.PartitionDir(dir_, 1), paths::ShardDir("/mnt/fast", 4));
+  EXPECT_EQ(read.PartitionDir(dir_, 0), paths::ShardDir(dir_, 0));
+  EXPECT_EQ(read.PartitionDir(dir_, 2), paths::ShardDir(dir_, 2));
+}
+
+TEST_F(FleetManifestTest, ReadsAVersionTwoManifestWithoutMountRoots) {
+  // Backward compatibility with the replication-era format: synthesize a
+  // v2 file from a real v3 one by stripping the mount-length section and
+  // re-stamping version + CRC. It must read back with every partition
+  // under the fleet root.
+  const FleetManifest sample = Sample();
+  ASSERT_TRUE(WriteFleetManifest(dir_, sample, false).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(Path(0), &bytes).ok());
+  const size_t kHeaderSize = 112, kExtSize = 16;
+  const size_t peers_bytes = sample.num_partitions * sizeof(uint32_t);
+  ASSERT_EQ(bytes.size(), kHeaderSize + kExtSize + 3 * peers_bytes + 4);
+  std::string v2 =
+      bytes.substr(0, kHeaderSize + kExtSize + 2 * peers_bytes);
+  const uint32_t version = 2;
+  std::memcpy(&v2[8], &version, sizeof(version));
+  const uint32_t crc = Crc32(v2.data(), v2.size());
+  v2.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  ASSERT_TRUE(WriteStringToFile(Path(0), v2).ok());
+
+  auto read_or = ReadFleetManifestFile(Path(0));
+  ASSERT_TRUE(read_or.ok()) << read_or.status().ToString();
+  EXPECT_TRUE(read_or.value().mount_root.empty());
+  EXPECT_EQ(read_or.value().assignment, (std::vector<uint32_t>{0, 4, 2}));
+  EXPECT_EQ(read_or.value().PartitionDir(dir_, 1), paths::ShardDir(dir_, 4));
+}
+
+TEST_F(FleetManifestTest, ImplausibleMountRootLengthIsCorruption) {
+  // Forge a mount length beyond the defensive bound (the write side
+  // refuses to produce one) with a fixed-up CRC: the length guard must
+  // reject it BEFORE trusting the length word to drive an allocation.
+  const FleetManifest sample = Sample();
+  ASSERT_TRUE(WriteFleetManifest(dir_, sample, false).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(Path(0), &bytes).ok());
+  const size_t kHeaderSize = 112, kExtSize = 16;
+  const size_t peers_bytes = sample.num_partitions * sizeof(uint32_t);
+  const size_t first_mount_len = kHeaderSize + kExtSize + 2 * peers_bytes;
+  const uint32_t forged = 64 * 1024;  // > kMaxMountRootBytes
+  std::memcpy(&bytes[first_mount_len], &forged, sizeof(forged));
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(&bytes[bytes.size() - sizeof(uint32_t)], &crc, sizeof(crc));
+  ASSERT_TRUE(WriteStringToFile(Path(0), bytes).ok());
+  auto read_or = ReadFleetManifestFile(Path(0));
+  EXPECT_EQ(read_or.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(read_or.status().message().find("mount root"),
+            std::string::npos);
 }
 
 TEST_F(FleetManifestTest, StructurallyBadReplicationBytesAreCorruption) {
