@@ -22,6 +22,19 @@ using namespace tickpoint;
 
 namespace {
 
+/// Removes a directory tree when the enclosing scope exits, so the fleet
+/// run's working dirs (including spawned off-root shard slots under the
+/// mount root) are cleaned up on EVERY path out of RunSkewedFleet -- the
+/// TP_RETURN_NOT_OK early exits used to leak them.
+struct ScopedRemoveAll {
+  std::string path;
+  ~ScopedRemoveAll() {
+    if (path.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
 struct SkewFleetResult {
   uint32_t migrations = 0;
   uint32_t hot_partition = 0;
@@ -46,6 +59,8 @@ StatusOr<SkewFleetResult> RunSkewedFleet(const std::string& dir,
                                          double skew, double tick_hz,
                                          bool fsync, bool rebalance) {
   std::filesystem::remove_all(dir);
+  ScopedRemoveAll dir_guard{dir};
+  ScopedRemoveAll mount_guard{mount_root};
   ShardedEngineConfig config;
   // Large enough (20,480 atomic objects, ~10 MB) that a checkpoint's dirty
   // set stays proportional to the shard's update rate; a smaller state
@@ -118,8 +133,6 @@ StatusOr<SkewFleetResult> RunSkewedFleet(const std::string& dir,
     result.decided_tick = fleet->rebalancer()->last_event().decided_tick;
   }
   TP_RETURN_NOT_OK(fleet->Shutdown());
-  std::filesystem::remove_all(dir);
-  if (!mount_root.empty()) std::filesystem::remove_all(mount_root);
   return result;
 }
 

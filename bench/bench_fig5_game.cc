@@ -28,6 +28,11 @@ int main(int argc, char** argv) {
 
   auto results = RunSimulation(SimulationOptions{}, AllAlgorithms(), &trace);
 
+  bench::JsonEmitter json("bench_fig5_game");
+  json.AddRow("params")
+      .Int("units", world.num_units)
+      .Int("ticks", ticks)
+      .Num("avg_updates_per_tick", stats.avg_updates_per_tick);
   TablePrinter table({"algorithm", "avg overhead (5a)",
                       "avg time to checkpoint (5b)", "est recovery (5c)"});
   for (const auto& result : results) {
@@ -35,6 +40,11 @@ int main(int argc, char** argv) {
                   bench::Sec(result.avg_overhead_seconds),
                   bench::Sec(result.avg_checkpoint_seconds),
                   bench::Sec(result.recovery_seconds)});
+    json.AddRow("fig5")
+        .Str("algorithm", GetTraits(result.kind).short_name)
+        .Num("avg_overhead_seconds", result.avg_overhead_seconds)
+        .Num("avg_checkpoint_seconds", result.avg_checkpoint_seconds)
+        .Num("recovery_seconds", result.recovery_seconds);
   }
   std::printf("\n");
   bench::Emit(table, ctx.csv());
@@ -45,6 +55,7 @@ int main(int argc, char** argv) {
       "# paper 5(b): full-state methods ~0.35 s; partial-redo ~0.2-0.25 s\n"
       "# paper 5(c): non-partial-redo ~0.7 s; partial-redo ~2.1-2.5 s "
       "(cou-partial-redo above cou)\n");
+  json.WriteFile(ctx.flags().GetString("json", "BENCH_fig5_game.json"));
   ctx.Finish();
   return 0;
 }

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
 
   // results[rate][kind] -> {simulated, measured}
   std::vector<std::vector<std::pair<Measured, Measured>>> results;
+  bench::JsonEmitter json("bench_fig6_validation");
 
   for (uint64_t rate : rates) {
     ZipfTraceConfig trace;
@@ -137,6 +138,15 @@ int main(int argc, char** argv) {
       impl.overhead = engine.metrics().AvgOverheadSeconds();
       impl.checkpoint = engine.metrics().AvgCheckpointSeconds();
       impl.recovery = recovery_or->total_seconds();
+      json.AddRow("fig6")
+          .Int("updates_per_tick", rate)
+          .Str("algorithm", GetTraits(kinds[k]).short_name)
+          .Num("sim_overhead_seconds", sim.overhead)
+          .Num("impl_overhead_seconds", impl.overhead)
+          .Num("sim_checkpoint_seconds", sim.checkpoint)
+          .Num("impl_checkpoint_seconds", impl.checkpoint)
+          .Num("sim_recovery_seconds", sim.recovery)
+          .Num("impl_recovery_seconds", impl.recovery);
       row.emplace_back(sim, impl);
       std::filesystem::remove_all(dir);
     }
@@ -176,6 +186,7 @@ int main(int argc, char** argv) {
       "exceeds the simulation's by up to 3x (lock contention + writer I/O "
       "interference), growing with the update rate, while checkpoint and "
       "recovery times track the model\n");
+  json.WriteFile(ctx.flags().GetString("json", "BENCH_fig6_validation.json"));
   ctx.Finish();
   return 0;
 }

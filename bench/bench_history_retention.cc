@@ -1,0 +1,167 @@
+// History retention: disk growth vs the restorable window as the fleet
+// runs with point-in-time recovery enabled (the acceptance measurement for
+// bounded compaction -- see README "Point-in-time recovery").
+//
+// The harness runs a retention-enabled fleet through repeated cycles of
+//   run N ticks -> clean shutdown -> measure the on-disk history (index
+//   read straight from disk) -> reopen,
+// and reports, per cycle and per shard: generation count, archived
+// segment count, total history bytes, the restorable tick window, and the
+// cumulative compaction count. With the policy at max-generations=G the
+// byte total must plateau after the first G cycles while the window keeps
+// sliding forward -- unbounded growth here is a compaction bug.
+//
+// Everything lands in BENCH_history_retention.json: one "cycle" row per
+// (cycle, shard) plus one "summary" row asserting the bound that CI
+// checks (peak bytes vs the budget implied by the policy).
+#include <algorithm>
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "engine/fleet.h"
+#include "engine/history.h"
+#include "engine/mutator.h"
+#include "engine/paths.h"
+
+using namespace tickpoint;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_history_retention",
+                          "Point-in-time retention: on-disk history stays "
+                          "bounded across compaction cycles while the "
+                          "restorable window slides");
+  const uint32_t shards =
+      static_cast<uint32_t>(ctx.flags().GetInt64("shards", 2));
+  const uint64_t cycles = ctx.flags().GetInt64("cycles", 6);
+  const uint64_t ticks_per_cycle =
+      ctx.flags().GetInt64("ticks-per-cycle", 10);
+  const uint64_t max_generations =
+      static_cast<uint64_t>(ctx.flags().GetInt64("max-generations", 3));
+  const uint64_t updates_per_tick =
+      ctx.flags().GetInt64("updates-per-tick", 64);
+  const bool fsync = ctx.flags().GetBool("fsync", false);
+  const std::string dir = ctx.flags().GetString(
+      "dir",
+      (std::filesystem::temp_directory_path() / "tp_bench_history").string());
+  char params[192];
+  std::snprintf(params, sizeof(params),
+                "%u shards, %llu cycles x %llu ticks, max-generations %llu, "
+                "checkpoint period 5, fsync %s",
+                shards, static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(ticks_per_cycle),
+                static_cast<unsigned long long>(max_generations),
+                fsync ? "on" : "off");
+  ctx.PrintHeader(params);
+
+  std::filesystem::remove_all(dir);
+  ShardedEngineConfig config;
+  config.shard.layout = StateLayout::Small(4096, 10);
+  config.shard.algorithm = AlgorithmKind::kCopyOnUpdate;
+  config.shard.dir = dir;
+  config.shard.fsync = fsync;
+  config.shard.full_flush_period = 3;
+  config.shard.retention.enabled = true;
+  config.shard.retention.max_generations = max_generations;
+  config.num_shards = shards;
+  config.checkpoint_period_ticks = 5;
+  config.threaded = true;
+  auto fleet_or = Fleet::Create(dir, config);
+  TP_CHECK_OK(fleet_or.status());
+  auto fleet = std::move(fleet_or.value());
+  const uint64_t num_cells = config.shard.layout.num_cells();
+
+  bench::JsonEmitter json("bench_history_retention");
+  TablePrinter table({"cycle", "ticks so far", "shard", "generations",
+                      "segments", "history bytes", "restorable window",
+                      "compactions"});
+  uint64_t tick = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t final_compactions = 0;
+  for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    for (uint64_t t = 0; t < ticks_per_cycle; ++t, ++tick) {
+      fleet->BeginTick();
+      for (uint32_t p = 0; p < shards; ++p) {
+        for (uint64_t i = 0; i < updates_per_tick; ++i) {
+          fleet->ApplyUpdate(p, WorkloadCell(p, tick, i, num_cells),
+                             static_cast<int32_t>(tick * 131 + i));
+        }
+      }
+      TP_CHECK_OK(fleet->EndTick());
+    }
+    // A clean shutdown drains the checkpoint writer threads, so the index
+    // read below sees a quiesced on-disk history (and the reopen archives
+    // the live logical log into a history segment -- each cycle exercises
+    // archival + compaction, not just generation rollover).
+    TP_CHECK_OK(fleet->Shutdown());
+    fleet.reset();
+    for (uint32_t p = 0; p < shards; ++p) {
+      const std::string shard_dir = paths::ShardDir(dir, p);
+      auto index_or = ShardHistory::ReadIndex(shard_dir);
+      TP_CHECK_OK(index_or.status());
+      const HistoryIndex& index = index_or.value();
+      auto window_or = ShardHistory::ComputeWindow(shard_dir, index);
+      TP_CHECK_OK(window_or.status());
+      peak_bytes = std::max(peak_bytes, index.TotalBytes());
+      final_compactions =
+          std::max(final_compactions, index.compactions_run);
+      const std::string window =
+          window_or->any ? "[" + std::to_string(window_or->low_tick) + ", " +
+                               std::to_string(window_or->high_tick) + "]"
+                         : "none";
+      table.AddRow({std::to_string(cycle), std::to_string(tick),
+                    std::to_string(p),
+                    std::to_string(index.generations.size()),
+                    std::to_string(index.segments.size()),
+                    std::to_string(index.TotalBytes()), window,
+                    std::to_string(index.compactions_run)});
+      json.AddRow("cycle")
+          .Int("cycle", cycle)
+          .Int("ticks_total", tick)
+          .Int("shard", p)
+          .Int("generations", index.generations.size())
+          .Int("segments", index.segments.size())
+          .Int("history_bytes", index.TotalBytes())
+          .Bool("window_any", window_or->any)
+          .Int("window_low", window_or->any ? window_or->low_tick : 0)
+          .Int("window_high", window_or->any ? window_or->high_tick : 0)
+          .Int("compactions_run", index.compactions_run);
+    }
+    if (cycle + 1 < cycles) {
+      auto reopened_or = Fleet::Open(dir);
+      TP_CHECK_OK(reopened_or.status());
+      fleet = std::move(reopened_or.value());
+    }
+  }
+  bench::Emit(table, ctx.csv());
+
+  // The bound: G retained images plus a slack allowance for archived
+  // segments of the retained tick range (segment bytes scale with
+  // updates/tick, not run length -- compaction drops and rewrites them as
+  // the window slides).
+  const uint64_t image_bytes = 48 + config.shard.layout.num_objects() *
+                                         config.shard.layout.object_size;
+  const uint64_t budget = max_generations * image_bytes + (64 << 10);
+  const bool bounded = peak_bytes <= budget;
+  std::printf("\npeak per-shard history: %llu bytes (budget %llu) -> %s; "
+              "%llu compactions over %llu ticks\n",
+              static_cast<unsigned long long>(peak_bytes),
+              static_cast<unsigned long long>(budget),
+              bounded ? "BOUNDED" : "UNBOUNDED",
+              static_cast<unsigned long long>(final_compactions),
+              static_cast<unsigned long long>(tick));
+  json.AddRow("summary")
+      .Int("shards", shards)
+      .Int("cycles", cycles)
+      .Int("ticks_total", tick)
+      .Int("max_generations", max_generations)
+      .Int("image_bytes", image_bytes)
+      .Int("peak_history_bytes", peak_bytes)
+      .Int("budget_bytes", budget)
+      .Bool("bounded", bounded)
+      .Int("compactions_run", final_compactions);
+  json.WriteFile(
+      ctx.flags().GetString("json", "BENCH_history_retention.json"));
+  std::filesystem::remove_all(dir);
+  ctx.Finish();
+  return bounded ? 0 : 1;
+}

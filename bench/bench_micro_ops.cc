@@ -2,10 +2,17 @@
 // costs the paper's model parameterizes: dirty-bit tests, lock round trips,
 // object copies, Zipf draws, update handling in the simulator and the real
 // engine, and logical-log appends.
+//
+// Alongside the console report, every run lands as one row in
+// BENCH_micro_ops.json (override with --json-out=PATH) in the same flat
+// {"bench", "rows"} shape the other harnesses emit, so CI diffs all
+// benchmark numbers through one code path.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <filesystem>
 
+#include "bench/bench_util.h"
 #include "core/sim_executor.h"
 #include "engine/dirty_map.h"
 #include "engine/logical_log.h"
@@ -144,7 +151,56 @@ void BM_LogicalLogAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicalLogAppend)->Arg(64)->Arg(1024);
 
+/// A ConsoleReporter that also records every completed run as one
+/// JsonEmitter row, so the console output stays identical while
+/// BENCH_micro_ops.json matches the other harnesses' format.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::JsonEmitter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // GetAdjustedRealTime/CPUTime are per-iteration in the run's time
+      // unit; every benchmark here uses the default (nanoseconds).
+      auto& row = json_->AddRow("micro_ops")
+                      .Str("name", run.benchmark_name())
+                      .Int("iterations", static_cast<uint64_t>(run.iterations))
+                      .Num("real_ns_per_iter", run.GetAdjustedRealTime())
+                      .Num("cpu_ns_per_iter", run.GetAdjustedCPUTime());
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        row.Num("bytes_per_second", bytes->second);
+      }
+    }
+  }
+
+ private:
+  bench::JsonEmitter* json_;
+};
+
 }  // namespace
 }  // namespace tickpoint
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json-out=PATH before google-benchmark sees the argv (it
+  // rejects flags it does not own).
+  std::string json_path = "BENCH_micro_ops.json";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tickpoint::bench::JsonEmitter json("bench_micro_ops");
+  tickpoint::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.WriteFile(json_path);
+  return 0;
+}

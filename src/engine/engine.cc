@@ -41,6 +41,14 @@ Status RemoveStaleCheckpointFiles(const std::string& dir) {
   if (ec) {
     return Status::IOError("list " + dir + ": " + ec.message());
   }
+  // A previous incarnation's history describes a timeline this fresh
+  // incarnation abandons wholesale.
+  std::error_code history_ec;
+  std::filesystem::remove_all(paths::HistoryDir(dir), history_ec);
+  if (history_ec) {
+    return Status::IOError("remove " + paths::HistoryDir(dir) + ": " +
+                           history_ec.message());
+  }
   return Status::OK();
 }
 
@@ -71,6 +79,12 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(const EngineConfig& config) {
   TP_RETURN_NOT_OK(RemoveStaleCheckpointFiles(config.dir));
   std::unique_ptr<Engine> engine(new Engine(config));
   TP_RETURN_NOT_OK(engine->OpenStores());
+  if (engine->history_ != nullptr) {
+    // Archive the zeroed birth state as generation 0 (consistent tick 0):
+    // the restorable window is well-defined from the first tick, and a
+    // RecoverToTick aimed before the first checkpoint has a base image.
+    TP_RETURN_NOT_OK(engine->history_->RecordGeneration(engine->state_, 0));
+  }
   TP_RETURN_NOT_OK(engine->StartLogicalLogAndWriter());
   return engine;
 }
@@ -92,6 +106,21 @@ StatusOr<std::unique_ptr<Engine>> Engine::OpenResumed(
   // after it and the bootstrap is the newest image, so recovery lands on
   // the resume tick whether or not the old log was truncated yet.
   TP_RETURN_NOT_OK(engine->OpenStores());
+  if (engine->history_ != nullptr) {
+    // Point-in-time history maintenance, BEFORE the live log is truncated
+    // by StartLogicalLogAndWriter and before the bootstrap outranks the
+    // old images: retire the divergent future (generations/segment ticks
+    // at or past the resume tick must never shadow the new timeline), then
+    // archive the surviving prefix of the old incarnation's live log --
+    // the records history needs to bridge its newest generation up to the
+    // resume point. Both are idempotent, and a crash anywhere in here
+    // leaves the old stores authoritative (recovery repeats verbatim).
+    TP_RETURN_NOT_OK(engine->history_->TruncateAbove(first_tick));
+    if (first_tick > 0) {
+      TP_RETURN_NOT_OK(engine->history_->ArchiveLiveLog(
+          LogicalLogPath(config.dir), first_tick - 1));
+    }
+  }
   TP_RETURN_NOT_OK(engine->WriteBootstrapCheckpoint());
   TP_RETURN_NOT_OK(engine->StartLogicalLogAndWriter());
   return engine;
@@ -148,6 +177,12 @@ Status Engine::WriteBootstrapCheckpoint() {
     next_log_gen_ = gen + 1;
     log_started_ = true;
   }
+  if (history_ != nullptr) {
+    // The resumed state is durable: record it as this incarnation's base
+    // generation (RecordGeneration skips it when the previous timeline
+    // already holds a generation at this tick).
+    TP_RETURN_NOT_OK(history_->RecordGeneration(state_, tick_));
+  }
   return Status::OK();
 }
 
@@ -163,6 +198,11 @@ Status Engine::OpenStores() {
   } else {
     TP_ASSIGN_OR_RETURN(
         log_, LogStore::Open(config_.dir, config_.layout, config_.fsync));
+  }
+  if (config_.retention.enabled) {
+    TP_ASSIGN_OR_RETURN(history_,
+                        ShardHistory::Open(config_.dir, config_.layout,
+                                           config_.retention, config_.fsync));
   }
   return Status::OK();
 }
@@ -528,8 +568,10 @@ Status Engine::ExecuteJob(const Job& job) {
       state_crc = Crc32(aux_.data(), state_.buffer_bytes());
     }
     if (crashed()) return Status::Internal("crash injected");
-    return backup_->FinishCheckpoint(job.backup_index, job.seq,
-                                     job.consistent_ticks, state_crc);
+    TP_RETURN_NOT_OK(backup_->FinishCheckpoint(job.backup_index, job.seq,
+                                               job.consistent_ticks,
+                                               state_crc));
+    return ArchiveCompletedCheckpoint(job);
   }
 
   // Log organization.
@@ -574,7 +616,27 @@ Status Engine::ExecuteJob(const Job& job) {
   if (job.new_generation) {
     TP_RETURN_NOT_OK(log_->DropGenerationsBefore(job.log_gen));
   }
-  return Status::OK();
+  return ArchiveCompletedCheckpoint(job);
+}
+
+Status Engine::ArchiveCompletedCheckpoint(const Job& job) {
+  if (history_ == nullptr) return Status::OK();
+  // Read the image back from the store rather than snapshotting live
+  // state: the durable checkpoint is exactly the tick-consistent bytes the
+  // generation must mirror, the mutator may already be ticks ahead, and
+  // this works identically under both disk organizations and IO backends
+  // (the commit point above guarantees the bytes are on disk).
+  if (history_scratch_ == nullptr) {
+    history_scratch_ = std::make_unique<StateTable>(config_.layout);
+  }
+  if (traits_.disk == DiskOrganization::kDoubleBackup) {
+    TP_RETURN_NOT_OK(backup_->ReadAll(job.backup_index,
+                                      history_scratch_.get()));
+  } else {
+    TP_RETURN_NOT_OK(log_->Restore(history_scratch_.get(),
+                                   job.consistent_ticks).status());
+  }
+  return history_->RecordGeneration(*history_scratch_, job.consistent_ticks);
 }
 
 Status Engine::CompletePendingCheckpoint() {

@@ -43,6 +43,7 @@
 #include "core/algorithm.h"
 #include "engine/checkpoint_store.h"
 #include "engine/dirty_map.h"
+#include "engine/history.h"
 #include "engine/logical_log.h"
 #include "engine/state_table.h"
 #include "util/histogram.h"
@@ -80,6 +81,11 @@ struct EngineConfig {
   /// checkpoints into submit (at the cut tick) and completion (reaped at a
   /// later tick boundary), so the mutator never blocks on the cut write.
   IoBackendKind io_backend = DefaultIoBackendKind();
+  /// Point-in-time recovery history (engine/history.h): when enabled,
+  /// every completed checkpoint is additionally archived as a generation
+  /// under `<dir>/history`, bounded by the policy. Persisted fleet-wide in
+  /// the v4 manifest, not per-engine.
+  RetentionPolicy retention;
 };
 
 /// One completed real checkpoint.
@@ -242,6 +248,11 @@ class Engine {
   /// Path of the logical log under `dir`.
   static std::string LogicalLogPath(const std::string& dir);
 
+  /// The shard's history handle, or null when retention is off. Same
+  /// cross-thread rules as metrics(): other threads may touch it only with
+  /// the engine quiesced.
+  ShardHistory* history() { return history_.get(); }
+
  private:
   struct Job {
     uint64_t seq = 0;
@@ -283,6 +294,11 @@ class Engine {
 
   void WriterMain();
   Status ExecuteJob(const Job& job);
+  /// Retention only: reads the just-committed durable image back out of
+  /// the store and records it as a history generation. Runs on the writer
+  /// thread right after the checkpoint's commit point, so it is uniform
+  /// across disk organizations and IO backends.
+  Status ArchiveCompletedCheckpoint(const Job& job);
   /// Picks the bytes to persist for `object` under the copy-on-update
   /// protocol: the saved pre-image if one exists, else the live object
   /// (copied to `staging` under the object lock).
@@ -298,6 +314,12 @@ class Engine {
   std::unique_ptr<BackupStore> backup_;
   std::unique_ptr<LogStore> log_;
   std::unique_ptr<LogicalLog> logical_;
+  /// Non-null iff config.retention.enabled. Touched by the open path
+  /// (before the writer starts) and by the writer thread afterwards.
+  std::unique_ptr<ShardHistory> history_;
+  /// Writer-thread scratch for reading committed images back out of the
+  /// store during archival; allocated lazily on first use.
+  std::unique_ptr<StateTable> history_scratch_;
 
   AtomicBitMap dirty_[2];     // per-backup dirty bits (log family uses [0])
   AtomicBitMap write_set_;    // snapshot of the active checkpoint's members

@@ -26,9 +26,14 @@ bool HasShardDirs(const std::string& root) {
 
 StatusOr<std::unique_ptr<Fleet>> RecoveredFleet::Resume() {
   const ShardedEngineConfig config = ConfigFromManifest(manifest_, root_);
+  // A point-in-time landing resumes as a NEW fleet epoch (committed after
+  // every bootstrap is durable): the old timeline's future generations are
+  // retired inside each Engine::OpenResumed, and the epoch bump is the
+  // fleet-wide commit point of the new timeline.
   TP_ASSIGN_OR_RETURN(
       auto engine,
-      ShardedEngine::OpenResumed(config, tables_, resume_tick()));
+      ShardedEngine::OpenResumed(config, tables_, resume_tick(),
+                                 /*bump_epoch=*/at_tick_));
   return std::unique_ptr<Fleet>(new Fleet(root_, std::move(engine)));
 }
 
@@ -104,6 +109,23 @@ StatusOr<RecoveredFleet> Fleet::RecoverToCut(const std::string& root) {
   recovered.manifest_ = std::move(outcome.manifest);
   recovered.result_ = std::move(outcome.result);
   return recovered;
+}
+
+StatusOr<RecoveredFleet> Fleet::RecoverToTick(const std::string& root,
+                                              uint64_t tick) {
+  RecoveredFleet recovered;
+  recovered.root_ = root;
+  recovered.target_tick_ = tick;
+  TP_ASSIGN_OR_RETURN(FleetRecoveryOutcome outcome,
+                      RecoverFleetToTick(root, tick, &recovered.tables_));
+  recovered.manifest_ = std::move(outcome.manifest);
+  recovered.result_ = std::move(outcome.result);
+  recovered.at_tick_ = recovered.result_.used_manifest;
+  return recovered;
+}
+
+StatusOr<HistoryWindow> Fleet::RestorableWindow(const std::string& root) {
+  return RestorableFleetWindow(root);
 }
 
 }  // namespace tickpoint

@@ -69,9 +69,21 @@ class RecoveredFleet {
                     : result_.fleet.min_recovered_ticks;
   }
 
+  /// Fleet::RecoverToTick only: true when every shard landed at exactly
+  /// the requested tick; false when some shard could not reproduce it and
+  /// the whole fleet fell back to latest recovery (see target_tick()).
+  bool at_requested_tick() const { return at_tick_; }
+  /// The tick Fleet::RecoverToTick was asked for (meaningful whether or
+  /// not it was reached).
+  uint64_t target_tick() const { return target_tick_; }
+
   /// Restarts the fleet from this recovered state (the
   /// ShardedEngine::OpenResumed workflow: per-partition synchronous
   /// bootstrap checkpoints, stale state retired). Consumes the tables.
+  /// After a point-in-time landing (at_requested_tick()), the resume
+  /// additionally commits the manifest as a new fleet epoch once every
+  /// bootstrap is durable -- the old timeline's divergent future is
+  /// retired and can never shadow the new one.
   StatusOr<std::unique_ptr<Fleet>> Resume();
 
  private:
@@ -80,6 +92,8 @@ class RecoveredFleet {
   FleetManifest manifest_;
   ShardedCutRecoveryResult result_;
   std::vector<StateTable> tables_;
+  bool at_tick_ = false;
+  uint64_t target_tick_ = 0;
 };
 
 /// A live sharded checkpoint fleet bound to its self-describing root.
@@ -106,6 +120,21 @@ class Fleet {
   /// Like Recover, but lands on the committed consistent cut when one is
   /// reproducible (per-shard exact fallback otherwise).
   static StatusOr<RecoveredFleet> RecoverToCut(const std::string& root);
+
+  /// Point-in-time recovery (retention must have been enabled when the
+  /// fleet ran): lands every partition at EXACTLY the end of `tick`, for
+  /// any tick inside RestorableWindow. When some shard cannot reproduce
+  /// the tick, falls back to latest recovery fleet-wide -- inspect
+  /// at_requested_tick() on the result. Resuming the result continues the
+  /// old timeline from `tick` as a NEW fleet epoch.
+  static StatusOr<RecoveredFleet> RecoverToTick(const std::string& root,
+                                                uint64_t tick);
+
+  /// The fleet's restorable tick window (intersection of every shard's
+  /// retained history): every tick inside it satisfies RecoverToTick with
+  /// at_requested_tick() true. `any` false = no window (retention off or
+  /// no usable history yet).
+  static StatusOr<HistoryWindow> RestorableWindow(const std::string& root);
 
   // ---- Forwarded tick/cut/migration API (see sharded_engine.h) ----
 

@@ -19,7 +19,10 @@ constexpr uint64_t kFleetMagic = 0x544B5054464C5431ULL;  // "TKPTFLT1"
 // v3 (rebalancing era): a length-prefixed mount-root string per partition
 // after the peers, so a migrated partition can live on a different disk.
 // v1/v2 files read back with every partition under the fleet root.
-constexpr uint32_t kFleetVersion = 3;
+// v4 (point-in-time recovery era): the 24-byte retention extension after
+// the mount roots, carrying the history RetentionPolicy durably. v1-v3
+// files read back with retention off.
+constexpr uint32_t kFleetVersion = 4;
 /// Defensive bound on K when reading untrusted bytes: a corrupt
 /// num_partitions must not drive a multi-gigabyte allocation.
 constexpr uint32_t kMaxPartitions = 65536;
@@ -68,6 +71,19 @@ struct ManifestHeaderV2Ext {
 };
 static_assert(sizeof(ManifestHeaderV2Ext) == 16,
               "ManifestHeaderV2Ext must stay padding-free: the CRC covers "
+              "raw bytes");
+
+/// The v4 extension, written (and CRC'd) after the mount-root strings: the
+/// durable form of RetentionPolicy (engine/history.h). Trailing so v3
+/// files keep reading back byte-for-byte.
+struct ManifestHeaderV4Ext {
+  uint64_t max_generations = 0;
+  uint64_t max_retained_ticks = 0;
+  uint8_t retention_enabled = 0;
+  uint8_t reserved[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(ManifestHeaderV4Ext) == 24,
+              "ManifestHeaderV4Ext must stay padding-free: the CRC covers "
               "raw bytes");
 
 Status ValidateManifest(const FleetManifest& manifest,
@@ -128,6 +144,11 @@ Status ValidateManifest(const FleetManifest& manifest,
       return Status::Corruption("fleet manifest " + path +
                                 " records an implausibly long mount root");
     }
+  }
+  if (!manifest.retention.Valid()) {
+    return Status::Corruption("fleet manifest " + path +
+                              " enables history retention with "
+                              "max_generations 0");
   }
   return Status::OK();
 }
@@ -228,6 +249,15 @@ Status WriteFleetManifest(const std::string& root,
         crc = Crc32(mount.data(), len, crc);
       }
     }
+    // v4: the retention policy, written unconditionally (disabled policies
+    // serialize their knobs too, so toggling retention never changes the
+    // record shape).
+    ManifestHeaderV4Ext retention_ext;
+    retention_ext.max_generations = manifest.retention.max_generations;
+    retention_ext.max_retained_ticks = manifest.retention.max_retained_ticks;
+    retention_ext.retention_enabled = manifest.retention.enabled ? 1 : 0;
+    TP_RETURN_NOT_OK(writer.Append(&retention_ext, sizeof(retention_ext)));
+    crc = Crc32(&retention_ext, sizeof(retention_ext), crc);
     TP_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
     TP_RETURN_NOT_OK(fsync ? writer.Sync() : writer.Flush());
     TP_RETURN_NOT_OK(writer.Close());
@@ -287,11 +317,12 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
   // mid-string).
   const bool v2 = header.version >= 2;
   const bool v3 = header.version >= 3;
+  const bool v4 = header.version >= 4;
   const uint64_t expected =
       sizeof(header) + (v2 ? sizeof(ManifestHeaderV2Ext) : 0) +
       header.num_partitions * sizeof(uint32_t) *
           ((v2 ? 2 : 1) + (v3 ? 1 : 0)) +
-      sizeof(uint32_t);
+      (v4 ? sizeof(ManifestHeaderV4Ext) : 0) + sizeof(uint32_t);
   if (size < expected) {
     return Status::Corruption("fleet manifest " + path + " is truncated");
   }
@@ -358,6 +389,17 @@ StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
   } else {
     // A pre-rebalancing fleet: every partition lives under the fleet root.
     manifest.mount_root.clear();
+  }
+  if (v4) {
+    ManifestHeaderV4Ext retention_ext;
+    TP_RETURN_NOT_OK(reader.ReadExact(&retention_ext, sizeof(retention_ext)));
+    crc = Crc32(&retention_ext, sizeof(retention_ext), crc);
+    manifest.retention.enabled = retention_ext.retention_enabled != 0;
+    manifest.retention.max_generations = retention_ext.max_generations;
+    manifest.retention.max_retained_ticks = retention_ext.max_retained_ticks;
+  } else {
+    // A pre-history fleet: resumes with retention off.
+    manifest.retention = RetentionPolicy{};
   }
   uint32_t stored;
   TP_RETURN_NOT_OK(reader.ReadExact(&stored, sizeof(stored)));

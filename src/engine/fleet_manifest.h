@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "engine/history.h"
 #include "model/layout.h"
 #include "util/status.h"
 
@@ -76,6 +77,12 @@ struct FleetManifest {
   /// disk. Either empty (every partition under the fleet root; what v1/v2
   /// files read back as) or exactly num_partitions entries.
   std::vector<std::string> mount_root;
+  /// History retention (format v4): the point-in-time recovery window
+  /// every shard keeps (checkpoint generations + archived logical-log
+  /// segments, engine/history.h). Durable in the manifest so the writer
+  /// that archives and every post-crash reader that restores agree on the
+  /// window. v1-v3 files read back with retention off.
+  RetentionPolicy retention;
   // Conversions to/from ShardedEngineConfig live in sharded_engine.h
   // (ManifestFromConfig / ConfigFromManifest) to keep this header free of
   // the engine headers.

@@ -1,0 +1,522 @@
+#include "engine/history.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "engine/compactor.h"
+#include "engine/logical_log.h"
+#include "engine/paths.h"
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace tickpoint {
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x5849545349485054ULL;  // "TPHISTIX"
+constexpr uint32_t kIndexVersion = 1;
+constexpr uint64_t kGenerationMagic = 0x3147545349485054ULL;  // "TPHISTG1"
+
+// index.bin layout: header, generation records, segment records, chained
+// CRC32 over everything before it. All structs are padding-free.
+struct IndexHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_generations = 0;
+  uint32_t num_segments = 0;
+  uint32_t reserved = 0;
+  uint64_t next_generation_seq = 0;
+  uint64_t next_segment_id = 0;
+  uint64_t compactions_run = 0;
+};
+static_assert(sizeof(IndexHeader) == 48);
+
+struct GenerationRecord {
+  uint64_t seq = 0;
+  uint64_t consistent_tick = 0;
+  uint64_t bytes = 0;
+};
+static_assert(sizeof(GenerationRecord) == 24);
+
+struct SegmentRecord {
+  uint64_t id = 0;
+  uint64_t first_tick = 0;
+  uint64_t last_tick = 0;
+  uint64_t bytes = 0;
+};
+static_assert(sizeof(SegmentRecord) == 32);
+
+// gen-<seq>.img layout: this header (its own CRC over the preceding
+// fields), then the raw state buffer (num_objects * object_size bytes,
+// covered by state_crc).
+struct GenerationHeader {
+  uint64_t magic = 0;
+  uint64_t seq = 0;
+  uint64_t consistent_tick = 0;
+  uint64_t num_objects = 0;
+  uint64_t object_size = 0;
+  uint32_t state_crc = 0;
+  uint32_t header_crc = 0;
+};
+static_assert(sizeof(GenerationHeader) == 48);
+
+std::string GenerationPath(const std::string& shard_dir, uint64_t seq) {
+  return paths::HistoryDir(shard_dir) + "/" +
+         paths::HistoryGenerationFileName(seq);
+}
+
+std::string SegmentPath(const std::string& shard_dir, uint64_t id) {
+  return paths::HistoryDir(shard_dir) + "/" +
+         paths::HistorySegmentFileName(id);
+}
+
+Status InjectedCrash() { return Status::Internal("crash injected"); }
+
+}  // namespace
+
+StatusOr<HistoryIndex> ShardHistory::ReadIndex(const std::string& shard_dir) {
+  const std::string path = paths::HistoryIndexPath(shard_dir);
+  if (!FileExists(path)) {
+    return Status::NotFound("no history index under " + shard_dir);
+  }
+  std::string raw;
+  TP_RETURN_NOT_OK(ReadFileToString(path, &raw));
+  IndexHeader header;
+  if (raw.size() < sizeof(header) + sizeof(uint32_t)) {
+    return Status::Corruption("history index " + path + " is truncated");
+  }
+  std::memcpy(&header, raw.data(), sizeof(header));
+  if (header.magic != kIndexMagic) {
+    return Status::Corruption("history index " + path + " has a bad magic");
+  }
+  if (header.version != kIndexVersion) {
+    return Status::Corruption("history index " + path +
+                              " has unsupported version " +
+                              std::to_string(header.version));
+  }
+  const uint64_t expected =
+      sizeof(header) + header.num_generations * sizeof(GenerationRecord) +
+      header.num_segments * sizeof(SegmentRecord) + sizeof(uint32_t);
+  if (raw.size() != expected) {
+    return Status::Corruption("history index " + path + " has " +
+                              std::to_string(raw.size()) + " bytes, expected " +
+                              std::to_string(expected));
+  }
+  uint32_t stored;
+  std::memcpy(&stored, raw.data() + raw.size() - sizeof(stored),
+              sizeof(stored));
+  if (stored != Crc32(raw.data(), raw.size() - sizeof(stored))) {
+    return Status::Corruption("history index " + path + " fails its CRC");
+  }
+  HistoryIndex index;
+  index.next_generation_seq = header.next_generation_seq;
+  index.next_segment_id = header.next_segment_id;
+  index.compactions_run = header.compactions_run;
+  const char* cursor = raw.data() + sizeof(header);
+  index.generations.reserve(header.num_generations);
+  for (uint32_t i = 0; i < header.num_generations; ++i) {
+    GenerationRecord record;
+    std::memcpy(&record, cursor, sizeof(record));
+    cursor += sizeof(record);
+    index.generations.push_back(
+        {record.seq, record.consistent_tick, record.bytes});
+  }
+  index.segments.reserve(header.num_segments);
+  for (uint32_t i = 0; i < header.num_segments; ++i) {
+    SegmentRecord record;
+    std::memcpy(&record, cursor, sizeof(record));
+    cursor += sizeof(record);
+    index.segments.push_back(
+        {record.id, record.first_tick, record.last_tick, record.bytes});
+  }
+  return index;
+}
+
+Status ShardHistory::WriteIndex() {
+  std::string raw;
+  IndexHeader header;
+  header.magic = kIndexMagic;
+  header.version = kIndexVersion;
+  header.num_generations = static_cast<uint32_t>(index_.generations.size());
+  header.num_segments = static_cast<uint32_t>(index_.segments.size());
+  header.next_generation_seq = index_.next_generation_seq;
+  header.next_segment_id = index_.next_segment_id;
+  header.compactions_run = index_.compactions_run;
+  raw.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const auto& g : index_.generations) {
+    GenerationRecord record{g.seq, g.consistent_tick, g.bytes};
+    raw.append(reinterpret_cast<const char*>(&record), sizeof(record));
+  }
+  for (const auto& s : index_.segments) {
+    SegmentRecord record{s.id, s.first_tick, s.last_tick, s.bytes};
+    raw.append(reinterpret_cast<const char*>(&record), sizeof(record));
+  }
+  const uint32_t crc = Crc32(raw.data(), raw.size());
+  raw.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  const std::string path = paths::HistoryIndexPath(shard_dir_);
+  const std::string tmp = path + ".tmp";
+  FileWriter writer;
+  TP_RETURN_NOT_OK(writer.Open(tmp));
+  TP_RETURN_NOT_OK(writer.Append(raw.data(), raw.size()));
+  if (fsync_) TP_RETURN_NOT_OK(writer.Sync());
+  TP_RETURN_NOT_OK(writer.Close());
+  if (TakeCrashPoint(HistoryCrashPoint::kAfterIndexTmp)) {
+    return InjectedCrash();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + ": " + ec.message());
+  }
+  if (TakeCrashPoint(HistoryCrashPoint::kAfterIndexRename)) {
+    return InjectedCrash();
+  }
+  if (fsync_) {
+    TP_RETURN_NOT_OK(SyncDirectory(paths::HistoryDir(shard_dir_)));
+  }
+  return Status::OK();
+}
+
+Status ShardHistory::SweepOrphans() {
+  const std::string dir = paths::HistoryDir(shard_dir_);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t id = 0;
+    bool doomed = false;
+    if (paths::ParseHistoryGenerationFileName(name, &id)) {
+      doomed = std::none_of(index_.generations.begin(),
+                            index_.generations.end(),
+                            [id](const auto& g) { return g.seq == id; });
+    } else if (paths::ParseHistorySegmentFileName(name, &id)) {
+      doomed = std::none_of(index_.segments.begin(), index_.segments.end(),
+                            [id](const auto& s) { return s.id == id; });
+    } else if (name == "index.bin.tmp") {
+      doomed = true;
+    }
+    if (doomed) {
+      TP_RETURN_NOT_OK(RemoveFileIfExists(entry.path().string()));
+    }
+  }
+  if (ec) {
+    return Status::IOError("list " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardHistory>> ShardHistory::Open(
+    const std::string& shard_dir, const StateLayout& layout,
+    const RetentionPolicy& policy, bool fsync) {
+  if (!policy.Valid()) {
+    return Status::InvalidArgument(
+        "invalid RetentionPolicy (max_generations must be >= 1)");
+  }
+  std::unique_ptr<ShardHistory> history(
+      new ShardHistory(shard_dir, layout, policy, fsync));
+  TP_RETURN_NOT_OK(EnsureDirectory(paths::HistoryDir(shard_dir)));
+  auto index_or = ReadIndex(shard_dir);
+  if (index_or.ok()) {
+    history->index_ = std::move(index_or).value();
+  } else if (index_or.status().code() == StatusCode::kCorruption) {
+    // A torn index means the history is unusable as a whole (the protocol
+    // never leaves one behind; this is real partial-write damage). The
+    // live stores stay authoritative, so the writer resets the history
+    // rather than refusing to open the shard: wipe and restart empty.
+    TP_RETURN_NOT_OK(
+        RemoveFileIfExists(paths::HistoryIndexPath(shard_dir)));
+  } else if (index_or.status().code() != StatusCode::kNotFound) {
+    return index_or.status();
+  }
+  TP_RETURN_NOT_OK(history->SweepOrphans());
+  return history;
+}
+
+StatusOr<uint64_t> ShardHistory::ReadGenerationImage(
+    const std::string& shard_dir, uint64_t seq, StateTable* out) {
+  const std::string path = GenerationPath(shard_dir, seq);
+  FileReader reader;
+  TP_RETURN_NOT_OK(reader.Open(path));
+  GenerationHeader header;
+  TP_RETURN_NOT_OK(reader.ReadExact(&header, sizeof(header)));
+  if (header.magic != kGenerationMagic ||
+      header.header_crc !=
+          Crc32(&header, sizeof(header) - sizeof(header.header_crc))) {
+    return Status::Corruption("history generation " + path +
+                              " has a torn header");
+  }
+  if (header.seq != seq) {
+    return Status::Corruption("history generation " + path + " records seq " +
+                              std::to_string(header.seq));
+  }
+  if (header.num_objects != out->layout().num_objects() ||
+      header.object_size != out->layout().object_size) {
+    return Status::Corruption("history generation " + path +
+                              " has a mismatched geometry");
+  }
+  const uint64_t payload = header.num_objects * header.object_size;
+  TP_CHECK(payload == out->buffer_bytes());
+  TP_RETURN_NOT_OK(reader.ReadExact(out->mutable_data(), payload));
+  if (Crc32(out->data(), payload) != header.state_crc) {
+    return Status::Corruption("history generation " + path +
+                              " fails its state CRC");
+  }
+  return header.consistent_tick;
+}
+
+StatusOr<HistoryWindow> ShardHistory::ComputeWindow(
+    const std::string& shard_dir, const HistoryIndex& index) {
+  HistoryWindow window;
+  if (index.generations.empty()) return window;
+
+  LogicalLog::RangeStats live;
+  const std::string live_path = paths::LogicalLogPath(shard_dir);
+  if (FileExists(live_path)) {
+    TP_ASSIGN_OR_RETURN(live, LogicalLog::ScanRange(live_path));
+  }
+
+  const auto& gens = index.generations;
+  const uint64_t newest_tick = gens.back().consistent_tick;
+  // Pick the oldest generation from which logical coverage is contiguous
+  // through the newest generation; fall back to the newest itself. Every
+  // tick in the advertised window is then really restorable -- a group
+  // commit that lost the tail can shrink the window but never lie.
+  for (size_t base = 0; base < gens.size(); ++base) {
+    const uint64_t consistent = gens[base].consistent_tick;
+    uint64_t expected = consistent;
+    for (const auto& seg : index.segments) {
+      if (seg.last_tick + 1 <= expected) continue;  // already covered
+      if (seg.first_tick > expected) break;         // gap
+      expected = seg.last_tick + 1;
+    }
+    if (live.records > 0 && live.first_tick <= expected &&
+        live.last_tick + 1 > expected) {
+      expected = live.last_tick + 1;
+    }
+    // Records cover ticks [consistent, expected).
+    if (expected < newest_tick && base + 1 < gens.size()) continue;
+    const uint64_t high = std::max(expected, newest_tick);
+    if (high == 0) break;  // a tick-0 generation with no records: nothing
+    window.any = true;
+    window.low_tick = consistent == 0 ? 0 : consistent - 1;
+    window.high_tick = high - 1;
+    break;
+  }
+  return window;
+}
+
+Status ShardHistory::RecordGeneration(const StateTable& state,
+                                      uint64_t consistent_tick) {
+  TP_CHECK(state.layout().num_objects() == layout_.num_objects());
+  if (!index_.generations.empty() &&
+      consistent_tick <= index_.generations.back().consistent_tick) {
+    // Re-recording an already-archived point (a crash-retried resume
+    // bootstrap) is a no-op; ticks only move forward inside the index.
+    return Status::OK();
+  }
+  const uint64_t seq = index_.next_generation_seq;
+  const std::string path = GenerationPath(shard_dir_, seq);
+  GenerationHeader header;
+  header.magic = kGenerationMagic;
+  header.seq = seq;
+  header.consistent_tick = consistent_tick;
+  header.num_objects = layout_.num_objects();
+  header.object_size = layout_.object_size;
+  header.state_crc = Crc32(state.data(), state.buffer_bytes());
+  header.header_crc =
+      Crc32(&header, sizeof(header) - sizeof(header.header_crc));
+  FileWriter writer;
+  TP_RETURN_NOT_OK(writer.Open(path));
+  TP_RETURN_NOT_OK(writer.Append(&header, sizeof(header)));
+  TP_RETURN_NOT_OK(writer.Append(state.data(), state.buffer_bytes()));
+  if (fsync_) TP_RETURN_NOT_OK(writer.Sync());
+  const uint64_t bytes = writer.bytes_written();
+  TP_RETURN_NOT_OK(writer.Close());
+  if (TakeCrashPoint(HistoryCrashPoint::kAfterGenerationFile)) {
+    return InjectedCrash();
+  }
+  index_.generations.push_back({seq, consistent_tick, bytes});
+  index_.next_generation_seq = seq + 1;
+  TP_RETURN_NOT_OK(WriteIndex());
+  return Compact(nullptr);
+}
+
+Status ShardHistory::ArchiveLiveLog(const std::string& live_log_path,
+                                    uint64_t up_to_tick) {
+  if (!FileExists(live_log_path)) return Status::OK();
+  uint64_t from_tick = 0;
+  if (!index_.segments.empty()) {
+    const uint64_t last = index_.segments.back().last_tick;
+    if (last >= up_to_tick) return Status::OK();  // already archived
+    from_tick = last + 1;
+  }
+  const uint64_t id = index_.next_segment_id;
+  const std::string path = SegmentPath(shard_dir_, id);
+  FileWriter writer;
+  TP_RETURN_NOT_OK(writer.Open(path));
+  auto stats_or =
+      LogicalLog::CopyRecords(live_log_path, from_tick, up_to_tick, &writer);
+  if (!stats_or.ok()) {
+    (void)writer.Close();
+    return stats_or.status();
+  }
+  const LogicalLog::RangeStats stats = stats_or.value();
+  if (stats.records == 0) {
+    // Nothing in range (the live log never reached from_tick): leave no
+    // empty segment behind.
+    TP_RETURN_NOT_OK(writer.Close());
+    return RemoveFileIfExists(path);
+  }
+  if (fsync_) TP_RETURN_NOT_OK(writer.Sync());
+  const uint64_t bytes = writer.bytes_written();
+  TP_RETURN_NOT_OK(writer.Close());
+  if (TakeCrashPoint(HistoryCrashPoint::kAfterSegmentFile)) {
+    return InjectedCrash();
+  }
+  index_.segments.push_back({id, stats.first_tick, stats.last_tick, bytes});
+  index_.next_segment_id = id + 1;
+  return WriteIndex();
+}
+
+Status ShardHistory::TruncateAbove(uint64_t first_tick) {
+  std::vector<std::string> doomed;
+  HistoryIndex next = index_;
+  bool changed = false;
+
+  // Generations whose consistent tick exceeds the resume point contain
+  // effects of the retired timeline.
+  next.generations.clear();
+  for (const auto& g : index_.generations) {
+    if (g.consistent_tick > first_tick) {
+      doomed.push_back(GenerationPath(shard_dir_, g.seq));
+      changed = true;
+    } else {
+      next.generations.push_back(g);
+    }
+  }
+
+  // Segment records for ticks >= first_tick are the retired future; a
+  // straddling segment is rewritten under a new id keeping the prefix.
+  next.segments.clear();
+  for (const auto& seg : index_.segments) {
+    if (seg.last_tick < first_tick) {
+      next.segments.push_back(seg);
+      continue;
+    }
+    changed = true;
+    doomed.push_back(SegmentPath(shard_dir_, seg.id));
+    if (first_tick == 0 || seg.first_tick > first_tick - 1) continue;
+    const uint64_t new_id = next.next_segment_id++;
+    const std::string new_path = SegmentPath(shard_dir_, new_id);
+    FileWriter writer;
+    TP_RETURN_NOT_OK(writer.Open(new_path));
+    auto stats_or = LogicalLog::CopyRecords(SegmentPath(shard_dir_, seg.id),
+                                            seg.first_tick, first_tick - 1,
+                                            &writer);
+    if (!stats_or.ok()) {
+      (void)writer.Close();
+      return stats_or.status();
+    }
+    if (stats_or.value().records == 0) {
+      TP_RETURN_NOT_OK(writer.Close());
+      TP_RETURN_NOT_OK(RemoveFileIfExists(new_path));
+      continue;
+    }
+    if (fsync_) TP_RETURN_NOT_OK(writer.Sync());
+    const uint64_t bytes = writer.bytes_written();
+    TP_RETURN_NOT_OK(writer.Close());
+    if (TakeCrashPoint(HistoryCrashPoint::kAfterRewriteSegmentFile)) {
+      return InjectedCrash();
+    }
+    next.segments.push_back({new_id, stats_or.value().first_tick,
+                             stats_or.value().last_tick, bytes});
+  }
+  if (!changed) return Status::OK();
+
+  index_ = std::move(next);
+  TP_RETURN_NOT_OK(WriteIndex());
+  if (TakeCrashPoint(HistoryCrashPoint::kBeforeCompactionDeletes)) {
+    return InjectedCrash();
+  }
+  for (const std::string& path : doomed) {
+    TP_RETURN_NOT_OK(RemoveFileIfExists(path));
+  }
+  return Status::OK();
+}
+
+Status ShardHistory::Compact(CompactionStats* stats) {
+  const CompactionPlan plan = PlanCompaction(index_, policy_);
+  if (stats != nullptr) {
+    *stats = CompactionStats{};
+    stats->bytes_before = index_.TotalBytes();
+    stats->bytes_after = stats->bytes_before;
+  }
+  if (plan.NoOp()) return Status::OK();
+
+  HistoryIndex next = index_;
+  std::vector<std::string> doomed;
+
+  // Rewrite straddling segments first: the new file lands under a fresh
+  // id, so the old one stays valid until the index repoints.
+  for (uint64_t id : plan.rewrite_segments) {
+    auto it = std::find_if(next.segments.begin(), next.segments.end(),
+                           [id](const auto& s) { return s.id == id; });
+    TP_CHECK(it != next.segments.end());
+    const uint64_t new_id = next.next_segment_id++;
+    const std::string new_path = SegmentPath(shard_dir_, new_id);
+    FileWriter writer;
+    TP_RETURN_NOT_OK(writer.Open(new_path));
+    auto stats_or =
+        LogicalLog::CopyRecords(SegmentPath(shard_dir_, id),
+                                plan.window_base, it->last_tick, &writer);
+    if (!stats_or.ok()) {
+      (void)writer.Close();
+      return stats_or.status();
+    }
+    if (fsync_) TP_RETURN_NOT_OK(writer.Sync());
+    const uint64_t bytes = writer.bytes_written();
+    TP_RETURN_NOT_OK(writer.Close());
+    if (TakeCrashPoint(HistoryCrashPoint::kAfterRewriteSegmentFile)) {
+      return InjectedCrash();
+    }
+    doomed.push_back(SegmentPath(shard_dir_, id));
+    if (stats_or.value().records == 0) {
+      TP_RETURN_NOT_OK(RemoveFileIfExists(new_path));
+      next.segments.erase(it);
+    } else {
+      *it = {new_id, stats_or.value().first_tick, stats_or.value().last_tick,
+             bytes};
+    }
+  }
+  for (uint64_t seq : plan.drop_generations) {
+    doomed.push_back(GenerationPath(shard_dir_, seq));
+    std::erase_if(next.generations,
+                  [seq](const auto& g) { return g.seq == seq; });
+  }
+  for (uint64_t id : plan.drop_segments) {
+    doomed.push_back(SegmentPath(shard_dir_, id));
+    std::erase_if(next.segments,
+                  [id](const auto& s) { return s.id == id; });
+  }
+  ++next.compactions_run;
+
+  // Index first, deletes second: a crash in between leaves orphans (swept
+  // on the next writable open), never dangling references.
+  index_ = std::move(next);
+  TP_RETURN_NOT_OK(WriteIndex());
+  if (TakeCrashPoint(HistoryCrashPoint::kBeforeCompactionDeletes)) {
+    return InjectedCrash();
+  }
+  for (const std::string& path : doomed) {
+    TP_RETURN_NOT_OK(RemoveFileIfExists(path));
+  }
+  if (stats != nullptr) {
+    stats->generations_dropped = plan.drop_generations.size();
+    stats->segments_dropped = plan.drop_segments.size();
+    stats->segments_rewritten = plan.rewrite_segments.size();
+    stats->bytes_after = index_.TotalBytes();
+  }
+  return Status::OK();
+}
+
+}  // namespace tickpoint

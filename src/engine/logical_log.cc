@@ -159,4 +159,51 @@ StatusOr<uint64_t> LogicalLog::CountDurableTicks(const std::string& path) {
   return count;
 }
 
+StatusOr<LogicalLog::RangeStats> LogicalLog::ScanRange(
+    const std::string& path) {
+  RangeStats stats;
+  TP_RETURN_NOT_OK(
+      ScanLog(path, [&](uint64_t tick, const std::vector<CellUpdate>&) {
+        if (stats.records == 0) stats.first_tick = tick;
+        stats.last_tick = tick;
+        ++stats.records;
+        return true;
+      }));
+  return stats;
+}
+
+StatusOr<LogicalLog::RangeStats> LogicalLog::CopyRecords(
+    const std::string& path, uint64_t from_tick, uint64_t up_to_tick,
+    FileWriter* writer) {
+  RangeStats stats;
+  Status copy_error;
+  TP_RETURN_NOT_OK(ScanLog(
+      path, [&](uint64_t tick, const std::vector<CellUpdate>& updates) {
+        if (tick > up_to_tick) return false;
+        if (tick < from_tick) return true;
+        RecordHeader header;
+        header.magic = kRecordMagic;
+        header.count = static_cast<uint32_t>(updates.size());
+        header.tick = tick;
+        copy_error = writer->Append(&header, sizeof(header));
+        if (!copy_error.ok()) return false;
+        uint32_t crc = Crc32(&header, sizeof(header));
+        if (!updates.empty()) {
+          copy_error = writer->Append(updates.data(),
+                                      updates.size() * sizeof(CellUpdate));
+          if (!copy_error.ok()) return false;
+          crc = Crc32(updates.data(), updates.size() * sizeof(CellUpdate),
+                      crc);
+        }
+        copy_error = writer->Append(&crc, sizeof(crc));
+        if (!copy_error.ok()) return false;
+        if (stats.records == 0) stats.first_tick = tick;
+        stats.last_tick = tick;
+        ++stats.records;
+        return true;
+      }));
+  TP_RETURN_NOT_OK(copy_error);
+  return stats;
+}
+
 }  // namespace tickpoint

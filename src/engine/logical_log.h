@@ -91,6 +91,25 @@ class LogicalLog {
 
   /// Scans the log and returns the number of intact tick records.
   static StatusOr<uint64_t> CountDurableTicks(const std::string& path);
+
+  /// Tick range covered by a log file's intact records.
+  struct RangeStats {
+    uint64_t records = 0;
+    uint64_t first_tick = 0;  // valid only when records > 0
+    uint64_t last_tick = 0;   // valid only when records > 0
+  };
+
+  /// Scans the log and reports the first/last intact tick.
+  static StatusOr<RangeStats> ScanRange(const std::string& path);
+
+  /// Copies intact records with tick in [from_tick, up_to_tick] from
+  /// `path` onto `writer`, re-serialized in the on-disk record format (so
+  /// the destination file replays with LogicalLog::Replay). The history
+  /// subsystem archives live-log slices into retention segments with this.
+  static StatusOr<RangeStats> CopyRecords(const std::string& path,
+                                          uint64_t from_tick,
+                                          uint64_t up_to_tick,
+                                          FileWriter* writer);
 };
 
 }  // namespace tickpoint

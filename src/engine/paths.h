@@ -75,6 +75,60 @@ inline bool ParseLogGenerationFileName(const std::string& name,
   return true;
 }
 
+/// Bare name of the per-shard history directory (checkpoint generations,
+/// archived logical-log segments, and the CRC'd history index).
+inline std::string HistoryDirName() { return "history"; }
+
+/// The history directory of one engine directory.
+inline std::string HistoryDir(const std::string& dir) {
+  return dir + "/" + HistoryDirName();
+}
+
+/// The CRC'd history index inside a shard's history directory. The index
+/// is the source of truth: files it does not reference are orphans from an
+/// interrupted archival and are swept on the next writable open.
+inline std::string HistoryIndexPath(const std::string& dir) {
+  return HistoryDir(dir) + "/index.bin";
+}
+
+/// Bare filename of retained checkpoint generation `seq` ("gen-N.img").
+inline std::string HistoryGenerationFileName(uint64_t seq) {
+  return "gen-" + std::to_string(seq) + ".img";
+}
+
+/// True if the bare filename `name` is a history generation image, storing
+/// its sequence number in *seq.
+inline bool ParseHistoryGenerationFileName(const std::string& name,
+                                           uint64_t* seq) {
+  if (name.rfind("gen-", 0) != 0) return false;
+  const char* digits = name.c_str() + 4;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(digits, &end, 10);
+  if (end == digits || std::string(end) != ".img") return false;
+  *seq = parsed;
+  return true;
+}
+
+/// Bare filename of archived logical-log segment `id` ("seg-N.log"). The
+/// segment body is byte-identical to the live logical.log record format,
+/// so LogicalLog::Replay works on archived history unchanged.
+inline std::string HistorySegmentFileName(uint64_t id) {
+  return "seg-" + std::to_string(id) + ".log";
+}
+
+/// True if the bare filename `name` is an archived logical-log segment,
+/// storing its id in *id.
+inline bool ParseHistorySegmentFileName(const std::string& name,
+                                        uint64_t* id) {
+  if (name.rfind("seg-", 0) != 0) return false;
+  const char* digits = name.c_str() + 4;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(digits, &end, 10);
+  if (end == digits || std::string(end) != ".log") return false;
+  *id = parsed;
+  return true;
+}
+
 /// The committed consistent-cut manifest under the fleet root.
 inline std::string CutManifestPath(const std::string& root) {
   return root + "/cut-manifest.bin";

@@ -7,8 +7,10 @@
 
 #include "engine/checkpoint_store.h"
 #include "engine/consistent_cut.h"
+#include "engine/history.h"
 #include "engine/logical_log.h"
 #include "engine/paths.h"
+#include "util/io.h"
 
 namespace tickpoint {
 namespace {
@@ -293,6 +295,147 @@ StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(
   if (!cut_or.ok()) return cut_or.status();
   outcome.result = std::move(cut_or).value();
   return outcome;
+}
+
+StatusOr<RecoveryResult> RecoverToHistoricTick(const EngineConfig& config,
+                                               uint64_t tick,
+                                               StateTable* out) {
+  // The live stores reproduce any tick from the newest image's consistent
+  // tick to the crash tick; history exists for everything older. Try live
+  // first -- it is exact when it works, and its Corruption is precisely
+  // "this tick predates what the live sources cover".
+  auto live_or = RecoverToTick(config, tick, out);
+  if (live_or.ok()) return live_or;
+  if (live_or.status().code() != StatusCode::kCorruption) return live_or;
+  const Status live_error = live_or.status();
+
+  auto index_or = ShardHistory::ReadIndex(config.dir);
+  if (!index_or.ok()) return live_error;  // no/torn history: live's verdict
+  const HistoryIndex index = std::move(index_or).value();
+
+  // Newest retained generation consistent no later than tick + 1.
+  const HistoryIndex::Generation* base = nullptr;
+  for (const auto& g : index.generations) {
+    if (g.consistent_tick <= tick + 1) base = &g;
+  }
+  if (base == nullptr) {
+    return Status::Corruption(
+        "no retained generation in " + config.dir +
+        " is consistent at or before tick " + std::to_string(tick));
+  }
+
+  RecoveryResult result;
+  out->Clear();
+  const auto restore_start = Clock::now();
+  TP_ASSIGN_OR_RETURN(
+      const uint64_t consistent,
+      ShardHistory::ReadGenerationImage(config.dir, base->seq, out));
+  result.restored_from_checkpoint = true;
+  result.image_seq = base->seq;
+  result.image_consistent_ticks = consistent;
+  result.restore_seconds = SecondsSince(restore_start);
+
+  // Replay archived segments (ascending), then the live log, through
+  // `tick`. Every applied run must butt against what is already recovered:
+  // ticks append one record each, so a source's first applied tick is
+  // (last + 1 - applied).
+  const auto replay_start = Clock::now();
+  uint64_t expected = consistent;
+  std::vector<std::string> sources;
+  for (const auto& seg : index.segments) {
+    sources.push_back(paths::HistoryDir(config.dir) + "/" +
+                      paths::HistorySegmentFileName(seg.id));
+  }
+  sources.push_back(Engine::LogicalLogPath(config.dir));
+  for (const std::string& source : sources) {
+    if (!FileExists(source)) continue;
+    TP_ASSIGN_OR_RETURN(const LogicalLog::ReplayStats stats,
+                        LogicalLog::Replay(source, expected, tick, out));
+    if (stats.records_applied == 0) continue;
+    const uint64_t first = stats.last_tick + 1 - stats.records_applied;
+    if (first > expected) {
+      return Status::Corruption("history of " + config.dir +
+                                " has a logical gap before tick " +
+                                std::to_string(first));
+    }
+    expected = stats.last_tick + 1;
+    result.ticks_replayed += stats.records_applied;
+  }
+  result.replay_seconds = SecondsSince(replay_start);
+  result.recovered_ticks = expected;
+  if (expected != tick + 1) {
+    return Status::Corruption(
+        "retained history in " + config.dir + " reaches tick " +
+        std::to_string(expected) + ", not the requested tick " +
+        std::to_string(tick + 1));
+  }
+  return result;
+}
+
+StatusOr<FleetRecoveryOutcome> RecoverFleetToTick(
+    const std::string& root, uint64_t tick, std::vector<StateTable>* out) {
+  FleetRecoveryOutcome outcome;
+  TP_ASSIGN_OR_RETURN(outcome.manifest, ReadManifestForRecovery(root));
+  const ShardedEngineConfig config = ConfigFromManifest(outcome.manifest,
+                                                        root);
+  const std::vector<std::string> dirs = PartitionDirs(outcome.manifest, root);
+  outcome.result.used_manifest = true;
+  outcome.result.cut_tick = tick;
+  outcome.result.fleet.shards.reserve(config.num_shards);
+  out->clear();
+  out->reserve(config.num_shards);
+  for (uint32_t i = 0; i < config.num_shards; ++i) {
+    EngineConfig shard_config = config.shard;
+    shard_config.dir = dirs[i];
+    out->emplace_back(shard_config.layout);
+    auto shard_or = RecoverToHistoricTick(shard_config, tick, &out->back());
+    if (!shard_or.ok()) {
+      if (shard_or.status().code() == StatusCode::kCorruption) {
+        // Some shard cannot reproduce the tick (outside its retained
+        // window, or its history is torn). All-or-nothing: fall back to
+        // per-shard latest recovery (clears and refills `out`) rather
+        // than mixing timelines across shards.
+        outcome.result = ShardedCutRecoveryResult{};
+        auto fallback_or = RecoverPartitionsImpl(config, dirs, out);
+        if (!fallback_or.ok()) return fallback_or.status();
+        outcome.result.fleet = std::move(fallback_or).value();
+        return outcome;
+      }
+      return shard_or.status();
+    }
+    AccumulateShard(shard_or.value(), i, &outcome.result.fleet);
+  }
+  return outcome;
+}
+
+StatusOr<HistoryWindow> RestorableFleetWindow(const std::string& root) {
+  TP_ASSIGN_OR_RETURN(const FleetManifest manifest,
+                      ReadManifestForRecovery(root));
+  HistoryWindow window;
+  for (uint32_t p = 0; p < manifest.num_partitions; ++p) {
+    const std::string dir = manifest.PartitionDir(root, p);
+    auto index_or = ShardHistory::ReadIndex(dir);
+    if (!index_or.ok()) {
+      const StatusCode code = index_or.status().code();
+      // No/torn history on any shard: the fleet advertises no window.
+      if (code == StatusCode::kNotFound || code == StatusCode::kCorruption) {
+        return HistoryWindow{};
+      }
+      return index_or.status();
+    }
+    TP_ASSIGN_OR_RETURN(
+        const HistoryWindow shard,
+        ShardHistory::ComputeWindow(dir, index_or.value()));
+    if (!shard.any) return HistoryWindow{};
+    if (!window.any) {
+      window = shard;
+    } else {
+      window.low_tick = std::max(window.low_tick, shard.low_tick);
+      window.high_tick = std::min(window.high_tick, shard.high_tick);
+      if (window.low_tick > window.high_tick) return HistoryWindow{};
+    }
+  }
+  return window;
 }
 
 }  // namespace tickpoint

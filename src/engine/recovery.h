@@ -117,6 +117,35 @@ StatusOr<FleetRecoveryOutcome> RecoverFleet(const std::string& root,
 StatusOr<FleetRecoveryOutcome> RecoverFleetToCut(const std::string& root,
                                                  std::vector<StateTable>* out);
 
+/// Rebuilds one shard's state at EXACTLY the end of `tick`, reaching back
+/// through the shard's retained history (engine/history.h) when the live
+/// stores alone cannot reproduce it: tries RecoverToTick first, and on its
+/// Corruption loads the newest retained generation consistent no later
+/// than tick + 1 and replays the archived segments plus the live logical
+/// log through `tick`. Corruption when neither source reproduces the tick
+/// exactly (outside the retained window, or a torn history).
+StatusOr<RecoveryResult> RecoverToHistoricTick(const EngineConfig& config,
+                                               uint64_t tick,
+                                               StateTable* out);
+
+/// Manifest-driven whole-fleet point-in-time recovery: lands every
+/// partition at exactly the end of `tick` via RecoverToHistoricTick. On
+/// success result.used_manifest is true and result.cut_tick == tick. When
+/// some shard cannot reproduce the tick (Corruption -- outside its
+/// retained window, or torn history), falls back to per-shard latest
+/// recovery: used_manifest false, each shard at its own crash tick --
+/// never a half-restored fleet. Other errors propagate.
+StatusOr<FleetRecoveryOutcome> RecoverFleetToTick(const std::string& root,
+                                                  uint64_t tick,
+                                                  std::vector<StateTable>* out);
+
+/// The fleet's restorable tick window: the intersection over all
+/// partitions of each shard's history window (ShardHistory::ComputeWindow).
+/// Every tick T in [low_tick, high_tick] satisfies RecoverFleetToTick with
+/// used_manifest true. `any` is false when some shard retains no usable
+/// history (retention off included).
+StatusOr<HistoryWindow> RestorableFleetWindow(const std::string& root);
+
 }  // namespace tickpoint
 
 #endif  // TICKPOINT_ENGINE_RECOVERY_H_

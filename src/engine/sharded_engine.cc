@@ -49,6 +49,7 @@ FleetManifest ManifestFromConfig(const ShardedEngineConfig& config) {
       manifest.replica_peer[p] = (p + 1) % std::max<uint32_t>(1, config.num_shards);
     }
   }
+  manifest.retention = config.shard.retention;
   return manifest;
 }
 
@@ -73,6 +74,7 @@ ShardedEngineConfig ConfigFromManifest(const FleetManifest& manifest,
   config.replicate = manifest.replicate;
   config.replica_depth = manifest.replica_depth;
   config.replica_peer = manifest.replica_peer;
+  config.shard.retention = manifest.retention;
   return config;
 }
 
@@ -111,7 +113,8 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
 
 StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
     const ShardedEngineConfig& config,
-    const std::vector<StateTable>* initial, uint64_t first_tick) {
+    const std::vector<StateTable>* initial, uint64_t first_tick,
+    bool bump_epoch) {
   if (config.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
@@ -276,12 +279,29 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenImpl(
     // point is never destroyed while it was still reachable.
     TP_RETURN_NOT_OK(RemoveFileIfExists(CutManifestPath(config.shard.dir)));
   }
-  if (write_manifest_after_open) {
-    // The manifest commit is the last step of fleet creation: a crash
-    // before it leaves shard directories without a superblock, which
-    // Fleet::Open reports as NotFound instead of guessing a topology.
+  if (bump_epoch) {
+    // A point-in-time resume rewrote every shard's durable state to an
+    // older tick; committing the manifest as a NEW epoch (same topology)
+    // is the new timeline's commit point, mirroring MigratePartition's
+    // epoch protocol. Everything above is idempotent, so a crash before
+    // this rename leaves the restore repeatable under the old epoch.
+    sharded->manifest_.epoch += 1;
+  }
+  if (write_manifest_after_open || bump_epoch) {
+    // For a fresh fleet the manifest commit is the last step of creation:
+    // a crash before it leaves shard directories without a superblock,
+    // which Fleet::Open reports as NotFound instead of guessing a
+    // topology.
     TP_RETURN_NOT_OK(WriteFleetManifest(config.shard.dir, sharded->manifest_,
                                         config.shard.fsync));
+    if (bump_epoch) {
+      // Best-effort retirement, like MigratePartition: the rename above
+      // is the commit point, and a leftover older epoch is recovery
+      // fallback fodder, not a correctness hazard (the newest intact
+      // epoch wins).
+      (void)RetireFleetManifestsBefore(config.shard.dir,
+                                       sharded->manifest_.epoch);
+    }
   }
   return sharded;
 }
@@ -308,8 +328,8 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
 
 StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::OpenResumed(
     const ShardedEngineConfig& config, const std::vector<StateTable>& initial,
-    uint64_t first_tick) {
-  return OpenImpl(config, &initial, first_tick);
+    uint64_t first_tick, bool bump_epoch) {
+  return OpenImpl(config, &initial, first_tick, bump_epoch);
 }
 
 ShardedEngine::~ShardedEngine() {

@@ -381,9 +381,16 @@ class ShardedEngine {
   /// keeps the fleet recoverable to exactly the cut throughout the
   /// resume, and an older cut degrades to the per-shard fallback inside
   /// the cut-recovery path.
+  ///
+  /// `bump_epoch` (a point-in-time resume, RecoveredFleet::Resume after
+  /// Fleet::RecoverToTick): once every shard's bootstrap is durable, the
+  /// manifest is re-committed as epoch + 1 and older epochs retired --
+  /// the new timeline's commit point. A crash before that commit leaves
+  /// the old epoch intact and the operator simply re-runs the restore.
   static StatusOr<std::unique_ptr<ShardedEngine>> OpenResumed(
       const ShardedEngineConfig& config,
-      const std::vector<StateTable>& initial, uint64_t first_tick);
+      const std::vector<StateTable>& initial, uint64_t first_tick,
+      bool bump_epoch = false);
 
   explicit ShardedEngine(const ShardedEngineConfig& config);
 
@@ -393,7 +400,8 @@ class ShardedEngine {
   /// the partition assignment read from the durable manifest.
   static StatusOr<std::unique_ptr<ShardedEngine>> OpenImpl(
       const ShardedEngineConfig& config,
-      const std::vector<StateTable>* initial, uint64_t first_tick);
+      const std::vector<StateTable>* initial, uint64_t first_tick,
+      bool bump_epoch = false);
 
   /// Builds the ShardRunner for `partition` around `engine`.
   std::unique_ptr<ShardRunner> MakeRunner(uint32_t partition,

@@ -144,11 +144,12 @@ TEST_F(FleetManifestTest, ReadsAVersionOneManifestWithReplicationOff) {
   ASSERT_TRUE(WriteFleetManifest(dir_, sample, false).ok());
   std::string bytes;
   ASSERT_TRUE(ReadFileToString(Path(0), &bytes).ok());
-  const size_t kHeaderSize = 112, kExtSize = 16;
+  const size_t kHeaderSize = 112, kExtSize = 16, kRetentionExtSize = 24;
   const size_t peers_bytes = sample.num_partitions * sizeof(uint32_t);
-  // v3 layout: header + ext + assignment + replica peers + one u32 mount
-  // length per partition (all zero here) + CRC.
-  ASSERT_EQ(bytes.size(), kHeaderSize + kExtSize + 3 * peers_bytes + 4);
+  // v4 layout: header + ext + assignment + replica peers + one u32 mount
+  // length per partition (all zero here) + retention ext + CRC.
+  ASSERT_EQ(bytes.size(),
+            kHeaderSize + kExtSize + 3 * peers_bytes + kRetentionExtSize + 4);
   std::string v1 = bytes.substr(0, kHeaderSize) +
                    bytes.substr(kHeaderSize + kExtSize, peers_bytes);
   const uint32_t version = 1;
@@ -196,9 +197,10 @@ TEST_F(FleetManifestTest, ReadsAVersionTwoManifestWithoutMountRoots) {
   ASSERT_TRUE(WriteFleetManifest(dir_, sample, false).ok());
   std::string bytes;
   ASSERT_TRUE(ReadFileToString(Path(0), &bytes).ok());
-  const size_t kHeaderSize = 112, kExtSize = 16;
+  const size_t kHeaderSize = 112, kExtSize = 16, kRetentionExtSize = 24;
   const size_t peers_bytes = sample.num_partitions * sizeof(uint32_t);
-  ASSERT_EQ(bytes.size(), kHeaderSize + kExtSize + 3 * peers_bytes + 4);
+  ASSERT_EQ(bytes.size(),
+            kHeaderSize + kExtSize + 3 * peers_bytes + kRetentionExtSize + 4);
   std::string v2 =
       bytes.substr(0, kHeaderSize + kExtSize + 2 * peers_bytes);
   const uint32_t version = 2;

@@ -1,28 +1,143 @@
 // tickpoint_inspect: operations CLI for checkpoint directories.
 //
 //   tickpoint_inspect --dir /var/lib/myshard [--rows N] [--cols M]
+//   tickpoint_inspect --dir /var/lib/myshard --history \
+//       [--max-generations N] [--max-retained-ticks T]
 //
-// Prints the staged doublewrite region (what a reopen would replay or
-// discard), the state of both double-backup images (validity, sequence,
-// consistent tick), any checkpoint-log generations with their segments,
-// and the logical log's durable tick range -- everything an operator needs
-// to answer "what would this shard recover to right now?".
+// Default mode prints the staged doublewrite region (what a reopen would
+// replay or discard), the state of both double-backup images (validity,
+// sequence, consistent tick), any checkpoint-log generations with their
+// segments, and the logical log's durable tick range -- everything an
+// operator needs to answer "what would this shard recover to right now?".
+//
+// --history prints the point-in-time retention state instead: the
+// generation table with per-generation on-disk bytes, the archived
+// logical-log segments, the retained (restorable) tick window, and what
+// the next compaction pass would drop or rewrite under the given policy.
 //
 // Inspection is strictly read-only: the backup store is opened with
-// doublewrite replay disabled, so pointing this tool at a crashed
-// directory never changes what a later recovery will see.
+// doublewrite replay disabled and --history only ever reads the index, so
+// pointing this tool at a crashed directory never changes what a later
+// recovery will see.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
 #include "engine/checkpoint_store.h"
+#include "engine/compactor.h"
 #include "engine/doublewrite.h"
 #include "engine/engine.h"
+#include "engine/history.h"
 #include "engine/logical_log.h"
 #include "engine/paths.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
 
 using namespace tickpoint;
+
+namespace {
+
+bool Contains(const std::vector<uint64_t>& ids, uint64_t id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+/// The --history mode: generation table, retained window, compaction
+/// eligibility. Read-only (ReadIndex + ComputeWindow + a pure plan).
+int InspectHistory(const std::string& dir, const Flags& flags) {
+  auto index_or = ShardHistory::ReadIndex(dir);
+  if (index_or.status().code() == StatusCode::kNotFound) {
+    std::printf("no history index under %s (retention off, or no "
+                "checkpoint completed yet)\n",
+                dir.c_str());
+    return 1;
+  }
+  if (!index_or.ok()) {
+    std::printf("history index is unreadable: %s\n"
+                "point-in-time recovery would fall back to latest "
+                "recovery; a writable reopen resets the history.\n",
+                index_or.status().ToString().c_str());
+    return 1;
+  }
+  const HistoryIndex& index = index_or.value();
+
+  RetentionPolicy policy;
+  policy.enabled = true;
+  policy.max_generations = static_cast<uint64_t>(flags.GetInt64(
+      "max-generations", static_cast<int64_t>(policy.max_generations)));
+  policy.max_retained_ticks = static_cast<uint64_t>(
+      flags.GetInt64("max-retained-ticks", 0));
+  const CompactionPlan plan = PlanCompaction(index, policy);
+
+  std::printf("history of %s (%zu generations, %zu segments, %llu bytes, "
+              "%llu compactions so far)\n\n",
+              dir.c_str(), index.generations.size(), index.segments.size(),
+              static_cast<unsigned long long>(index.TotalBytes()),
+              static_cast<unsigned long long>(index.compactions_run));
+
+  if (!index.generations.empty()) {
+    TablePrinter table({"generation", "consistent through tick", "bytes",
+                        "next compaction"});
+    for (const auto& gen : index.generations) {
+      table.AddRow({std::to_string(gen.seq),
+                    std::to_string(gen.consistent_tick),
+                    std::to_string(gen.bytes),
+                    Contains(plan.drop_generations, gen.seq) ? "DROP"
+                                                             : "keep"});
+    }
+    std::printf("generations\n");
+    table.Print();
+    std::printf("\n");
+  }
+  if (!index.segments.empty()) {
+    TablePrinter table({"segment", "ticks", "bytes", "next compaction"});
+    for (const auto& seg : index.segments) {
+      const char* fate = Contains(plan.drop_segments, seg.id) ? "DROP"
+                         : Contains(plan.rewrite_segments, seg.id)
+                             ? "REWRITE"
+                             : "keep";
+      table.AddRow({std::to_string(seg.id),
+                    "[" + std::to_string(seg.first_tick) + ", " +
+                        std::to_string(seg.last_tick) + "]",
+                    std::to_string(seg.bytes), fate});
+    }
+    std::printf("archived logical-log segments\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  auto window_or = ShardHistory::ComputeWindow(dir, index);
+  TP_CHECK_OK(window_or.status());
+  if (window_or->any) {
+    std::printf("restorable window: every tick in [%llu, %llu] can be "
+                "reproduced exactly.\n",
+                static_cast<unsigned long long>(window_or->low_tick),
+                static_cast<unsigned long long>(window_or->high_tick));
+  } else {
+    std::printf("restorable window: none (no generation with contiguous "
+                "logical coverage).\n");
+  }
+  if (plan.NoOp()) {
+    std::printf("compaction under max-generations=%llu%s: nothing to do.\n",
+                static_cast<unsigned long long>(policy.max_generations),
+                policy.max_retained_ticks
+                    ? (" max-retained-ticks=" +
+                       std::to_string(policy.max_retained_ticks))
+                          .c_str()
+                    : "");
+  } else {
+    std::printf(
+        "compaction under max-generations=%llu would drop %zu "
+        "generation(s), drop %zu segment(s), rewrite %zu segment(s); the "
+        "window base moves to tick %llu.\n",
+        static_cast<unsigned long long>(policy.max_generations),
+        plan.drop_generations.size(), plan.drop_segments.size(),
+        plan.rewrite_segments.size(),
+        static_cast<unsigned long long>(plan.window_base));
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -31,8 +146,13 @@ int main(int argc, char** argv) {
   if (dir.empty() || flags.help_requested()) {
     std::fprintf(stderr,
                  "usage: tickpoint_inspect --dir <checkpoint dir> "
-                 "[--rows N] [--cols M] [--object-size B]\n");
+                 "[--rows N] [--cols M] [--object-size B]\n"
+                 "       tickpoint_inspect --dir <checkpoint dir> --history "
+                 "[--max-generations N] [--max-retained-ticks T]\n");
     return 2;
+  }
+  if (flags.GetBool("history", false)) {
+    return InspectHistory(dir, flags);
   }
   StateLayout layout;
   layout.rows = static_cast<uint64_t>(flags.GetInt64("rows", 1000000));
